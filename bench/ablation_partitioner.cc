@@ -1,0 +1,73 @@
+// Partition-quality ablation: random hash partitioning (the paper's
+// setup, Section 7.1) vs the LDG streaming greedy partitioner. Better
+// partitions cut fewer edges, which means fewer boundary vertices, fewer
+// partition forks, and fewer remote replica updates for every
+// synchronization technique — the structural lever behind
+// partition-based locking's costs.
+
+#include <iostream>
+
+#include "algos/coloring.h"
+#include "graph/streaming_partitioner.h"
+#include "harness/datasets.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+
+using namespace serigraph;
+
+int main() {
+  PrintHeader(std::cout,
+              "Partitioner ablation: hash vs LDG streaming greedy "
+              "(coloring, partition-based locking, 8 workers)");
+
+  TablePrinter table({"dataset", "partitioner", "cut edges", "cut %", "forks",
+                      "ctrl msgs", "time"});
+  for (const char* name : {"OR'", "TW'"}) {
+    Graph graph = MakeUndirectedDataset(FindSpec(name));
+    for (bool ldg : {false, true}) {
+      const int workers = 8;
+      Partitioning partitioning;
+      if (ldg) {
+        StreamingPartitionOptions opts;
+        opts.num_workers = workers;
+        partitioning = StreamingGreedyPartition(graph, opts);
+      } else {
+        partitioning =
+            Partitioning::Hash(graph.num_vertices(), workers, workers);
+      }
+      const int64_t cut = CountCutEdges(graph, partitioning);
+      const int64_t forks =
+          CountPartitionForks(BuildPartitionGraph(graph, partitioning));
+
+      EngineOptions opts = ToEngineOptions([&] {
+        RunConfig config;
+        config.sync_mode = SyncMode::kPartitionLocking;
+        config.num_workers = workers;
+        config.network = BenchNetwork();
+        return config;
+      }());
+      Engine<GreedyColoring> engine(&graph, opts);
+      SG_CHECK_OK(engine.UsePartitioning(std::move(partitioning)));
+      auto result = engine.Run(GreedyColoring());
+      SG_CHECK_OK(result.status());
+      SG_CHECK(IsProperColoring(graph, result->values));
+
+      char pct[16];
+      std::snprintf(pct, sizeof(pct), "%.1f%%",
+                    100.0 * static_cast<double>(cut) /
+                        static_cast<double>(graph.num_edges()));
+      table.AddRow(
+          {name, ldg ? "LDG streaming" : "random hash",
+           TablePrinter::Count(cut), pct, TablePrinter::Count(forks),
+           TablePrinter::Count(
+               result->stats.Metric("net.control_messages")),
+           TablePrinter::Seconds(result->stats.computation_seconds)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nThe paper evaluates with hash partitioning because "
+               "heavyweight partitioners are\nimpractical at its scale; LDG "
+               "shows how much a one-pass streaming partitioner\nalready "
+               "reduces the communication that synchronization pays for.\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+#ifndef SERIGRAPH_BENCH_FIG6_COMMON_H_
+#define SERIGRAPH_BENCH_FIG6_COMMON_H_
+
+// Shared driver for the paper's Figure 6 reproduction benches: one
+// algorithm, the dataset stand-ins x {16, 32} workers x the three
+// technique/system combinations evaluated in Section 7:
+//   * dual-layer token passing  (Giraph async)
+//   * partition-based locking   (Giraph async)   <- the contribution
+//   * vertex-based locking      (GraphLab async stand-in)
+// Computation time is the paper's metric (superstep loop only). Every
+// run is validated by the caller-supplied checker.
+
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/datasets.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+
+namespace serigraph {
+
+struct Fig6Cell {
+  std::string dataset;
+  int workers = 0;
+  SyncMode sync = SyncMode::kNone;
+  RunStats stats;
+  bool valid = false;
+};
+
+/// Runs `run(graph, config)` over the full evaluation grid and prints the
+/// figure's table. `run` returns (stats, valid).
+inline void RunFig6Grid(
+    const std::string& title, const std::string& paper_expectation,
+    bool undirected,
+    const std::function<std::pair<RunStats, bool>(const Graph&,
+                                                  const RunConfig&)>& run) {
+  PrintHeader(std::cout, title);
+  std::printf("paper expectation: %s\n", paper_expectation.c_str());
+  std::printf("(synthetic stand-ins; absolute times are not comparable to "
+              "the paper's EC2 cluster,\n shapes and ratios are — see "
+              "EXPERIMENTS.md)\n\n");
+
+  const SyncMode kModes[] = {SyncMode::kDualLayerToken,
+                             SyncMode::kPartitionLocking,
+                             SyncMode::kVertexLocking};
+  TablePrinter table({"dataset", "workers", "technique", "time", "supersteps",
+                      "ctrl msgs", "wire MB", "valid", "vs partition"});
+  for (const DatasetSpec& spec : StandInSpecs()) {
+    if (spec.name == "AR'") continue;  // like the paper's main text
+    Graph graph =
+        undirected ? MakeUndirectedDataset(spec) : MakeDataset(spec);
+    for (int workers : {16, 32}) {
+      double partition_time = 0.0;
+      std::vector<Fig6Cell> cells;
+      for (SyncMode sync : kModes) {
+        RunConfig config;
+        config.sync_mode = sync;
+        config.num_workers = workers;
+        config.network = BenchNetwork();
+        auto [stats, valid] = run(graph, config);
+        Fig6Cell cell;
+        cell.dataset = spec.name;
+        cell.workers = workers;
+        cell.sync = sync;
+        cell.stats = stats;
+        cell.valid = valid;
+        cells.push_back(cell);
+        if (sync == SyncMode::kPartitionLocking) {
+          partition_time = stats.computation_seconds;
+        }
+      }
+      for (const Fig6Cell& cell : cells) {
+        table.AddRow(
+            {cell.dataset, std::to_string(cell.workers),
+             SyncModeName(cell.sync),
+             TablePrinter::Seconds(cell.stats.computation_seconds),
+             std::to_string(cell.stats.supersteps),
+             TablePrinter::Count(cell.stats.Metric("net.control_messages")),
+             std::to_string(cell.stats.Metric("net.wire_bytes") / 1048576) +
+                 " MB",
+             cell.valid ? "yes" : "NO",
+             TablePrinter::Ratio(cell.stats.computation_seconds /
+                                 partition_time)});
+      }
+    }
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_BENCH_FIG6_COMMON_H_

@@ -1,0 +1,83 @@
+// Section 2.3: async GAS (GraphLab-style) without serializability lets
+// the gather/apply/scatter phases of neighboring vertices interleave, so
+// greedy coloring can livelock; with serializability (neighborhood held
+// across all three phases) it always terminates, in a single pass.
+
+#include <iostream>
+
+#include "algos/coloring.h"
+#include "gas/gas_engine.h"
+#include "gas/gas_programs.h"
+#include "graph/generators.h"
+#include "harness/table.h"
+
+using namespace serigraph;
+
+namespace {
+
+struct CaseResult {
+  int64_t livelocks = 0;
+  int64_t total_updates = 0;
+  int64_t runs = 0;
+  int64_t improper = 0;
+};
+
+CaseResult RunMany(const Graph& graph, GasMode mode, int runs,
+                   int64_t max_updates) {
+  CaseResult result;
+  for (int i = 0; i < runs; ++i) {
+    GasOptions options;
+    options.mode = mode;
+    options.num_threads = 8;
+    options.max_updates = max_updates;
+    GasEngine<GasColoring> engine(&graph, options);
+    auto r = engine.Run(GasColoring());
+    SG_CHECK_OK(r.status());
+    ++result.runs;
+    result.total_updates += r->updates;
+    if (!r->converged) ++result.livelocks;
+    if (!IsProperColoring(graph, r->values) && r->converged) {
+      ++result.improper;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(std::cout,
+              "Section 2.3: async GAS coloring with and without "
+              "serializability");
+  auto g = Graph::FromEdgeList(Complete(24));
+  SG_CHECK_OK(g.status());
+  Graph dense = std::move(g).value();  // dense => conflicts likely
+  auto g2 = Graph::FromEdgeList(Ring(256));
+  SG_CHECK_OK(g2.status());
+  Graph cycle = g2->Undirected();
+
+  TablePrinter table({"graph", "mode", "runs", "livelocked",
+                      "improper colorings", "avg updates"});
+  struct Case {
+    const char* name;
+    const Graph* graph;
+    int64_t budget;
+  };
+  const Case cases[] = {{"complete K24", &dense, 20000},
+                        {"even cycle n=256", &cycle, 20000}};
+  for (const Case& c : cases) {
+    for (GasMode mode : {GasMode::kAsync, GasMode::kAsyncSerializable}) {
+      CaseResult r = RunMany(*c.graph, mode, /*runs=*/8, c.budget);
+      table.AddRow({c.name, GasModeName(mode), std::to_string(r.runs),
+                    std::to_string(r.livelocks), std::to_string(r.improper),
+                    std::to_string(r.total_updates / r.runs)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\npaper: async GAS without serializability is not "
+               "guaranteed to terminate for\ncoloring; with serializability "
+               "it always terminates (Section 2.3). Livelock\ncounts vary "
+               "with thread timing; serializable runs must never livelock "
+               "or\nproduce conflicts.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Microbenchmarks for the simulated transport: send/receive throughput
+// and the cost of encoding message batches, isolating the substrate the
+// synchronization techniques run on.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "common/metrics.h"
+#include "common/serialize.h"
+#include "net/transport.h"
+
+namespace serigraph {
+namespace {
+
+void BM_TransportSendReceive(benchmark::State& state) {
+  MetricRegistry metrics;
+  Transport transport(2, NetworkOptions{}, &metrics);
+  const int64_t payload_size = state.range(0);
+  for (auto _ : state) {
+    WireMessage msg;
+    msg.src = 0;
+    msg.dst = 1;
+    msg.kind = MessageKind::kDataBatch;
+    msg.payload.assign(payload_size, 0xab);
+    transport.Send(std::move(msg));
+    auto received = transport.TryReceive(1);
+    benchmark::DoNotOptimize(received);
+  }
+  state.SetBytesProcessed(state.iterations() * (payload_size + 32));
+}
+BENCHMARK(BM_TransportSendReceive)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_TransportCrossThread(benchmark::State& state) {
+  MetricRegistry metrics;
+  Transport transport(2, NetworkOptions{}, &metrics);
+  std::atomic<bool> done{false};
+  std::thread consumer([&] {
+    while (auto msg = transport.Receive(1)) {
+      benchmark::DoNotOptimize(msg);
+    }
+  });
+  for (auto _ : state) {
+    WireMessage msg;
+    msg.src = 0;
+    msg.dst = 1;
+    msg.kind = MessageKind::kControl;
+    transport.Send(std::move(msg));
+  }
+  done.store(true);
+  transport.Shutdown();
+  consumer.join();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransportCrossThread);
+
+void BM_BatchEncodeDecode(benchmark::State& state) {
+  const int64_t count = state.range(0);
+  for (auto _ : state) {
+    BufferWriter writer;
+    for (int64_t i = 0; i < count; ++i) {
+      writer.WriteVarint(static_cast<uint64_t>(i));       // dst
+      writer.WriteVarint(static_cast<uint64_t>(i * 31));  // src
+      writer.WriteVarint(1);                              // version
+      double value = static_cast<double>(i);
+      writer.AppendRaw(&value, sizeof(value));
+    }
+    std::vector<uint8_t> bytes = writer.Release();
+    BufferReader reader(bytes);
+    uint64_t dst, src, version;
+    double value;
+    while (!reader.AtEnd()) {
+      reader.ReadVarint(&dst);
+      reader.ReadVarint(&src);
+      reader.ReadVarint(&version);
+      reader.ReadRaw(&value, sizeof(value));
+      benchmark::DoNotOptimize(value);
+    }
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_BatchEncodeDecode)->Arg(100)->Arg(10000);
+
+}  // namespace
+}  // namespace serigraph

@@ -1,0 +1,55 @@
+// Section 3.1 replication analysis: the paper's formalism covers both
+// replication styles — edge-cut (Pregel/Giraph: implicit replicas via
+// message stores, one per boundary vertex per neighbor worker) and
+// vertex-cut (GraphLab: explicit read-only replicas per edge worker).
+// This bench quantifies both on the Table 1 stand-ins: how many replicas
+// a write-all approach (condition C1) has to keep fresh under each
+// design.
+
+#include <iostream>
+
+#include "gas/vertex_cut.h"
+#include "graph/partitioning.h"
+#include "graph/stats.h"
+#include "harness/datasets.h"
+#include "harness/table.h"
+
+using namespace serigraph;
+
+int main() {
+  PrintHeader(std::cout,
+              "Section 3.1: replication under edge-cut vs vertex-cut "
+              "(16 workers)");
+  TablePrinter table({"dataset", "m-boundary frac (edge-cut)",
+                      "repl. factor (random v-cut)",
+                      "repl. factor (greedy v-cut)", "edge imbalance"});
+  for (const DatasetSpec& spec : StandInSpecs()) {
+    Graph graph = MakeDataset(spec);
+    Partitioning partitioning =
+        Partitioning::Hash(graph.num_vertices(), 16, 16);
+    BoundaryInfo boundaries(graph, partitioning);
+    const int64_t* counts = boundaries.counts();
+    const double boundary_fraction =
+        static_cast<double>(
+            counts[static_cast<int>(VertexLocality::kRemoteBoundary)] +
+            counts[static_cast<int>(VertexLocality::kMixedBoundary)]) /
+        static_cast<double>(graph.num_vertices());
+
+    VertexCut random_cut = VertexCut::Random(graph, 16, 1);
+    VertexCut greedy_cut = VertexCut::Greedy(graph, 16);
+
+    char b[16], r[16], g[16], im[16];
+    std::snprintf(b, sizeof(b), "%.1f%%", 100.0 * boundary_fraction);
+    std::snprintf(r, sizeof(r), "%.2f", random_cut.ReplicationFactor());
+    std::snprintf(g, sizeof(g), "%.2f", greedy_cut.ReplicationFactor());
+    std::snprintf(im, sizeof(im), "%.2f", greedy_cut.EdgeImbalance());
+    table.AddRow({spec.name, b, r, g, im});
+  }
+  table.Print(std::cout);
+  std::cout << "\nEvery replica is state that condition C1's write-all "
+               "approach must keep fresh\nbefore a neighbor executes; "
+               "hash partitioning makes nearly every vertex\nm-boundary "
+               "at this scale, which is why partition-level batching of "
+               "replica\nupdates (Section 5.4) pays off.\n";
+  return 0;
+}

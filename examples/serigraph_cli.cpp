@@ -1,0 +1,274 @@
+// serigraph_cli: run any bundled algorithm on any dataset under any
+// computation model / synchronization technique from the command line —
+// the "serializability as a configuration option" story of the paper
+// (Section 6.5), end to end.
+//
+// Examples:
+//   serigraph_cli --algorithm=coloring --dataset=OR' \
+//       --sync=partition-locking --workers=8 --verify
+//   serigraph_cli --algorithm=pagerank --generator=powerlaw \
+//       --vertices=20000 --degree=12 --workers=16 --latency-us=100
+//   serigraph_cli --algorithm=sssp --edge-list=/path/graph.txt
+
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <string>
+
+#include "algos/coloring.h"
+#include "algos/label_propagation.h"
+#include "algos/mis.h"
+#include "algos/pagerank.h"
+#include "algos/sssp.h"
+#include "algos/triangles.h"
+#include "algos/wcc.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+#include "harness/datasets.h"
+#include "pregel/engine.h"
+#include "verify/history.h"
+
+using namespace serigraph;
+
+namespace {
+
+struct CliOptions {
+  std::string algorithm = "pagerank";
+  std::string dataset;
+  std::string generator;
+  std::string edge_list;
+  std::string sync = "partition-locking";
+  std::string model = "ap";
+  VertexId vertices = 10000;
+  double degree = 10.0;
+  int workers = 8;
+  int threads = 2;
+  int64_t latency_us = 0;
+  uint64_t seed = 42;
+  double tolerance = 0.01;
+  bool verify = false;
+  bool help = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  *out = arg + prefix.size();
+  return true;
+}
+
+CliOptions Parse(int argc, char** argv) {
+  CliOptions opts;
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (ParseFlag(arg, "algorithm", &opts.algorithm)) continue;
+    if (ParseFlag(arg, "dataset", &opts.dataset)) continue;
+    if (ParseFlag(arg, "generator", &opts.generator)) continue;
+    if (ParseFlag(arg, "edge-list", &opts.edge_list)) continue;
+    if (ParseFlag(arg, "sync", &opts.sync)) continue;
+    if (ParseFlag(arg, "model", &opts.model)) continue;
+    if (ParseFlag(arg, "vertices", &value)) {
+      opts.vertices = std::atoll(value.c_str());
+      continue;
+    }
+    if (ParseFlag(arg, "degree", &value)) {
+      opts.degree = std::atof(value.c_str());
+      continue;
+    }
+    if (ParseFlag(arg, "workers", &value)) {
+      opts.workers = std::atoi(value.c_str());
+      continue;
+    }
+    if (ParseFlag(arg, "threads", &value)) {
+      opts.threads = std::atoi(value.c_str());
+      continue;
+    }
+    if (ParseFlag(arg, "latency-us", &value)) {
+      opts.latency_us = std::atoll(value.c_str());
+      continue;
+    }
+    if (ParseFlag(arg, "seed", &value)) {
+      opts.seed = std::strtoull(value.c_str(), nullptr, 10);
+      continue;
+    }
+    if (ParseFlag(arg, "tolerance", &value)) {
+      opts.tolerance = std::atof(value.c_str());
+      continue;
+    }
+    if (std::strcmp(arg, "--verify") == 0) {
+      opts.verify = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      opts.help = true;
+      continue;
+    }
+    std::fprintf(stderr, "unknown argument: %s (try --help)\n", arg);
+    opts.help = true;
+  }
+  return opts;
+}
+
+void PrintHelp() {
+  std::printf(
+      "serigraph_cli — run a vertex program with configurable "
+      "serializability\n\n"
+      "  --algorithm=coloring|pagerank|sssp|wcc|mis|lpa|triangles\n"
+      "  --dataset=OR'|AR'|TW'|UK'        Table 1 stand-in graphs\n"
+      "  --generator=powerlaw|erdos|grid  synthetic graph instead\n"
+      "  --vertices=N --degree=D --seed=S generator parameters\n"
+      "  --edge-list=PATH                 load a SNAP-style text file\n"
+      "  --model=ap|bsp                   computation model\n"
+      "  --sync=none|single-token|dual-token|vertex-locking|\n"
+      "         partition-locking|bsp-constrained-locking\n"
+      "  --workers=N --threads=N          simulated cluster shape\n"
+      "  --latency-us=N                   simulated one-way latency\n"
+      "  --tolerance=X                    PageRank threshold\n"
+      "  --verify                         record + check C1/C2/1SR\n");
+}
+
+StatusOr<SyncMode> ParseSync(const std::string& name) {
+  if (name == "none") return SyncMode::kNone;
+  if (name == "single-token") return SyncMode::kSingleLayerToken;
+  if (name == "dual-token") return SyncMode::kDualLayerToken;
+  if (name == "vertex-locking") return SyncMode::kVertexLocking;
+  if (name == "partition-locking") return SyncMode::kPartitionLocking;
+  if (name == "bsp-constrained-locking") {
+    return SyncMode::kConstrainedBspLocking;
+  }
+  return Status::InvalidArgument("unknown sync mode " + name);
+}
+
+StatusOr<Graph> LoadGraph(const CliOptions& opts, bool undirected) {
+  EdgeList el;
+  if (!opts.edge_list.empty()) {
+    auto loaded = LoadEdgeListText(opts.edge_list);
+    SERIGRAPH_RETURN_IF_ERROR(loaded.status());
+    el = std::move(loaded).value();
+  } else if (!opts.dataset.empty()) {
+    Graph g = MakeDataset(FindSpec(opts.dataset));
+    return undirected ? g.Undirected() : std::move(g);
+  } else if (opts.generator == "erdos") {
+    el = ErdosRenyi(opts.vertices,
+                    static_cast<int64_t>(opts.degree *
+                                         static_cast<double>(opts.vertices)),
+                    opts.seed);
+  } else if (opts.generator == "grid") {
+    const VertexId side = std::max<VertexId>(
+        2, static_cast<VertexId>(std::sqrt(double(opts.vertices))));
+    el = Grid(side, side);
+  } else {  // default: powerlaw
+    el = PowerLawChungLu(opts.vertices, opts.degree, 2.2, opts.seed);
+  }
+  auto graph = Graph::FromEdgeList(el);
+  SERIGRAPH_RETURN_IF_ERROR(graph.status());
+  return undirected ? graph->Undirected() : std::move(graph).value();
+}
+
+template <typename Program>
+int RunAndReport(const Graph& graph, const CliOptions& cli,
+                 EngineOptions options, const Program& program,
+                 const std::string& result_note) {
+  options.record_history = cli.verify;
+  Engine<Program> engine(&graph, options);
+  auto result = engine.Run(program);
+  if (!result.ok()) {
+    std::fprintf(stderr, "engine error: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s in %d supersteps, %.1f ms computation time\n",
+              result->stats.converged ? "converged" : "CUT OFF",
+              result->stats.supersteps,
+              result->stats.computation_seconds * 1e3);
+  std::printf("messages: %lld sent (%lld local), %lld data batches, "
+              "%lld control msgs, %lld fork transfers\n",
+              (long long)result->stats.Metric("pregel.messages_sent"),
+              (long long)result->stats.Metric("pregel.local_sends"),
+              (long long)result->stats.Metric("net.data_batches"),
+              (long long)result->stats.Metric("net.control_messages"),
+              (long long)result->stats.Metric("sync.fork_transfers"));
+  if (!result_note.empty()) std::printf("%s\n", result_note.c_str());
+  if (cli.verify) {
+    HistoryCheck check =
+        CheckHistory(graph, result->history->TakeRecords());
+    std::printf("verification: %lld transactions, C1 %s, C2 %s, 1SR %s\n",
+                (long long)check.num_transactions,
+                check.c1_fresh_reads ? "fresh" : "VIOLATED",
+                check.c2_no_neighbor_overlap ? "disjoint" : "VIOLATED",
+                check.serializable ? "serializable" : "NOT SERIALIZABLE");
+    for (const auto& sample : check.violation_samples) {
+      std::printf("  %s\n", sample.c_str());
+    }
+    return check.ok() ? 0 : 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli = Parse(argc, argv);
+  if (cli.help) {
+    PrintHelp();
+    return 0;
+  }
+  auto sync = ParseSync(cli.sync);
+  if (!sync.ok()) {
+    std::fprintf(stderr, "%s\n", sync.status().ToString().c_str());
+    return 1;
+  }
+  const bool undirected = cli.algorithm == "coloring" ||
+                          cli.algorithm == "mis" || cli.algorithm == "lpa" ||
+                          cli.algorithm == "wcc" ||
+                          cli.algorithm == "triangles";
+  auto graph_or = LoadGraph(cli, undirected);
+  if (!graph_or.ok()) {
+    std::fprintf(stderr, "%s\n", graph_or.status().ToString().c_str());
+    return 1;
+  }
+  Graph graph = std::move(graph_or).value();
+  GraphStats stats = ComputeGraphStats(graph, false);
+  std::printf("graph: %lld vertices, %lld directed edges, max degree %lld\n",
+              (long long)stats.num_vertices,
+              (long long)stats.num_directed_edges,
+              (long long)stats.max_degree);
+
+  EngineOptions options;
+  options.sync_mode = *sync;
+  options.model = cli.model == "bsp" ? ComputationModel::kBsp
+                                     : ComputationModel::kAsync;
+  options.num_workers = cli.workers;
+  options.compute_threads_per_worker = cli.threads;
+  options.network.one_way_latency_us = cli.latency_us;
+  std::printf("running %s: model=%s sync=%s workers=%d\n",
+              cli.algorithm.c_str(), ComputationModelName(options.model),
+              SyncModeName(options.sync_mode), options.num_workers);
+
+  if (cli.algorithm == "coloring") {
+    return RunAndReport(graph, cli, options, GreedyColoring(), "");
+  }
+  if (cli.algorithm == "pagerank") {
+    return RunAndReport(graph, cli, options, PageRank(cli.tolerance), "");
+  }
+  if (cli.algorithm == "sssp") {
+    return RunAndReport(graph, cli, options, Sssp(0), "");
+  }
+  if (cli.algorithm == "wcc") {
+    return RunAndReport(graph, cli, options, Wcc(), "");
+  }
+  if (cli.algorithm == "mis") {
+    return RunAndReport(graph, cli, options, MaximalIndependentSet(), "");
+  }
+  if (cli.algorithm == "lpa") {
+    return RunAndReport(graph, cli, options, LabelPropagation(), "");
+  }
+  if (cli.algorithm == "triangles") {
+    return RunAndReport(graph, cli, options, TriangleCount(), "");
+  }
+  std::fprintf(stderr, "unknown algorithm %s (try --help)\n",
+               cli.algorithm.c_str());
+  return 1;
+}

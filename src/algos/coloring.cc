@@ -1,0 +1,48 @@
+#include "algos/coloring.h"
+
+#include <unordered_set>
+
+namespace serigraph {
+
+int64_t SmallestFreeColor(std::span<const int64_t> taken) {
+  // The answer is at most |taken|, so a presence bitmap of that size
+  // suffices.
+  const size_t n = taken.size();
+  std::vector<bool> used(n + 1, false);
+  for (int64_t c : taken) {
+    if (c >= 0 && static_cast<size_t>(c) <= n) used[c] = true;
+  }
+  for (size_t c = 0; c <= n; ++c) {
+    if (!used[c]) return static_cast<int64_t>(c);
+  }
+  return static_cast<int64_t>(n);  // unreachable
+}
+
+bool IsProperColoring(const Graph& graph, std::span<const int64_t> colors) {
+  if (static_cast<VertexId>(colors.size()) != graph.num_vertices()) {
+    return false;
+  }
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (colors[v] < 0) return false;
+    for (VertexId u : graph.OutNeighbors(v)) {
+      if (colors[u] == colors[v]) return false;
+    }
+  }
+  return true;
+}
+
+int64_t CountColors(std::span<const int64_t> colors) {
+  std::unordered_set<int64_t> distinct(colors.begin(), colors.end());
+  distinct.erase(kNoColor);
+  return static_cast<int64_t>(distinct.size());
+}
+
+std::vector<int64_t> RepairColoringColors(
+    std::span<const RepairColoring::State> states) {
+  std::vector<int64_t> colors;
+  colors.reserve(states.size());
+  for (const auto& state : states) colors.push_back(state.color);
+  return colors;
+}
+
+}  // namespace serigraph

@@ -1,0 +1,125 @@
+#ifndef SERIGRAPH_ALGOS_COLORING_H_
+#define SERIGRAPH_ALGOS_COLORING_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace serigraph {
+
+/// Color value meaning "not yet colored".
+inline constexpr int64_t kNoColor = -1;
+
+/// Returns the smallest non-negative color not present in `taken`.
+/// `taken` may contain kNoColor entries and duplicates.
+int64_t SmallestFreeColor(std::span<const int64_t> taken);
+
+/// Greedy graph coloring exactly as the paper's Algorithm 1 (Section
+/// 7.2.1). Correct (conflict-free) only under a serializable execution;
+/// that is the point of the paper. Requires an undirected (symmetric)
+/// input graph.
+///
+/// Superstep 0 initializes every vertex to no-color and leaves it active.
+/// On its next execution a vertex picks the smallest color not used by
+/// any neighbor it has heard from, broadcasts it, and halts. Vertices
+/// woken by extraneous broadcasts (they already have a color) just halt
+/// again — the "three iterations" the paper describes for push-based
+/// Giraph async.
+struct GreedyColoring {
+  using VertexValue = int64_t;  // the color
+  using Message = int64_t;      // a neighbor's chosen color
+
+  VertexValue InitialValue(VertexId, const Graph&) const { return kNoColor; }
+
+  template <typename Ctx>
+  void Compute(Ctx& ctx, std::span<const Message> messages) const {
+    if (ctx.superstep() == 0) {
+      ctx.set_value(kNoColor);
+      return;  // stay active so superstep 1 executes us
+    }
+    if (ctx.value() == kNoColor) {
+      const int64_t color = SmallestFreeColor(messages);
+      ctx.set_value(color);
+      ctx.SendToAllOutNeighbors(color);
+    }
+    ctx.VoteToHalt();
+  }
+};
+
+/// The conflict-repairing coloring variant from the paper's Section 2.1
+/// motivation (Figures 2 and 3): every vertex starts with color 0 and, in
+/// each superstep, re-picks the smallest color that does not conflict
+/// with its latest view of its neighbors, broadcasting on every change.
+/// Under BSP this oscillates forever on even cycles (all vertices flip
+/// 0 <-> 1 in lockstep); under plain AP it can cycle through graph states;
+/// under any serializable technique it terminates.
+///
+/// Unlike Algorithm 1 this variant must remember the last color heard
+/// from each neighbor, so messages carry the sender.
+struct RepairColoring {
+  struct NeighborColor {
+    VertexId sender;
+    int64_t color;
+  };
+  struct State {
+    int64_t color = 0;
+    /// A vertex announces (picks and broadcasts) on its first execution —
+    /// not in superstep 0, which token passing does not guarantee it runs
+    /// in (paper Section 6.5).
+    bool announced = false;
+    /// Latest color heard per neighbor (dense small map).
+    std::vector<NeighborColor> heard;
+  };
+  using VertexValue = State;
+  using Message = NeighborColor;
+
+  VertexValue InitialValue(VertexId, const Graph&) const { return State{}; }
+
+  template <typename Ctx>
+  void Compute(Ctx& ctx, std::span<const Message> messages) const {
+    State state = ctx.value();
+    for (const Message& m : messages) {
+      auto it = std::find_if(
+          state.heard.begin(), state.heard.end(),
+          [&](const NeighborColor& nc) { return nc.sender == m.sender; });
+      if (it == state.heard.end()) {
+        state.heard.push_back(m);
+      } else {
+        it->color = m.color;
+      }
+    }
+    bool conflict = !state.announced;
+    state.announced = true;
+    std::vector<int64_t> taken;
+    taken.reserve(state.heard.size());
+    for (const NeighborColor& nc : state.heard) {
+      taken.push_back(nc.color);
+      if (nc.color == state.color) conflict = true;
+    }
+    if (conflict) {
+      state.color = SmallestFreeColor(taken);
+      ctx.SendToAllOutNeighbors({ctx.id(), state.color});
+    }
+    ctx.set_value(std::move(state));
+    ctx.VoteToHalt();
+  }
+};
+
+/// True if no edge connects two vertices of the same color and every
+/// vertex is colored (>= 0).
+bool IsProperColoring(const Graph& graph, std::span<const int64_t> colors);
+
+/// Number of distinct colors used.
+int64_t CountColors(std::span<const int64_t> colors);
+
+/// Extracts plain colors from RepairColoring states.
+std::vector<int64_t> RepairColoringColors(
+    std::span<const RepairColoring::State> states);
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_ALGOS_COLORING_H_

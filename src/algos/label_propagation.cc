@@ -1,0 +1,31 @@
+#include "algos/label_propagation.h"
+
+namespace serigraph {
+
+std::vector<int64_t> LabelPropagationLabels(
+    std::span<const LabelPropagation::State> states) {
+  std::vector<int64_t> labels;
+  labels.reserve(states.size());
+  for (const auto& state : states) labels.push_back(state.label);
+  return labels;
+}
+
+bool IsLocallyStableLabeling(const Graph& graph,
+                             std::span<const int64_t> labels) {
+  if (static_cast<VertexId>(labels.size()) != graph.num_vertices()) {
+    return false;
+  }
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    auto nbrs = graph.OutNeighbors(v);
+    if (nbrs.empty()) continue;
+    std::vector<LabelPropagation::NeighborLabel> heard;
+    heard.reserve(nbrs.size());
+    for (VertexId u : nbrs) heard.push_back({u, labels[u]});
+    if (LabelPropagation::DominantLabel(heard, labels[v]) != labels[v]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace serigraph

@@ -1,0 +1,99 @@
+#ifndef SERIGRAPH_ALGOS_LABEL_PROPAGATION_H_
+#define SERIGRAPH_ALGOS_LABEL_PROPAGATION_H_
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace serigraph {
+
+/// Community detection by label propagation (Raghavan et al.), in the
+/// class the paper's introduction motivates: parallel label updates on
+/// stale neighbor views cause oscillation or unstable communities (the
+/// classic LPA failure on bipartite structure under synchronous
+/// updates), while serializable execution gives the well-behaved
+/// sequential-update semantics.
+///
+/// Each vertex carries a community label (initially its own id) and the
+/// latest label heard from each neighbor; on execution it adopts the
+/// most frequent neighbor label (smallest label breaks ties), announces
+/// changes, and halts. Requires an undirected graph.
+struct LabelPropagation {
+  struct NeighborLabel {
+    VertexId sender;
+    int64_t label;
+  };
+  struct State {
+    int64_t label = -1;  // -1: not announced yet (see Section 6.5 note)
+    std::vector<NeighborLabel> heard;
+  };
+  using VertexValue = State;
+  using Message = NeighborLabel;
+
+  VertexValue InitialValue(VertexId, const Graph&) const { return State{}; }
+
+  /// Most frequent label in `heard`; smallest wins ties. Own label breaks
+  /// ties in its favor only via smallness (sequential LPA convention).
+  static int64_t DominantLabel(const std::vector<NeighborLabel>& heard,
+                               int64_t own) {
+    if (heard.empty()) return own;
+    std::vector<int64_t> labels;
+    labels.reserve(heard.size());
+    for (const NeighborLabel& nl : heard) labels.push_back(nl.label);
+    std::sort(labels.begin(), labels.end());
+    int64_t best_label = own;
+    size_t best_count = 0;
+    size_t i = 0;
+    while (i < labels.size()) {
+      size_t j = i;
+      while (j < labels.size() && labels[j] == labels[i]) ++j;
+      if (j - i > best_count) {
+        best_count = j - i;
+        best_label = labels[i];
+      }
+      i = j;
+    }
+    return best_label;
+  }
+
+  template <typename Ctx>
+  void Compute(Ctx& ctx, std::span<const Message> messages) const {
+    State state = ctx.value();
+    const bool first = state.label < 0;
+    if (first) state.label = ctx.id();
+    for (const Message& m : messages) {
+      auto it = std::find_if(
+          state.heard.begin(), state.heard.end(),
+          [&](const NeighborLabel& nl) { return nl.sender == m.sender; });
+      if (it == state.heard.end()) {
+        state.heard.push_back(m);
+      } else {
+        it->label = m.label;
+      }
+    }
+    const int64_t next = DominantLabel(state.heard, state.label);
+    if (first || next != state.label) {
+      state.label = next;
+      ctx.SendToAllOutNeighbors({ctx.id(), state.label});
+    }
+    ctx.set_value(std::move(state));
+    ctx.VoteToHalt();
+  }
+};
+
+/// Extracts the plain labels from LabelPropagation states.
+std::vector<int64_t> LabelPropagationLabels(
+    std::span<const LabelPropagation::State> states);
+
+/// A labeling is "locally stable" if every vertex's label is (one of)
+/// the most frequent labels among its neighbors — the fixpoint property
+/// sequential LPA guarantees at termination.
+bool IsLocallyStableLabeling(const Graph& graph,
+                             std::span<const int64_t> labels);
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_ALGOS_LABEL_PROPAGATION_H_

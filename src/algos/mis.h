@@ -1,0 +1,53 @@
+#ifndef SERIGRAPH_ALGOS_MIS_H_
+#define SERIGRAPH_ALGOS_MIS_H_
+
+#include <span>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace serigraph {
+
+/// Maximal independent set by sequential-greedy rule, an additional
+/// algorithm in the class the paper targets: correct only under
+/// serializability. A vertex joins the set iff no already-decided
+/// neighbor is in the set; under 1SR this is exactly the serial greedy
+/// MIS, so the result is independent AND maximal. Under plain BSP/AP,
+/// neighbors can decide concurrently and both join, breaking
+/// independence. Requires an undirected (symmetric) graph.
+struct MaximalIndependentSet {
+  /// 0 = undecided, 1 = in the set, 2 = out of the set.
+  using VertexValue = int64_t;
+  using Message = int64_t;  // sender's decision (1 or 2)
+
+  static constexpr int64_t kUndecided = 0;
+  static constexpr int64_t kIn = 1;
+  static constexpr int64_t kOut = 2;
+
+  VertexValue InitialValue(VertexId, const Graph&) const { return kUndecided; }
+
+  template <typename Ctx>
+  void Compute(Ctx& ctx, std::span<const Message> messages) const {
+    if (ctx.superstep() == 0) return;  // stay active; decide next superstep
+    if (ctx.value() == kUndecided) {
+      bool neighbor_in = false;
+      for (Message m : messages) neighbor_in |= (m == kIn);
+      const int64_t decision = neighbor_in ? kOut : kIn;
+      ctx.set_value(decision);
+      ctx.SendToAllOutNeighbors(decision);
+    }
+    ctx.VoteToHalt();
+  }
+};
+
+/// True if `state` (values of MaximalIndependentSet) is an independent
+/// set: no two adjacent vertices are kIn and nothing is undecided.
+bool IsIndependentSet(const Graph& graph, std::span<const int64_t> state);
+
+/// True if the set is also maximal: every kOut vertex has a kIn neighbor.
+bool IsMaximalIndependentSet(const Graph& graph,
+                             std::span<const int64_t> state);
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_ALGOS_MIS_H_

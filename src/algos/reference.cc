@@ -1,0 +1,120 @@
+// Sequential reference implementations used as test oracles.
+
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <numeric>
+#include <unordered_set>
+
+#include "algos/mis.h"
+#include "algos/pagerank.h"
+#include "algos/sssp.h"
+#include "algos/wcc.h"
+
+namespace serigraph {
+
+std::vector<double> ReferencePageRank(const Graph& graph, double tolerance,
+                                      int max_iterations) {
+  const VertexId n = graph.num_vertices();
+  std::vector<double> rank(n, 1.0);
+  std::vector<double> next(n, 0.0);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), PageRank::kBase);
+    for (VertexId v = 0; v < n; ++v) {
+      const int64_t deg = graph.OutDegree(v);
+      if (deg == 0) continue;
+      const double share = PageRank::kDamping * rank[v] /
+                           static_cast<double>(deg);
+      for (VertexId u : graph.OutNeighbors(v)) next[u] += share;
+    }
+    double delta = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      delta = std::max(delta, std::fabs(next[v] - rank[v]));
+    }
+    rank.swap(next);
+    if (delta < tolerance / 10.0) break;
+  }
+  return rank;
+}
+
+double MaxAbsDifference(std::span<const double> a, std::span<const double> b) {
+  double best = 0.0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    best = std::max(best, std::fabs(a[i] - b[i]));
+  }
+  return best;
+}
+
+std::vector<int64_t> ReferenceSssp(const Graph& graph, VertexId source) {
+  std::vector<int64_t> dist(graph.num_vertices(), kInfiniteDistance);
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop_front();
+    for (VertexId u : graph.OutNeighbors(v)) {
+      if (dist[u] == kInfiniteDistance) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int64_t> ReferenceWcc(const Graph& graph) {
+  const VertexId n = graph.num_vertices();
+  std::vector<int64_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<int64_t(int64_t)> find = [&](int64_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : graph.OutNeighbors(v)) {
+      int64_t a = find(v);
+      int64_t b = find(u);
+      if (a != b) parent[std::max(a, b)] = std::min(a, b);
+    }
+  }
+  std::vector<int64_t> label(n);
+  for (VertexId v = 0; v < n; ++v) label[v] = find(v);
+  return label;
+}
+
+int64_t CountComponents(std::span<const int64_t> labels) {
+  std::unordered_set<int64_t> distinct(labels.begin(), labels.end());
+  return static_cast<int64_t>(distinct.size());
+}
+
+bool IsIndependentSet(const Graph& graph, std::span<const int64_t> state) {
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (state[v] == MaximalIndependentSet::kUndecided) return false;
+    if (state[v] != MaximalIndependentSet::kIn) continue;
+    for (VertexId u : graph.OutNeighbors(v)) {
+      if (state[u] == MaximalIndependentSet::kIn) return false;
+    }
+  }
+  return true;
+}
+
+bool IsMaximalIndependentSet(const Graph& graph,
+                             std::span<const int64_t> state) {
+  if (!IsIndependentSet(graph, state)) return false;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (state[v] != MaximalIndependentSet::kOut) continue;
+    bool has_in_neighbor = false;
+    for (VertexId u : graph.OutNeighbors(v)) {
+      has_in_neighbor |= state[u] == MaximalIndependentSet::kIn;
+    }
+    if (!has_in_neighbor) return false;
+  }
+  return true;
+}
+
+}  // namespace serigraph

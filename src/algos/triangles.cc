@@ -1,0 +1,22 @@
+#include "algos/triangles.h"
+
+namespace serigraph {
+
+int64_t ReferenceTriangleCount(const Graph& graph) {
+  int64_t count = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    auto nv = graph.OutNeighbors(v);
+    for (VertexId u : nv) {
+      if (u <= v) continue;
+      auto nu = graph.OutNeighbors(u);
+      // Count w > u adjacent to both v and u.
+      for (VertexId w : nv) {
+        if (w <= u) continue;
+        if (std::binary_search(nu.begin(), nu.end(), w)) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace serigraph

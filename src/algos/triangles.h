@@ -1,0 +1,94 @@
+#ifndef SERIGRAPH_ALGOS_TRIANGLES_H_
+#define SERIGRAPH_ALGOS_TRIANGLES_H_
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "pregel/message_codec.h"
+
+namespace serigraph {
+
+/// Variable-length message carrying a sorted list of vertex ids; shows
+/// how programs extend the wire format via MessageCodec specialization.
+struct NeighborList {
+  std::vector<VertexId> ids;
+};
+
+template <>
+struct MessageCodec<NeighborList> {
+  static void Encode(BufferWriter& writer, const NeighborList& message) {
+    writer.WriteVarint(message.ids.size());
+    for (VertexId id : message.ids) {
+      writer.WriteVarint(static_cast<uint64_t>(id));
+    }
+  }
+  static bool Decode(BufferReader& reader, NeighborList* message) {
+    uint64_t count;
+    if (!reader.ReadVarint(&count)) return false;
+    message->ids.clear();
+    message->ids.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t id;
+      if (!reader.ReadVarint(&id)) return false;
+      message->ids.push_back(static_cast<VertexId>(id));
+    }
+    return true;
+  }
+};
+
+/// Per-vertex triangle counting on an undirected graph: in its first
+/// round each vertex v sends its higher-id neighbor list {w in N(v) :
+/// w > v} to every neighbor u with v < u; in the second round u counts
+/// the ids w > u that are also its neighbors, attributing each triangle
+/// v < u < w exactly once (to u). The total triangle count is the sum of
+/// vertex values.
+///
+/// Triangle counting does not need serializability; it is here to
+/// exercise the API breadth: multi-phase logic, fan-out of large
+/// variable-length messages, and aggregator use.
+struct TriangleCount {
+  /// -1 encodes "adjacency not broadcast yet"; counting starts at 0
+  /// after the first execution. Keying on first execution instead of
+  /// superstep 0 keeps the program correct under the AP model (where a
+  /// neighbor's list can already arrive in superstep 0) and under token
+  /// passing (where a vertex may first run in a later superstep).
+  using VertexValue = int64_t;
+  using Message = NeighborList;
+
+  VertexValue InitialValue(VertexId, const Graph&) const { return -1; }
+
+  template <typename Ctx>
+  void Compute(Ctx& ctx, std::span<const Message> messages) const {
+    int64_t triangles = ctx.value();
+    if (triangles < 0) {
+      triangles = 0;
+      NeighborList higher;
+      for (VertexId w : ctx.out_neighbors()) {
+        if (w > ctx.id()) higher.ids.push_back(w);
+      }
+      for (VertexId u : higher.ids) ctx.SendTo(u, higher);
+    }
+    auto my_neighbors = ctx.out_neighbors();
+    for (const Message& m : messages) {
+      for (VertexId w : m.ids) {
+        if (w <= ctx.id()) continue;
+        if (std::binary_search(my_neighbors.begin(), my_neighbors.end(),
+                               w)) {
+          ++triangles;
+        }
+      }
+    }
+    ctx.set_value(triangles);
+    ctx.VoteToHalt();
+  }
+};
+
+/// Brute-force reference count of triangles in an undirected graph.
+int64_t ReferenceTriangleCount(const Graph& graph);
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_ALGOS_TRIANGLES_H_

@@ -1,0 +1,93 @@
+#ifndef SERIGRAPH_COMMON_LOGGING_H_
+#define SERIGRAPH_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace serigraph {
+
+/// Severity for log records. kFatal aborts the process after logging.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the minimum level that is actually emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log record; emits on destruction. Not for direct use —
+/// use the SG_LOG / SG_CHECK macros below.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed values when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define SG_LOG(level)                                                     \
+  ::serigraph::internal_logging::LogMessage(::serigraph::LogLevel::level, \
+                                            __FILE__, __LINE__)           \
+      .stream()
+
+/// Fatal if `cond` is false; always evaluated, in all build modes.
+#define SG_CHECK(cond)                                       \
+  (cond) ? (void)0                                           \
+         : (void)(SG_LOG(kFatal) << "Check failed: " #cond " ")
+
+#define SG_CHECK_OP(a, b, op)                                              \
+  ((a)op(b)) ? (void)0                                                     \
+             : (void)(SG_LOG(kFatal) << "Check failed: " #a " " #op " " #b \
+                                     << " (" << (a) << " vs " << (b) << ") ")
+
+#define SG_CHECK_EQ(a, b) SG_CHECK_OP(a, b, ==)
+#define SG_CHECK_NE(a, b) SG_CHECK_OP(a, b, !=)
+#define SG_CHECK_LT(a, b) SG_CHECK_OP(a, b, <)
+#define SG_CHECK_LE(a, b) SG_CHECK_OP(a, b, <=)
+#define SG_CHECK_GT(a, b) SG_CHECK_OP(a, b, >)
+#define SG_CHECK_GE(a, b) SG_CHECK_OP(a, b, >=)
+
+/// Fatal if `status_expr` is not OK.
+#define SG_CHECK_OK(status_expr)                                    \
+  do {                                                              \
+    ::serigraph::Status _st = (status_expr);                        \
+    if (!_st.ok()) SG_LOG(kFatal) << "Status not OK: " << _st;      \
+  } while (0)
+
+#ifdef NDEBUG
+#define SG_DCHECK(cond) \
+  while (false) SG_CHECK(cond)
+#else
+#define SG_DCHECK(cond) SG_CHECK(cond)
+#endif
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_COMMON_LOGGING_H_

@@ -1,0 +1,82 @@
+#include "common/metrics.h"
+
+#include <bit>
+#include <memory>
+
+namespace serigraph {
+
+namespace {
+
+int BucketFor(int64_t sample) {
+  if (sample <= 0) return 0;
+  int b = 64 - std::countl_zero(static_cast<uint64_t>(sample));
+  return b < Histogram::kNumBuckets ? b : Histogram::kNumBuckets - 1;
+}
+
+}  // namespace
+
+Histogram::Histogram() { Reset(); }
+
+void Histogram::Record(int64_t sample) {
+  buckets_[BucketFor(sample)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+}
+
+double Histogram::Mean() const {
+  int64_t c = count();
+  return c == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(c);
+}
+
+int64_t Histogram::ApproxQuantile(double q) const {
+  int64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  int64_t target = static_cast<int64_t>(q * static_cast<double>(total - 1));
+  int64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen > target) {
+      // Upper bound of bucket b: 2^b - 1 (bucket 0 holds <=0 samples).
+      return b == 0 ? 0 : (int64_t{1} << b) - 1;
+    }
+  }
+  return int64_t{1} << (kNumBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+MaxGauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<MaxGauge>();
+  return slot.get();
+}
+
+std::map<std::string, int64_t> MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, counter] : counters_) out[name] = counter->value();
+  for (const auto& [name, gauge] : gauges_) out[name] = gauge->max();
+  return out;
+}
+
+void MetricRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+}
+
+}  // namespace serigraph

@@ -1,0 +1,102 @@
+#ifndef SERIGRAPH_COMMON_METRICS_H_
+#define SERIGRAPH_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace serigraph {
+
+/// Thread-safe monotonically increasing counter.
+class Counter {
+ public:
+  Counter() : value_(0) {}
+
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_;
+};
+
+/// Thread-safe gauge that also tracks the maximum value ever observed.
+/// Used e.g. for the "concurrent executing workers" parallelism index.
+class MaxGauge {
+ public:
+  MaxGauge() : value_(0), max_(0) {}
+
+  /// Adjusts the gauge by `delta` and folds the new value into the max.
+  void Add(int64_t delta) {
+    int64_t now = value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    int64_t prev = max_.load(std::memory_order_relaxed);
+    while (now > prev &&
+           !max_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  void Reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> value_;
+  std::atomic<int64_t> max_;
+};
+
+/// Fixed-bucket log2 histogram of non-negative samples (thread-safe).
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 48;
+
+  Histogram();
+
+  void Record(int64_t sample);
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  /// Approximate quantile (q in [0,1]) from bucket boundaries.
+  int64_t ApproxQuantile(double q) const;
+  void Reset();
+
+ private:
+  std::atomic<int64_t> buckets_[kNumBuckets];
+  std::atomic<int64_t> count_;
+  std::atomic<int64_t> sum_;
+};
+
+/// Named registry of counters for a single engine run. Components hold
+/// pointers to counters they update; the harness snapshots and prints them.
+/// Counter pointers remain valid for the registry's lifetime.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Returns the counter registered under `name`, creating it on first use.
+  Counter* GetCounter(const std::string& name);
+  /// Returns the max-gauge registered under `name`, creating it on first use.
+  MaxGauge* GetGauge(const std::string& name);
+
+  /// Snapshot of all counter values (gauges report their max).
+  std::map<std::string, int64_t> Snapshot() const;
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<MaxGauge>> gauges_;
+};
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_COMMON_METRICS_H_

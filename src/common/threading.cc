@@ -1,0 +1,93 @@
+#include "common/threading.h"
+
+#include "common/logging.h"
+
+namespace serigraph {
+
+CyclicBarrier::CyclicBarrier(int parties) : parties_(parties) {
+  SG_CHECK_GT(parties, 0);
+}
+
+bool CyclicBarrier::Await() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t gen = generation_;
+  if (++waiting_ == parties_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return true;
+  }
+  cv_.wait(lock, [&] { return generation_ != gen; });
+  return false;
+}
+
+void CountDownLatch::CountDown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ > 0 && --count_ == 0) cv_.notify_all();
+}
+
+void CountDownLatch::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return count_ == 0; });
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  SG_CHECK_GT(num_threads, 0);
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SG_CHECK(!shutdown_);
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace serigraph

@@ -1,0 +1,89 @@
+#ifndef SERIGRAPH_COMMON_THREADING_H_
+#define SERIGRAPH_COMMON_THREADING_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace serigraph {
+
+/// Reusable cyclic barrier for a fixed party count. Equivalent to
+/// std::barrier but with a dynamic count known only at run time and no
+/// completion function; used for superstep global barriers.
+class CyclicBarrier {
+ public:
+  explicit CyclicBarrier(int parties);
+
+  CyclicBarrier(const CyclicBarrier&) = delete;
+  CyclicBarrier& operator=(const CyclicBarrier&) = delete;
+
+  /// Blocks until all parties arrive. Returns true for exactly one caller
+  /// per generation (the "serial" party), which may run phase-global work
+  /// guarded by a subsequent Await().
+  bool Await();
+
+  int parties() const { return parties_; }
+
+ private:
+  const int parties_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int waiting_ = 0;
+  uint64_t generation_ = 0;
+};
+
+/// One-shot latch: Wait() blocks until CountDown() has been called `count`
+/// times.
+class CountDownLatch {
+ public:
+  explicit CountDownLatch(int count) : count_(count) {}
+
+  void CountDown();
+  void Wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_;
+};
+
+/// Fixed-size pool of worker threads consuming a FIFO task queue.
+/// Shutdown drains outstanding tasks before joining.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`; must not be called after Shutdown().
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all in-flight tasks finished.
+  void WaitIdle();
+
+  /// Stops accepting work, drains the queue, joins all threads. Idempotent.
+  void Shutdown();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_COMMON_THREADING_H_

@@ -1,0 +1,34 @@
+#ifndef SERIGRAPH_COMMON_TIMER_H_
+#define SERIGRAPH_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace serigraph {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_COMMON_TIMER_H_

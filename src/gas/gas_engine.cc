@@ -1,0 +1,17 @@
+#include "gas/gas_engine.h"
+
+namespace serigraph {
+
+const char* GasModeName(GasMode mode) {
+  switch (mode) {
+    case GasMode::kSync:
+      return "sync-GAS";
+    case GasMode::kAsync:
+      return "async-GAS";
+    case GasMode::kAsyncSerializable:
+      return "async-GAS+serializable";
+  }
+  return "?";
+}
+
+}  // namespace serigraph

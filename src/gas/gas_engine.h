@@ -1,0 +1,297 @@
+#ifndef SERIGRAPH_GAS_GAS_ENGINE_H_
+#define SERIGRAPH_GAS_GAS_ENGINE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace serigraph {
+
+/// Execution modes of the GAS engine (paper Section 2.3).
+enum class GasMode {
+  /// Sync GAS: supersteps with global barriers; apply/scatter effects are
+  /// visible only to the next superstep's gather (like BSP).
+  kSync = 0,
+  /// Async GAS as in GraphLab async *without* serializability: each of
+  /// the gather/apply/scatter phases locks the neighborhood individually,
+  /// so phases of neighboring vertex computations can interleave — the
+  /// source of the livelock the paper describes for graph coloring.
+  kAsync = 1,
+  /// Async GAS *with* serializability: the neighborhood lock is held
+  /// across all three phases (the effect of vertex-based distributed
+  /// locking over the whole GAS computation), so no two neighbors
+  /// execute concurrently.
+  kAsyncSerializable = 2,
+};
+
+const char* GasModeName(GasMode mode);
+
+struct GasOptions {
+  GasMode mode = GasMode::kAsyncSerializable;
+  /// Worker threads for the async modes ("fibers" stand-in).
+  int num_threads = 4;
+  /// Sync mode: superstep cap. Async modes: cap on total vertex updates —
+  /// the livelock bound that makes non-terminating executions observable.
+  int64_t max_supersteps = 1000;
+  int64_t max_updates = 1000000;
+};
+
+template <typename V>
+struct GasResult {
+  std::vector<V> values;
+  int64_t updates = 0;    ///< vertex computations executed
+  int supersteps = 0;     ///< sync mode only
+  bool converged = false; ///< no active vertices remained
+};
+
+/// Pull-based Gather-Apply-Scatter engine over a shared-memory graph,
+/// our stand-in for GraphLab (see DESIGN.md substitutions: the
+/// distributed costs of vertex-based locking are measured in the Pregel
+/// engine; this engine reproduces the GAS *semantics*, in particular the
+/// difference between interleaved and serializable async execution).
+///
+/// A Program supplies:
+///   using VertexValue = ...;
+///   using Gather = ...;                      // accumulator
+///   VertexValue InitialValue(VertexId v, const Graph& g) const;
+///   Gather GatherInit() const;
+///   Gather GatherEdge(Gather acc, VertexId v, VertexId neighbor,
+///                     const VertexValue& neighbor_value) const;
+///   // Returns the new value; sets *activate_neighbors if scatter should
+///   // re-activate the in/out neighborhood.
+///   VertexValue Apply(VertexId v, const VertexValue& old,
+///                     const Gather& acc, bool* activate_neighbors) const;
+template <typename Program>
+class GasEngine {
+ public:
+  using VertexValue = typename Program::VertexValue;
+  using Gather = typename Program::Gather;
+
+  GasEngine(const Graph* graph, GasOptions options)
+      : graph_(graph), options_(options) {
+    SG_CHECK(graph_ != nullptr);
+  }
+
+  StatusOr<GasResult<VertexValue>> Run(const Program& program) {
+    const VertexId n = graph_->num_vertices();
+    values_.resize(n);
+    for (VertexId v = 0; v < n; ++v) {
+      values_[v] = program.InitialValue(v, *graph_);
+    }
+    GasResult<VertexValue> result;
+    switch (options_.mode) {
+      case GasMode::kSync:
+        RunSync(program, &result);
+        break;
+      case GasMode::kAsync:
+      case GasMode::kAsyncSerializable:
+        RunAsync(program, &result);
+        break;
+    }
+    result.values = std::move(values_);
+    return result;
+  }
+
+ private:
+  // --- sync GAS ----------------------------------------------------------
+
+  void RunSync(const Program& program, GasResult<VertexValue>* result) {
+    const VertexId n = graph_->num_vertices();
+    std::vector<uint8_t> active(n, 1);
+    std::vector<uint8_t> next_active(n, 0);
+    std::vector<VertexValue> next_values(n);
+    int64_t updates = 0;
+    int superstep = 0;
+    for (; superstep < options_.max_supersteps; ++superstep) {
+      bool any = false;
+      next_values = values_;
+      for (VertexId v = 0; v < n; ++v) {
+        if (!active[v]) continue;
+        any = true;
+        ++updates;
+        Gather acc = program.GatherInit();
+        for (VertexId u : graph_->InNeighbors(v)) {
+          acc = program.GatherEdge(std::move(acc), v, u, values_[u]);
+        }
+        bool activate = false;
+        next_values[v] = program.Apply(v, values_[v], acc, &activate);
+        if (activate) {
+          for (VertexId u : graph_->OutNeighbors(v)) next_active[u] = 1;
+          for (VertexId u : graph_->InNeighbors(v)) next_active[u] = 1;
+        }
+      }
+      if (!any) break;
+      values_.swap(next_values);
+      active.swap(next_active);
+      std::fill(next_active.begin(), next_active.end(), 0);
+    }
+    result->updates = updates;
+    result->supersteps = superstep;
+    result->converged = superstep < options_.max_supersteps;
+  }
+
+  // --- async GAS ----------------------------------------------------------
+
+  /// Neighborhood of v (v plus in/out neighbors), sorted and deduplicated;
+  /// lock acquisition in id order prevents deadlock.
+  std::vector<VertexId> Neighborhood(VertexId v) const {
+    auto out = graph_->OutNeighbors(v);
+    auto in = graph_->InNeighbors(v);
+    std::vector<VertexId> hood;
+    hood.reserve(out.size() + in.size() + 1);
+    hood.push_back(v);
+    hood.insert(hood.end(), out.begin(), out.end());
+    hood.insert(hood.end(), in.begin(), in.end());
+    std::sort(hood.begin(), hood.end());
+    hood.erase(std::unique(hood.begin(), hood.end()), hood.end());
+    return hood;
+  }
+
+  void LockHood(const std::vector<VertexId>& hood) {
+    for (VertexId u : hood) locks_[u].lock();
+  }
+  void UnlockHood(const std::vector<VertexId>& hood) {
+    for (auto it = hood.rbegin(); it != hood.rend(); ++it) {
+      locks_[*it].unlock();
+    }
+  }
+
+  /// Pops the next active vertex, blocking; returns kInvalidVertex when
+  /// the computation is finished (queue drained, nothing running) or the
+  /// update budget is exhausted.
+  VertexId PopTask() {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    for (;;) {
+      if (stopped_) return kInvalidVertex;
+      if (!queue_.empty()) {
+        VertexId v = queue_.front();
+        queue_.pop_front();
+        queued_[v] = 0;
+        ++running_;
+        return v;
+      }
+      if (running_ == 0) {
+        stopped_ = true;
+        queue_cv_.notify_all();
+        return kInvalidVertex;
+      }
+      queue_cv_.wait(lock);
+    }
+  }
+
+  void PushTask(VertexId v) {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopped_ || queued_[v]) return;
+    queued_[v] = 1;
+    queue_.push_back(v);
+    queue_cv_.notify_one();
+  }
+
+  void TaskDone() {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    --running_;
+    if (queue_.empty() && running_ == 0) {
+      stopped_ = true;
+      queue_cv_.notify_all();
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+
+  void RunAsync(const Program& program, GasResult<VertexValue>* result) {
+    const VertexId n = graph_->num_vertices();
+    locks_ = std::vector<std::mutex>(n);
+    queued_.assign(n, 0);
+    queue_.clear();
+    stopped_ = false;
+    running_ = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      queued_[v] = 1;
+      queue_.push_back(v);
+    }
+    std::atomic<int64_t> updates{0};
+    const bool serializable = options_.mode == GasMode::kAsyncSerializable;
+
+    auto worker = [&] {
+      for (;;) {
+        VertexId v = PopTask();
+        if (v == kInvalidVertex) return;
+        if (updates.fetch_add(1, std::memory_order_relaxed) >=
+            options_.max_updates) {
+          // Livelock bound hit: stop everything (non-converged).
+          std::lock_guard<std::mutex> lock(queue_mu_);
+          stopped_ = true;
+          queue_cv_.notify_all();
+          return;
+        }
+        const std::vector<VertexId> hood = Neighborhood(v);
+
+        bool activate = false;
+        if (serializable) {
+          // One critical section across all three phases: no neighboring
+          // computation can interleave (condition C2).
+          LockHood(hood);
+          Gather acc = program.GatherInit();
+          for (VertexId u : graph_->InNeighbors(v)) {
+            acc = program.GatherEdge(std::move(acc), v, u, values_[u]);
+          }
+          values_[v] = program.Apply(v, values_[v], acc, &activate);
+          UnlockHood(hood);
+        } else {
+          // Per-phase locking only (GraphLab async without
+          // serializability): neighbors can gather stale values while we
+          // are between phases.
+          LockHood(hood);
+          Gather acc = program.GatherInit();
+          for (VertexId u : graph_->InNeighbors(v)) {
+            acc = program.GatherEdge(std::move(acc), v, u, values_[u]);
+          }
+          UnlockHood(hood);
+          std::this_thread::yield();  // widen the interleaving window
+          LockHood(hood);
+          values_[v] = program.Apply(v, values_[v], acc, &activate);
+          UnlockHood(hood);
+        }
+        if (activate) {
+          for (VertexId u : graph_->OutNeighbors(v)) PushTask(u);
+          for (VertexId u : graph_->InNeighbors(v)) PushTask(u);
+        }
+        TaskDone();
+      }
+    };
+
+    std::vector<std::thread> threads;
+    const int num_threads = std::max(1, options_.num_threads);
+    threads.reserve(num_threads);
+    for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+
+    result->updates = updates.load();
+    result->converged = result->updates < options_.max_updates;
+  }
+
+  const Graph* graph_;
+  GasOptions options_;
+  std::vector<VertexValue> values_;
+
+  std::vector<std::mutex> locks_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<VertexId> queue_;
+  std::vector<uint8_t> queued_;
+  int64_t running_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_GAS_GAS_ENGINE_H_

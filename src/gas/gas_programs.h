@@ -1,0 +1,79 @@
+#ifndef SERIGRAPH_GAS_GAS_PROGRAMS_H_
+#define SERIGRAPH_GAS_GAS_PROGRAMS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "algos/coloring.h"
+#include "graph/graph.h"
+
+namespace serigraph {
+
+/// Greedy coloring in the GAS model (paper Section 2.3 / 7.2.1): gather
+/// pulls neighbor colors, apply picks the smallest non-conflicting one,
+/// scatter re-activates the neighborhood when the color changed. Under
+/// async GAS without serializability this can livelock; with
+/// serializability it terminates — GraphLab's pull-based variant finishes
+/// in a single pass over the vertices.
+struct GasColoring {
+  using VertexValue = int64_t;
+  using Gather = std::vector<int64_t>;
+
+  VertexValue InitialValue(VertexId, const Graph&) const { return kNoColor; }
+
+  Gather GatherInit() const { return {}; }
+
+  Gather GatherEdge(Gather acc, VertexId, VertexId,
+                    const VertexValue& neighbor_value) const {
+    acc.push_back(neighbor_value);
+    return acc;
+  }
+
+  VertexValue Apply(VertexId, const VertexValue& old, const Gather& acc,
+                    bool* activate_neighbors) const {
+    bool conflict = old == kNoColor;
+    for (int64_t c : acc) conflict |= (c == old);
+    if (!conflict) {
+      *activate_neighbors = false;
+      return old;
+    }
+    const int64_t color = SmallestFreeColor(acc);
+    *activate_neighbors = color != old;
+    return color;
+  }
+};
+
+/// PageRank in the GAS model: gather sums in-neighbor rank shares, apply
+/// damps, scatter re-activates while the rank still moves.
+struct GasPageRank {
+  using VertexValue = double;
+  using Gather = double;
+
+  explicit GasPageRank(const Graph* graph, double tolerance)
+      : graph(graph), tolerance(tolerance) {}
+
+  const Graph* graph;
+  double tolerance;
+
+  VertexValue InitialValue(VertexId, const Graph&) const { return 1.0; }
+
+  Gather GatherInit() const { return 0.0; }
+
+  Gather GatherEdge(Gather acc, VertexId, VertexId neighbor,
+                    const VertexValue& neighbor_value) const {
+    const int64_t deg = graph->OutDegree(neighbor);
+    return deg > 0 ? acc + neighbor_value / static_cast<double>(deg) : acc;
+  }
+
+  VertexValue Apply(VertexId, const VertexValue& old, const Gather& acc,
+                    bool* activate_neighbors) const {
+    const double next = 0.15 + 0.85 * acc;
+    *activate_neighbors = std::fabs(next - old) > tolerance;
+    return next;
+  }
+};
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_GAS_GAS_PROGRAMS_H_

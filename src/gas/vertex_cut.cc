@@ -1,0 +1,144 @@
+#include "gas/vertex_cut.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace serigraph {
+
+VertexCut VertexCut::Random(const Graph& graph, int num_workers,
+                            uint64_t seed) {
+  SG_CHECK_GT(num_workers, 0);
+  VertexCut cut;
+  cut.num_workers_ = num_workers;
+  cut.edge_worker_.resize(graph.num_edges());
+  int64_t index = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (VertexId u : graph.OutNeighbors(v)) {
+      uint64_t h = (static_cast<uint64_t>(v) << 32) ^
+                   static_cast<uint64_t>(u) ^ seed;
+      cut.edge_worker_[index++] =
+          static_cast<WorkerId>(SplitMix64(&h) % num_workers);
+    }
+  }
+  cut.BuildReplicas(graph);
+  return cut;
+}
+
+VertexCut VertexCut::Greedy(const Graph& graph, int num_workers) {
+  SG_CHECK_GT(num_workers, 0);
+  VertexCut cut;
+  cut.num_workers_ = num_workers;
+  cut.edge_worker_.resize(graph.num_edges());
+
+  // Replica sets as bitmasks (workers <= 64 is plenty here).
+  SG_CHECK_LE(num_workers, 64);
+  std::vector<uint64_t> where(graph.num_vertices(), 0);
+  std::vector<int64_t> load(num_workers, 0);
+  const uint64_t all_workers = num_workers == 64
+                                   ? ~uint64_t{0}
+                                   : (uint64_t{1} << num_workers) - 1;
+  // Balance constraint (as in PowerGraph's greedy heuristic): without a
+  // capacity bound the locality preference funnels every edge of a
+  // connected graph onto one worker.
+  const int64_t capacity = static_cast<int64_t>(
+      1.1 * static_cast<double>(graph.num_edges()) /
+          static_cast<double>(num_workers) +
+      1.0);
+
+  auto least_loaded = [&](uint64_t candidates) {
+    WorkerId best = kInvalidWorker;
+    for (WorkerId w = 0; w < num_workers; ++w) {
+      if ((candidates & (uint64_t{1} << w)) == 0) continue;
+      if (best == kInvalidWorker || load[w] < load[best]) best = w;
+    }
+    return best;
+  };
+  auto under_capacity = [&]() {
+    uint64_t mask = 0;
+    for (WorkerId w = 0; w < num_workers; ++w) {
+      if (load[w] < capacity) mask |= uint64_t{1} << w;
+    }
+    return mask == 0 ? all_workers : mask;
+  };
+
+  int64_t index = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (VertexId u : graph.OutNeighbors(v)) {
+      const uint64_t open = under_capacity();
+      const uint64_t both = where[v] & where[u] & open;
+      const uint64_t either = (where[v] | where[u]) & open;
+      WorkerId w;
+      if (both != 0) {
+        w = least_loaded(both);
+      } else if (either != 0) {
+        w = least_loaded(either);
+      } else {
+        w = least_loaded(open);
+      }
+      cut.edge_worker_[index++] = w;
+      where[v] |= uint64_t{1} << w;
+      where[u] |= uint64_t{1} << w;
+      ++load[w];
+    }
+  }
+  cut.BuildReplicas(graph);
+  return cut;
+}
+
+void VertexCut::BuildReplicas(const Graph& graph) {
+  replicas_.assign(graph.num_vertices(), {});
+  master_.assign(graph.num_vertices(), 0);
+  std::vector<std::vector<int64_t>> edges_on(graph.num_vertices());
+  for (auto& counts : edges_on) counts.assign(num_workers_, 0);
+
+  int64_t index = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (VertexId u : graph.OutNeighbors(v)) {
+      const WorkerId w = edge_worker_[index++];
+      ++edges_on[v][w];
+      ++edges_on[u][w];
+    }
+  }
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    WorkerId best = 0;
+    for (WorkerId w = 0; w < num_workers_; ++w) {
+      if (edges_on[v][w] > 0) replicas_[v].push_back(w);
+      if (edges_on[v][w] > edges_on[v][best]) best = w;
+    }
+    if (replicas_[v].empty()) {
+      // Isolated vertex: hash-assign a master.
+      uint64_t h = static_cast<uint64_t>(v);
+      best = static_cast<WorkerId>(SplitMix64(&h) % num_workers_);
+    }
+    master_[v] = best;
+  }
+}
+
+double VertexCut::ReplicationFactor() const {
+  if (replicas_.empty()) return 0.0;
+  int64_t total = 0;
+  int64_t counted = 0;
+  for (const auto& reps : replicas_) {
+    if (reps.empty()) continue;  // isolated vertices are not replicated
+    total += static_cast<int64_t>(reps.size());
+    ++counted;
+  }
+  return counted == 0 ? 0.0
+                      : static_cast<double>(total) /
+                            static_cast<double>(counted);
+}
+
+double VertexCut::EdgeImbalance() const {
+  if (edge_worker_.empty()) return 1.0;
+  std::vector<int64_t> load(num_workers_, 0);
+  for (WorkerId w : edge_worker_) ++load[w];
+  const int64_t max_load = *std::max_element(load.begin(), load.end());
+  const double mean = static_cast<double>(edge_worker_.size()) /
+                      static_cast<double>(num_workers_);
+  return static_cast<double>(max_load) / mean;
+}
+
+}  // namespace serigraph

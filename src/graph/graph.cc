@@ -1,0 +1,123 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+
+namespace serigraph {
+
+namespace {
+
+/// Sorts and dedups `edges`, dropping self loops.
+std::vector<Edge> Canonicalize(std::vector<Edge> edges) {
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [](const Edge& e) { return e.src == e.dst; }),
+              edges.end());
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+}  // namespace
+
+StatusOr<Graph> Graph::FromEdgeList(const EdgeList& edge_list) {
+  const VertexId n = edge_list.num_vertices;
+  if (n < 0) {
+    return Status::InvalidArgument("negative vertex count");
+  }
+  for (const Edge& e : edge_list.edges) {
+    if (e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n) {
+      return Status::InvalidArgument(
+          "edge endpoint out of range: (" + std::to_string(e.src) + "," +
+          std::to_string(e.dst) + ") with n=" + std::to_string(n));
+    }
+  }
+  std::vector<Edge> edges = Canonicalize(edge_list.edges);
+
+  Graph g;
+  g.num_vertices_ = n;
+  g.out_offsets_.assign(n + 1, 0);
+  g.in_offsets_.assign(n + 1, 0);
+  for (const Edge& e : edges) {
+    ++g.out_offsets_[e.src + 1];
+    ++g.in_offsets_[e.dst + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  g.out_targets_.resize(edges.size());
+  g.in_sources_.resize(edges.size());
+  std::vector<int64_t> out_cursor(g.out_offsets_.begin(),
+                                  g.out_offsets_.end() - 1);
+  std::vector<int64_t> in_cursor(g.in_offsets_.begin(),
+                                 g.in_offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    g.out_targets_[out_cursor[e.src]++] = e.dst;
+    g.in_sources_[in_cursor[e.dst]++] = e.src;
+  }
+  return g;
+}
+
+Graph Graph::Undirected() const {
+  EdgeList el;
+  el.num_vertices = num_vertices_;
+  el.edges.reserve(out_targets_.size() * 2);
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    for (VertexId u : OutNeighbors(v)) {
+      el.edges.push_back({v, u});
+      el.edges.push_back({u, v});
+    }
+  }
+  StatusOr<Graph> g = FromEdgeList(el);
+  SG_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+Graph Graph::Clone() const {
+  Graph g;
+  g.num_vertices_ = num_vertices_;
+  g.out_offsets_ = out_offsets_;
+  g.out_targets_ = out_targets_;
+  g.in_offsets_ = in_offsets_;
+  g.in_sources_ = in_sources_;
+  return g;
+}
+
+int64_t Graph::MaxTotalDegree() const {
+  int64_t best = 0;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    best = std::max(best, OutDegree(v) + InDegree(v));
+  }
+  return best;
+}
+
+int64_t Graph::MaxOutDegree() const {
+  int64_t best = 0;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    best = std::max(best, OutDegree(v));
+  }
+  return best;
+}
+
+bool Graph::IsSymmetric() const {
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    for (VertexId u : OutNeighbors(v)) {
+      auto nbrs = OutNeighbors(u);
+      if (!std::binary_search(nbrs.begin(), nbrs.end(), v)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Edge> Graph::ToEdges() const {
+  std::vector<Edge> edges;
+  edges.reserve(out_targets_.size());
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    for (VertexId u : OutNeighbors(v)) edges.push_back({v, u});
+  }
+  return edges;
+}
+
+}  // namespace serigraph

@@ -1,0 +1,54 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace serigraph {
+
+StatusOr<EdgeList> LoadEdgeListText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  EdgeList el;
+  VertexId max_id = -1;
+  std::string line;
+  int64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    VertexId src, dst;
+    if (!(ls >> src >> dst)) {
+      return Status::IoError(path + ":" + std::to_string(lineno) +
+                             ": malformed edge line");
+    }
+    if (src < 0 || dst < 0) {
+      return Status::IoError(path + ":" + std::to_string(lineno) +
+                             ": negative vertex id");
+    }
+    el.edges.push_back({src, dst});
+    max_id = std::max(max_id, std::max(src, dst));
+  }
+  el.num_vertices = max_id + 1;
+  return el;
+}
+
+Status SaveEdgeListText(const EdgeList& edge_list, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  out << "# serigraph edge list: " << edge_list.num_vertices << " vertices, "
+      << edge_list.edges.size() << " edges\n";
+  for (const Edge& e : edge_list.edges) {
+    out << e.src << ' ' << e.dst << '\n';
+  }
+  if (!out) {
+    return Status::IoError("write failed for " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace serigraph

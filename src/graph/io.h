@@ -1,0 +1,22 @@
+#ifndef SERIGRAPH_GRAPH_IO_H_
+#define SERIGRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/types.h"
+
+namespace serigraph {
+
+/// Loads a whitespace-separated "src dst" edge list. Lines starting with
+/// '#' or '%' are comments. Vertex ids may be sparse; they are used as-is
+/// and num_vertices is max id + 1. This matches the SNAP text format the
+/// paper's datasets are distributed in.
+StatusOr<EdgeList> LoadEdgeListText(const std::string& path);
+
+/// Writes an edge list in the same format (one "src dst" pair per line).
+Status SaveEdgeListText(const EdgeList& edge_list, const std::string& path);
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_GRAPH_IO_H_

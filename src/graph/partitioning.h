@@ -1,0 +1,135 @@
+#ifndef SERIGRAPH_GRAPH_PARTITIONING_H_
+#define SERIGRAPH_GRAPH_PARTITIONING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace serigraph {
+
+/// Edge-cut assignment of vertices to partitions and partitions to worker
+/// machines, mirroring Giraph: each vertex lives on exactly one partition,
+/// each partition on exactly one worker, and an edge may span workers
+/// (paper Section 2.1).
+class Partitioning {
+ public:
+  /// An empty partitioning (no vertices, no workers); assign a real one
+  /// from the factory functions below before use.
+  Partitioning() = default;
+
+  /// Random hash partitioning (the paper's setup, Section 7.1): vertex v
+  /// maps to partition hash(v) % P with P = num_workers *
+  /// partitions_per_worker; partition p maps to worker p % num_workers
+  /// (round-robin). `seed` perturbs the hash so distinct placements can be
+  /// generated for the same graph.
+  static Partitioning Hash(VertexId num_vertices, int num_workers,
+                           int partitions_per_worker, uint64_t seed = 0);
+
+  /// Contiguous ranges of vertices per partition; useful in tests where a
+  /// specific layout is required (e.g. the paper's Figure 4/5 example).
+  static Partitioning Contiguous(VertexId num_vertices, int num_workers,
+                                 int partitions_per_worker);
+
+  /// Fully explicit assignment. `vertex_to_partition[v]` in
+  /// [0, partition_to_worker.size()); `partition_to_worker[p]` must cover
+  /// workers [0, max+1) densely.
+  static StatusOr<Partitioning> FromAssignment(
+      std::vector<PartitionId> vertex_to_partition,
+      std::vector<WorkerId> partition_to_worker);
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(vertex_to_partition_.size());
+  }
+  int num_partitions() const {
+    return static_cast<int>(partition_to_worker_.size());
+  }
+  int num_workers() const { return num_workers_; }
+
+  PartitionId PartitionOf(VertexId v) const { return vertex_to_partition_[v]; }
+  WorkerId WorkerOfPartition(PartitionId p) const {
+    return partition_to_worker_[p];
+  }
+  WorkerId WorkerOf(VertexId v) const {
+    return WorkerOfPartition(PartitionOf(v));
+  }
+
+  const std::vector<PartitionId>& PartitionsOfWorker(WorkerId w) const {
+    return worker_partitions_[w];
+  }
+  const std::vector<VertexId>& VerticesOfPartition(PartitionId p) const {
+    return partition_vertices_[p];
+  }
+
+ private:
+  void BuildIndexes();
+
+  int num_workers_ = 0;
+  std::vector<PartitionId> vertex_to_partition_;
+  std::vector<WorkerId> partition_to_worker_;
+  std::vector<std::vector<PartitionId>> worker_partitions_;
+  std::vector<std::vector<VertexId>> partition_vertices_;
+};
+
+/// Fine-grained vertex categories from Section 5.3 (dual-layer token
+/// passing). The coarser Definition 1 / Definition 4 categories derive
+/// from these:
+///   m-internal  = kPInternal | kLocalBoundary
+///   m-boundary  = kRemoteBoundary | kMixedBoundary
+///   p-internal  = kPInternal
+///   p-boundary  = everything else
+enum class VertexLocality : uint8_t {
+  kPInternal = 0,      ///< all neighbors in the same partition
+  kLocalBoundary = 1,  ///< neighbors off-partition but all on this worker
+  kRemoteBoundary = 2, ///< off-worker neighbors only (no same-worker,
+                       ///< different-partition neighbors)
+  kMixedBoundary = 3,  ///< both same-worker and off-worker neighbors
+};
+
+const char* VertexLocalityName(VertexLocality locality);
+
+/// Per-vertex boundary classification for a (graph, partitioning) pair.
+/// "Neighbor" means in-edge or out-edge neighbor (paper Section 3.1).
+class BoundaryInfo {
+ public:
+  BoundaryInfo(const Graph& graph, const Partitioning& partitioning);
+
+  VertexLocality LocalityOf(VertexId v) const { return locality_[v]; }
+  bool IsPInternal(VertexId v) const {
+    return locality_[v] == VertexLocality::kPInternal;
+  }
+  bool IsPBoundary(VertexId v) const { return !IsPInternal(v); }
+  bool IsMInternal(VertexId v) const {
+    return locality_[v] == VertexLocality::kPInternal ||
+           locality_[v] == VertexLocality::kLocalBoundary;
+  }
+  bool IsMBoundary(VertexId v) const { return !IsMInternal(v); }
+
+  /// Counts per locality class, indexed by VertexLocality value.
+  const int64_t* counts() const { return counts_; }
+
+ private:
+  std::vector<VertexLocality> locality_;
+  int64_t counts_[4] = {0, 0, 0, 0};
+};
+
+/// Adjacency between partitions: partitions p and q are neighbors iff some
+/// edge (in either direction) connects a vertex of p with a vertex of q.
+/// These are the "virtual partition edges" of the paper's Figure 5 — each
+/// one carries a Chandy-Misra fork in partition-based distributed locking.
+/// Result: for each partition, the sorted list of neighbor partitions
+/// (excluding itself).
+std::vector<std::vector<PartitionId>> BuildPartitionGraph(
+    const Graph& graph, const Partitioning& partitioning);
+
+/// Total number of distinct partition pairs that share an edge, i.e. the
+/// number of forks partition-based locking needs (<= |P| * (|P|-1) / 2).
+int64_t CountPartitionForks(
+    const std::vector<std::vector<PartitionId>>& partition_graph);
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_GRAPH_PARTITIONING_H_

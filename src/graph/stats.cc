@@ -1,0 +1,39 @@
+#include "graph/stats.h"
+
+#include <cstdio>
+
+namespace serigraph {
+
+GraphStats ComputeGraphStats(const Graph& graph, bool compute_undirected) {
+  GraphStats stats;
+  stats.num_vertices = graph.num_vertices();
+  stats.num_directed_edges = graph.num_edges();
+  stats.max_degree = graph.MaxTotalDegree();
+  stats.avg_out_degree =
+      graph.num_vertices() == 0
+          ? 0.0
+          : static_cast<double>(graph.num_edges()) /
+                static_cast<double>(graph.num_vertices());
+  if (compute_undirected) {
+    // Each undirected edge appears as two directed edges in the closure.
+    stats.num_undirected_edges = graph.Undirected().num_edges() / 2;
+  }
+  return stats;
+}
+
+std::string HumanCount(int64_t value) {
+  char buf[32];
+  const double v = static_cast<double>(value);
+  if (value >= 1000000000) {
+    std::snprintf(buf, sizeof(buf), "%.2fB", v / 1e9);
+  } else if (value >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", v / 1e6);
+  } else if (value >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  }
+  return buf;
+}
+
+}  // namespace serigraph

@@ -1,0 +1,32 @@
+#ifndef SERIGRAPH_GRAPH_STATS_H_
+#define SERIGRAPH_GRAPH_STATS_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace serigraph {
+
+/// Summary statistics for a graph, the columns of the paper's Table 1.
+struct GraphStats {
+  VertexId num_vertices = 0;
+  int64_t num_directed_edges = 0;
+  /// Directed edge count of the undirected closure (the parenthesised
+  /// numbers in Table 1 count each undirected edge once; we report both).
+  int64_t num_undirected_edges = 0;
+  /// Max (in+out) degree in the directed graph.
+  int64_t max_degree = 0;
+  double avg_out_degree = 0.0;
+};
+
+/// Computes statistics. If `compute_undirected` is false the undirected
+/// closure is skipped (it can be expensive) and num_undirected_edges is 0.
+GraphStats ComputeGraphStats(const Graph& graph,
+                             bool compute_undirected = true);
+
+/// Human-readable scaling of counts, e.g. 3.0M, 1.46B (Table 1 style).
+std::string HumanCount(int64_t value);
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_GRAPH_STATS_H_

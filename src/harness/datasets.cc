@@ -1,0 +1,55 @@
+#include "harness/datasets.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "graph/generators.h"
+
+namespace serigraph {
+
+namespace {
+
+double ScaleFactor() {
+  const char* env = std::getenv("SERIGRAPH_SCALE");
+  if (env == nullptr) return 1.0;
+  double scale = std::atof(env);
+  return scale > 0 ? scale : 1.0;
+}
+
+}  // namespace
+
+std::vector<DatasetSpec> StandInSpecs() {
+  // Sizes keep Table 1's ordering OR < AR < TW < UK and its growing edge
+  // counts; social graphs get a heavier tail (smaller gamma) than web
+  // graphs, mirroring the originals' very large max degrees.
+  return {
+      {"OR'", "com-Orkut", 2000, 20.0, 2.2, 101},
+      {"AR'", "arabic-2005", 4500, 22.0, 2.4, 102},
+      {"TW'", "twitter-2010", 8000, 24.0, 2.1, 103},
+      {"UK'", "uk-2007-05", 16000, 25.0, 2.4, 104},
+  };
+}
+
+DatasetSpec FindSpec(const std::string& name) {
+  for (const DatasetSpec& spec : StandInSpecs()) {
+    if (spec.name == name || spec.paper_name == name) return spec;
+  }
+  SG_LOG(kFatal) << "unknown dataset " << name;
+  return {};
+}
+
+Graph MakeDataset(const DatasetSpec& spec) {
+  const VertexId n = static_cast<VertexId>(
+      static_cast<double>(spec.num_vertices) * ScaleFactor());
+  EdgeList el = PowerLawChungLu(std::max<VertexId>(n, 16), spec.avg_degree,
+                                spec.gamma, spec.seed);
+  auto graph = Graph::FromEdgeList(el);
+  SG_CHECK_OK(graph.status());
+  return std::move(graph).value();
+}
+
+Graph MakeUndirectedDataset(const DatasetSpec& spec) {
+  return MakeDataset(spec).Undirected();
+}
+
+}  // namespace serigraph

@@ -1,0 +1,43 @@
+#ifndef SERIGRAPH_HARNESS_DATASETS_H_
+#define SERIGRAPH_HARNESS_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace serigraph {
+
+/// Laptop-scale synthetic stand-ins for the paper's Table 1 datasets.
+/// All four originals are power-law graphs (social networks: OR, TW; web
+/// graphs: AR, UK); the stand-ins preserve the relative size ordering
+/// (OR < AR < TW < UK), the heavy-tailed degree skew, and the directed
+/// nature of the originals, scaled down by ~3 orders of magnitude so the
+/// full evaluation grid runs on one machine. Scale with
+/// SERIGRAPH_SCALE (a float multiplier on vertex counts, default 1).
+struct DatasetSpec {
+  std::string name;        ///< stand-in name, e.g. "OR'"
+  std::string paper_name;  ///< original, e.g. "com-Orkut"
+  VertexId num_vertices;
+  double avg_degree;
+  double gamma;  ///< power-law exponent
+  uint64_t seed;
+};
+
+/// The four stand-ins (OR', AR', TW', UK') in paper order.
+std::vector<DatasetSpec> StandInSpecs();
+
+/// Returns the spec by stand-in name; dies if unknown.
+DatasetSpec FindSpec(const std::string& name);
+
+/// Generates the directed stand-in graph for `spec` (applies the
+/// SERIGRAPH_SCALE multiplier).
+Graph MakeDataset(const DatasetSpec& spec);
+
+/// Generates the undirected closure (used by graph coloring and WCC,
+/// matching the parenthesised columns of Table 1).
+Graph MakeUndirectedDataset(const DatasetSpec& spec);
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_HARNESS_DATASETS_H_

@@ -1,0 +1,35 @@
+#ifndef SERIGRAPH_HARNESS_TABLE_H_
+#define SERIGRAPH_HARNESS_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace serigraph {
+
+/// Minimal fixed-width ASCII table for bench output: the rows/series the
+/// paper's tables and figures report, printed to stdout.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os) const;
+
+  /// Formatting helpers for cells.
+  static std::string Seconds(double seconds);
+  static std::string Count(int64_t value);
+  static std::string Ratio(double value);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section header ("=== Figure 6(a): ... ===").
+void PrintHeader(std::ostream& os, const std::string& title);
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_HARNESS_TABLE_H_

@@ -1,0 +1,46 @@
+#ifndef SERIGRAPH_NET_MESSAGE_H_
+#define SERIGRAPH_NET_MESSAGE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace serigraph {
+
+/// Coarse category of a wire message. The transport treats all kinds
+/// identically; workers dispatch on kind.
+enum class MessageKind : uint8_t {
+  kDataBatch = 0,   ///< batch of vertex->vertex data messages (payload)
+  kControl = 1,     ///< sync-technique traffic: tokens, forks, requests
+  kFlushMarker = 2, ///< sent after a flush; receiver acks when processed
+  kAck = 3,         ///< acknowledgement of a flush marker
+  kLoading = 4,     ///< input-loading traffic (dependency exchange)
+};
+
+/// One message on the simulated network. Control messages use the small
+/// integer operand fields; data batches carry a serialized payload.
+/// `bytes_on_wire` approximates the encoded size (header + payload).
+struct WireMessage {
+  WorkerId src = kInvalidWorker;
+  WorkerId dst = kInvalidWorker;
+  MessageKind kind = MessageKind::kControl;
+  /// Subtype within the kind, interpreted by the receiver (e.g. which
+  /// control verb: token grant, fork request, fork transfer, ...).
+  uint32_t tag = 0;
+  /// Small operands (philosopher ids, superstep numbers, ack ids, ...).
+  int64_t a = 0;
+  int64_t b = 0;
+  int64_t c = 0;
+  std::vector<uint8_t> payload;
+
+  /// Approximate wire size: fixed header plus payload.
+  int64_t BytesOnWire() const {
+    return 32 + static_cast<int64_t>(payload.size());
+  }
+};
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_NET_MESSAGE_H_

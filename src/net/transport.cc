@@ -1,0 +1,108 @@
+#include "net/transport.h"
+
+#include "common/logging.h"
+
+namespace serigraph {
+
+Transport::Transport(int num_workers, NetworkOptions options,
+                     MetricRegistry* metrics)
+    : options_(options) {
+  SG_CHECK_GT(num_workers, 0);
+  SG_CHECK(metrics != nullptr);
+  inboxes_.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    auto inbox = std::make_unique<Inbox>();
+    inbox->last_ready_from.assign(num_workers, Clock::time_point::min());
+    inboxes_.push_back(std::move(inbox));
+  }
+  wire_messages_ = metrics->GetCounter("net.wire_messages");
+  wire_bytes_ = metrics->GetCounter("net.wire_bytes");
+  control_messages_ = metrics->GetCounter("net.control_messages");
+  data_batches_ = metrics->GetCounter("net.data_batches");
+  local_messages_ = metrics->GetCounter("net.local_messages");
+}
+
+void Transport::Send(WireMessage msg) {
+  SG_DCHECK(msg.src >= 0 && msg.src < num_workers());
+  SG_DCHECK(msg.dst >= 0 && msg.dst < num_workers());
+  const bool local = msg.src == msg.dst;
+  const int64_t bytes = msg.BytesOnWire();
+
+  wire_messages_->Increment();
+  wire_bytes_->Add(bytes);
+  if (local) {
+    local_messages_->Increment();
+  } else if (msg.kind == MessageKind::kControl) {
+    control_messages_->Increment();
+  } else if (msg.kind == MessageKind::kDataBatch) {
+    data_batches_->Increment();
+  }
+
+  Inbox& inbox = *inboxes_[msg.dst];
+  Item item;
+  item.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  const auto now = Clock::now();
+  auto ready = local ? now
+                     : now + std::chrono::microseconds(
+                                 options_.DelayMicros(bytes));
+  {
+    std::lock_guard<std::mutex> lock(inbox.mu);
+    // Preserve per-(src,dst) FIFO: never deliver before an earlier message
+    // from the same sender (a large batch must not be overtaken by the
+    // flush marker that follows it).
+    auto& last = inbox.last_ready_from[msg.src];
+    if (ready < last) ready = last;
+    last = ready;
+    item.ready = ready;
+    item.msg = std::move(msg);
+    inbox.queue.push(std::move(item));
+  }
+  inbox.cv.notify_all();
+}
+
+std::optional<WireMessage> Transport::Receive(WorkerId worker) {
+  Inbox& inbox = *inboxes_[worker];
+  std::unique_lock<std::mutex> lock(inbox.mu);
+  for (;;) {
+    if (shutdown_.load(std::memory_order_acquire)) return std::nullopt;
+    if (!inbox.queue.empty()) {
+      const auto now = Clock::now();
+      const Item& top = inbox.queue.top();
+      if (top.ready <= now) {
+        WireMessage msg = std::move(const_cast<Item&>(top).msg);
+        inbox.queue.pop();
+        return msg;
+      }
+      inbox.cv.wait_until(lock, top.ready);
+    } else {
+      inbox.cv.wait(lock);
+    }
+  }
+}
+
+std::optional<WireMessage> Transport::TryReceive(WorkerId worker) {
+  Inbox& inbox = *inboxes_[worker];
+  std::lock_guard<std::mutex> lock(inbox.mu);
+  if (inbox.queue.empty()) return std::nullopt;
+  const Item& top = inbox.queue.top();
+  if (top.ready > Clock::now()) return std::nullopt;
+  WireMessage msg = std::move(const_cast<Item&>(top).msg);
+  inbox.queue.pop();
+  return msg;
+}
+
+bool Transport::InboxEmpty(WorkerId worker) const {
+  const Inbox& inbox = *inboxes_[worker];
+  std::lock_guard<std::mutex> lock(inbox.mu);
+  return inbox.queue.empty();
+}
+
+void Transport::Shutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& inbox : inboxes_) {
+    std::lock_guard<std::mutex> lock(inbox->mu);
+    inbox->cv.notify_all();
+  }
+}
+
+}  // namespace serigraph

@@ -1,0 +1,110 @@
+#ifndef SERIGRAPH_NET_TRANSPORT_H_
+#define SERIGRAPH_NET_TRANSPORT_H_
+
+#include <chrono>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/metrics.h"
+#include "net/message.h"
+
+namespace serigraph {
+
+/// Parameters of the simulated network. The paper's evaluation runs on a
+/// real EC2 cluster; here every cross-worker message pays a configurable
+/// one-way latency plus a bandwidth term, so techniques that send many
+/// small messages (vertex-based locking) or serialize execution behind a
+/// token ring pay realistic costs while batched techniques amortize them.
+/// Latencies are modelled as *delayed visibility* at the receiver — the
+/// sender never blocks — so concurrent messages overlap exactly as they
+/// would on a real network, even on a single-core host.
+struct NetworkOptions {
+  /// One-way delivery latency for any cross-worker message.
+  int64_t one_way_latency_us = 0;
+  /// Additional latency per KiB of payload (bandwidth term).
+  int64_t per_kib_us = 0;
+
+  /// Total simulated delay for a message of `bytes` size.
+  int64_t DelayMicros(int64_t bytes) const {
+    return one_way_latency_us + (bytes * per_kib_us) / 1024;
+  }
+};
+
+/// In-process message fabric connecting `num_workers` workers. Each worker
+/// owns one inbox; any thread may send to any worker. Per-(src,dst) FIFO
+/// ordering is guaranteed even with size-dependent delays, which the
+/// flush/ack protocol (condition C1's write-all) relies on.
+///
+/// Thread-safe. Receive blocks until a message's delivery time is reached;
+/// Shutdown() unblocks all receivers with std::nullopt.
+class Transport {
+ public:
+  Transport(int num_workers, NetworkOptions options, MetricRegistry* metrics);
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Sends `msg` (src/dst must be set). Never blocks. Messages to the
+  /// sender's own worker are delivered with zero latency.
+  void Send(WireMessage msg);
+
+  /// Blocks until a message for `worker` is deliverable or Shutdown().
+  /// Returns std::nullopt only after Shutdown.
+  std::optional<WireMessage> Receive(WorkerId worker);
+
+  /// Non-blocking variant; returns std::nullopt if nothing deliverable.
+  std::optional<WireMessage> TryReceive(WorkerId worker);
+
+  /// True if `worker`'s inbox has no messages at all (including ones whose
+  /// delivery time has not yet arrived).
+  bool InboxEmpty(WorkerId worker) const;
+
+  /// Unblocks all receivers permanently.
+  void Shutdown();
+
+  int num_workers() const { return static_cast<int>(inboxes_.size()); }
+  const NetworkOptions& options() const { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Item {
+    Clock::time_point ready;
+    uint64_t seq;
+    WireMessage msg;
+    friend bool operator>(const Item& a, const Item& b) {
+      if (a.ready != b.ready) return a.ready > b.ready;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct Inbox {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue;
+    /// Last assigned delivery time per sender, to preserve per-pair FIFO.
+    std::vector<Clock::time_point> last_ready_from;
+  };
+
+  NetworkOptions options_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<bool> shutdown_{false};
+
+  // Traffic counters (owned by the caller's registry).
+  Counter* wire_messages_;
+  Counter* wire_bytes_;
+  Counter* control_messages_;
+  Counter* data_batches_;
+  Counter* local_messages_;
+};
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_NET_TRANSPORT_H_

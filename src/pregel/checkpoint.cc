@@ -1,0 +1,60 @@
+#include "pregel/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace serigraph {
+
+namespace {
+constexpr uint32_t kMagic = 0x53474350;  // "SGCP"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+Status WriteCheckpoint(const std::string& path,
+                       const CheckpointFrame& frame) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open " + tmp);
+    BufferWriter header;
+    header.WriteU32(kMagic);
+    header.WriteU32(kVersion);
+    header.WriteU32(static_cast<uint32_t>(frame.superstep));
+    header.WriteU64(frame.payload.size());
+    out.write(reinterpret_cast<const char*>(header.data().data()),
+              static_cast<std::streamsize>(header.size()));
+    out.write(reinterpret_cast<const char*>(frame.payload.data()),
+              static_cast<std::streamsize>(frame.payload.size()));
+    if (!out) return Status::IoError("write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename failed for " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<CheckpointFrame> ReadCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  BufferReader reader(bytes);
+  uint32_t magic, version, superstep;
+  uint64_t payload_size;
+  if (!reader.ReadU32(&magic) || magic != kMagic) {
+    return Status::IoError(path + ": bad checkpoint magic");
+  }
+  if (!reader.ReadU32(&version) || version != kVersion) {
+    return Status::IoError(path + ": unsupported checkpoint version");
+  }
+  if (!reader.ReadU32(&superstep) || !reader.ReadU64(&payload_size) ||
+      payload_size != reader.Remaining()) {
+    return Status::IoError(path + ": truncated checkpoint");
+  }
+  CheckpointFrame frame;
+  frame.superstep = static_cast<int>(superstep);
+  frame.payload.assign(bytes.begin() + reader.position(), bytes.end());
+  return frame;
+}
+
+}  // namespace serigraph

@@ -1,0 +1,36 @@
+#ifndef SERIGRAPH_PREGEL_CHECKPOINT_H_
+#define SERIGRAPH_PREGEL_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace serigraph {
+
+/// Checkpoint container format (paper Section 6.4). Checkpoints are taken
+/// at global barriers, where the state is consistent: no vertex is
+/// executing and no messages, forks, or tokens are in transit. The
+/// payload layout is produced/consumed by the templated engine (values,
+/// halted flags, message stores); this header handles framing and I/O.
+///
+/// Synchronization-technique state: token schedules are deterministic
+/// functions of the superstep, so nothing needs saving; Chandy-Misra fork
+/// tables are re-initialized to the canonical acyclic placement on
+/// restore, which preserves every protocol invariant (any acyclic
+/// precedence graph is a valid starting state).
+struct CheckpointFrame {
+  int superstep = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Writes `frame` to `path` (atomic via rename). Magic-tagged.
+Status WriteCheckpoint(const std::string& path, const CheckpointFrame& frame);
+
+/// Reads a checkpoint written by WriteCheckpoint.
+StatusOr<CheckpointFrame> ReadCheckpoint(const std::string& path);
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_PREGEL_CHECKPOINT_H_

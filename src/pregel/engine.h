@@ -1,0 +1,1102 @@
+#ifndef SERIGRAPH_PREGEL_ENGINE_H_
+#define SERIGRAPH_PREGEL_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/threading.h"
+#include "common/timer.h"
+#include "graph/graph.h"
+#include "graph/partitioning.h"
+#include "net/transport.h"
+#include "pregel/checkpoint.h"
+#include "pregel/message_codec.h"
+#include "pregel/model.h"
+#include "sync/technique.h"
+#include "verify/history.h"
+
+namespace serigraph {
+
+/// Vertex-centric execution engine in the style of Pregel/Giraph, with
+/// both the BSP and AP computation models and pluggable synchronization
+/// techniques that make AP executions serializable (paper Sections 2-6).
+///
+/// A Program supplies:
+///   using VertexValue = ...;      // per-vertex state (the "color")
+///   using Message = ...;          // trivially copyable, or specialize
+///                                 // MessageCodec<Message>
+///   VertexValue InitialValue(VertexId v, const Graph& g) const;
+///   template <typename Ctx>
+///   void Compute(Ctx& ctx, std::span<const Message> messages) const;
+/// and optionally a message combiner:
+///   static Message Combine(const Message& a, const Message& b);
+///
+/// Compute() sees the Pregel API through Ctx: id(), superstep(), value(),
+/// set_value(), out_neighbors(), SendTo(), SendToAllOutNeighbors(),
+/// VoteToHalt(), num_vertices().
+///
+/// An Engine instance runs exactly once; construct a new one per run.
+template <typename Program>
+class Engine {
+ public:
+  using VertexValue = typename Program::VertexValue;
+  using Message = typename Program::Message;
+
+  /// True if the program declares a message combiner.
+  static constexpr bool kHasCombiner =
+      requires(const Message& a, const Message& b) {
+        { Program::Combine(a, b) } -> std::convertible_to<Message>;
+      };
+
+  struct Result {
+    RunStats stats;
+    /// Final vertex values, indexed by vertex id.
+    std::vector<VertexValue> values;
+    /// Transaction history, present iff options.record_history.
+    std::shared_ptr<HistoryRecorder> history;
+  };
+
+  Engine(const Graph* graph, EngineOptions options)
+      : graph_(graph), options_(std::move(options)) {
+    SG_CHECK(graph_ != nullptr);
+  }
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Overrides the partitioning built from EngineOptions. Must agree with
+  /// options.num_workers and the graph's vertex count.
+  Status UsePartitioning(Partitioning partitioning) {
+    if (partitioning.num_vertices() != graph_->num_vertices()) {
+      return Status::InvalidArgument("partitioning vertex count mismatch");
+    }
+    if (partitioning.num_workers() != options_.num_workers) {
+      return Status::InvalidArgument("partitioning worker count mismatch");
+    }
+    partitioning_ = std::move(partitioning);
+    has_partitioning_ = true;
+    return Status::OK();
+  }
+
+  /// Executes the program to completion (or max_supersteps).
+  StatusOr<Result> Run(const Program& program);
+
+  /// Valid after Run() (or UsePartitioning()).
+  const Partitioning& partitioning() const { return partitioning_; }
+
+  /// Whether this program's state can be checkpointed (Section 6.4).
+  static constexpr bool kCheckpointable =
+      std::is_trivially_copyable_v<VertexValue> &&
+      std::is_trivially_copyable_v<Message>;
+
+  /// Path of the most recent checkpoint written by Run(), empty if none.
+  const std::string& last_checkpoint_path() const {
+    return last_checkpoint_path_;
+  }
+
+  /// Number of aggregator slots available to programs (Pregel-style
+  /// aggregators: values contributed during superstep s are reduced at
+  /// the barrier and visible to every vertex in superstep s+1).
+  static constexpr int kNumAggregatorSlots = 8;
+
+ private:
+  enum class AggOp : uint8_t { kUnused = 0, kSum = 1, kMin = 2, kMax = 3 };
+
+  /// Per-worker aggregator accumulation for the current superstep.
+  struct WorkerAggregates {
+    std::mutex mu;
+    AggOp op[kNumAggregatorSlots] = {};
+    double value[kNumAggregatorSlots] = {};
+
+    void Fold(int slot, AggOp new_op, double v) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (op[slot] == AggOp::kUnused) {
+        op[slot] = new_op;
+        value[slot] = v;
+        return;
+      }
+      SG_DCHECK(op[slot] == new_op);
+      Merge(&value[slot], new_op, v);
+    }
+
+    static void Merge(double* into, AggOp op, double v) {
+      switch (op) {
+        case AggOp::kSum:
+          *into += v;
+          break;
+        case AggOp::kMin:
+          *into = v < *into ? v : *into;
+          break;
+        case AggOp::kMax:
+          *into = v > *into ? v : *into;
+          break;
+        case AggOp::kUnused:
+          break;
+      }
+    }
+  };
+
+  // ------------------------------------------------------------------
+  // Per-partition message store. `current` is what executing vertices
+  // consume; under BSP, arrivals go to `incoming` and become visible at
+  // the superstep boundary (the staleness the paper's Figure 2 shows).
+  // Under AP both local and remote arrivals go straight to `current`.
+  // ------------------------------------------------------------------
+  struct PartitionStore {
+    std::mutex mu;
+    std::vector<std::vector<Message>> current;
+    std::vector<std::vector<Message>> incoming;
+    /// Vertices (local indexes) with non-empty `current`.
+    int64_t pending = 0;
+    /// Vertices not halted; only the executing thread mutates it.
+    int64_t active = 0;
+    /// Deferred recorder notifications for BSP (delivery becomes visible
+    /// only at the swap): (src, dst, version).
+    std::vector<std::tuple<VertexId, VertexId, uint64_t>> pending_notify;
+  };
+
+  // ------------------------------------------------------------------
+  // Per-worker state; implements the WorkerHandle the techniques use.
+  // ------------------------------------------------------------------
+  struct OutBuffer {
+    std::mutex mu;
+    BufferWriter writer;
+  };
+
+  struct WorkerState final : public WorkerHandle {
+    Engine* engine = nullptr;
+    WorkerId id = kInvalidWorker;
+    std::vector<std::unique_ptr<OutBuffer>> out;  // per destination worker
+    std::thread comm_thread;
+    std::unique_ptr<ThreadPool> pool;  // null when 1 compute thread
+
+    WorkerAggregates aggregates;
+
+    std::mutex ack_mu;
+    std::condition_variable ack_cv;
+    int acks_pending = 0;
+    /// Peers this worker has sent data to since the last superstep-end
+    /// flush; only those need a delivery confirmation (marker/ack).
+    std::vector<std::atomic<uint8_t>> touched;
+
+    void FlushRemoteTo(WorkerId dst) override { engine->FlushBuffer(*this, dst); }
+    void FlushAllRemote() override {
+      for (WorkerId dst = 0; dst < engine->options_.num_workers; ++dst) {
+        if (dst != id) engine->FlushBuffer(*this, dst);
+      }
+    }
+    void SendControl(WorkerId dst, uint32_t tag, int64_t a, int64_t b,
+                     int64_t c) override {
+      WireMessage msg;
+      msg.src = id;
+      msg.dst = dst;
+      msg.kind = MessageKind::kControl;
+      msg.tag = tag;
+      msg.a = a;
+      msg.b = b;
+      msg.c = c;
+      engine->transport_->Send(std::move(msg));
+    }
+    WorkerId worker_id() const override { return id; }
+  };
+
+  // ------------------------------------------------------------------
+  // The Pregel API surface handed to Program::Compute.
+  // ------------------------------------------------------------------
+  class Context {
+   public:
+    Context(Engine* engine, WorkerState* worker, VertexId vertex,
+            int superstep, uint64_t version)
+        : engine_(engine),
+          worker_(worker),
+          vertex_(vertex),
+          superstep_(superstep),
+          version_(version) {}
+
+    VertexId id() const { return vertex_; }
+    int superstep() const { return superstep_; }
+    VertexId num_vertices() const { return engine_->graph_->num_vertices(); }
+
+    const VertexValue& value() const { return engine_->values_[vertex_]; }
+    void set_value(VertexValue value) {
+      engine_->values_[vertex_] = std::move(value);
+    }
+
+    std::span<const VertexId> out_neighbors() const {
+      return engine_->graph_->OutNeighbors(vertex_);
+    }
+    int64_t num_out_edges() const {
+      return engine_->graph_->OutDegree(vertex_);
+    }
+
+    /// Sends `message` to vertex `target` (must be an out-neighbor for
+    /// the serializability guarantees to apply; see paper Section 3.1).
+    void SendTo(VertexId target, const Message& message) {
+      sent_any_ = true;
+      engine_->SendMessage(*worker_, vertex_, target, message, version_);
+    }
+
+    void SendToAllOutNeighbors(const Message& message) {
+      for (VertexId target : out_neighbors()) SendTo(target, message);
+    }
+
+    /// Aggregators (Pregel-style): contributions made during superstep s
+    /// are reduced globally at the barrier; AggregatedValue returns the
+    /// result of superstep s-1 (0 if the slot was never used). A slot
+    /// must be used with one operation consistently.
+    void AggregateSum(int slot, double value) {
+      worker_->aggregates.Fold(slot, AggOp::kSum, value);
+    }
+    void AggregateMin(int slot, double value) {
+      worker_->aggregates.Fold(slot, AggOp::kMin, value);
+    }
+    void AggregateMax(int slot, double value) {
+      worker_->aggregates.Fold(slot, AggOp::kMax, value);
+    }
+    double AggregatedValue(int slot) const {
+      return engine_->global_aggregates_[slot];
+    }
+
+    /// Declares this vertex inactive until a message reactivates it.
+    void VoteToHalt() { voted_halt_ = true; }
+
+    bool voted_halt() const { return voted_halt_; }
+    bool sent_any() const { return sent_any_; }
+
+   private:
+    Engine* engine_;
+    WorkerState* worker_;
+    VertexId vertex_;
+    int superstep_;
+    uint64_t version_;
+    bool voted_halt_ = false;
+    bool sent_any_ = false;
+  };
+
+  // --- setup --------------------------------------------------------
+
+  Status Validate() {
+    if (options_.num_workers < 1) {
+      return Status::InvalidArgument("need at least one worker");
+    }
+    if (options_.sync_mode == SyncMode::kConstrainedBspLocking) {
+      // Proposition 1's technique is specifically for synchronous models.
+      if (options_.model != ComputationModel::kBsp) {
+        return Status::InvalidArgument(
+            "constrained vertex-based locking is the synchronous-model "
+            "technique (Proposition 1); use kVertexLocking under AP");
+      }
+    } else if (options_.sync_mode != SyncMode::kNone &&
+               options_.model == ComputationModel::kBsp) {
+      // The regular techniques need eager local replica updates, which
+      // synchronous models cannot provide (paper Section 4.1); only the
+      // Proposition 1 variant (kConstrainedBspLocking) works under BSP.
+      return Status::Unimplemented(
+          "this technique requires the AP model; BSP cannot update local "
+          "replicas eagerly (paper Section 4.1) - use "
+          "kConstrainedBspLocking instead");
+    }
+    if (options_.partitions_per_worker == 0) {
+      options_.partitions_per_worker = options_.num_workers;  // Giraph default
+    }
+    if (options_.compute_threads_per_worker < 1) {
+      options_.compute_threads_per_worker = 1;
+    }
+    if ((options_.checkpoint_every > 0 || !options_.restore_path.empty()) &&
+        !kCheckpointable) {
+      return Status::Unimplemented(
+          "checkpointing requires trivially copyable values and messages");
+    }
+    return Status::OK();
+  }
+
+  void EnsurePartitioning() {
+    if (has_partitioning_) return;
+    switch (options_.partition_scheme) {
+      case PartitionScheme::kHash:
+        partitioning_ = Partitioning::Hash(
+            graph_->num_vertices(), options_.num_workers,
+            options_.partitions_per_worker, options_.partition_seed);
+        break;
+      case PartitionScheme::kContiguous:
+        partitioning_ = Partitioning::Contiguous(
+            graph_->num_vertices(), options_.num_workers,
+            options_.partitions_per_worker);
+        break;
+    }
+    has_partitioning_ = true;
+  }
+
+  // --- messaging ----------------------------------------------------
+
+  static void EncodeRecord(BufferWriter& writer, VertexId src, VertexId dst,
+                           uint64_t version, const Message& message) {
+    writer.WriteVarint(static_cast<uint64_t>(dst));
+    writer.WriteVarint(static_cast<uint64_t>(src));
+    writer.WriteVarint(version);
+    MessageCodec<Message>::Encode(writer, message);
+  }
+
+  void AppendToStore(PartitionStore& store,
+                     std::vector<std::vector<Message>>& slots, VertexId dst,
+                     const Message& message) {
+    auto& vec = slots[local_index_[dst]];
+    const bool was_empty = vec.empty();
+    if constexpr (kHasCombiner) {
+      if (!was_empty) {
+        vec[0] = Program::Combine(vec[0], message);
+        return;
+      }
+    }
+    vec.push_back(message);
+    if (was_empty && &slots == &store.current) ++store.pending;
+  }
+
+  void DeliverLocal(VertexId src, VertexId dst, const Message& message,
+                    uint64_t version) {
+    PartitionStore& store = *stores_[partitioning_.PartitionOf(dst)];
+    const bool bsp = options_.model == ComputationModel::kBsp;
+    std::lock_guard<std::mutex> lock(store.mu);
+    AppendToStore(store, bsp ? store.incoming : store.current, dst, message);
+    if (recorder_ != nullptr) {
+      if (bsp) {
+        store.pending_notify.emplace_back(src, dst, version);
+      } else {
+        recorder_->OnDeliver(src, dst, version);
+      }
+    }
+  }
+
+  void SendMessage(WorkerState& worker, VertexId src, VertexId dst,
+                   const Message& message, uint64_t version) {
+    messages_sent_->Increment();
+    const WorkerId dst_worker = partitioning_.WorkerOf(dst);
+    if (dst_worker == worker.id) {
+      // Local replica update: eager under AP (Section 4.1), hidden until
+      // the next superstep under BSP (handled inside DeliverLocal).
+      local_sends_->Increment();
+      DeliverLocal(src, dst, message, version);
+      return;
+    }
+    worker.touched[dst_worker].store(1, std::memory_order_relaxed);
+    OutBuffer& out = *worker.out[dst_worker];
+    std::lock_guard<std::mutex> lock(out.mu);
+    EncodeRecord(out.writer, src, dst, version, message);
+    if (static_cast<int64_t>(out.writer.size()) >=
+        options_.message_batch_bytes) {
+      FlushBufferLocked(worker, dst_worker, out);
+    }
+  }
+
+  void FlushBuffer(WorkerState& worker, WorkerId dst) {
+    OutBuffer& out = *worker.out[dst];
+    std::lock_guard<std::mutex> lock(out.mu);
+    FlushBufferLocked(worker, dst, out);
+  }
+
+  void FlushBufferLocked(WorkerState& worker, WorkerId dst, OutBuffer& out) {
+    if (out.writer.size() == 0) return;
+    flushes_->Increment();
+    WireMessage msg;
+    msg.src = worker.id;
+    msg.dst = dst;
+    msg.kind = MessageKind::kDataBatch;
+    msg.payload = out.writer.Release();
+    transport_->Send(std::move(msg));
+    out.writer.Clear();
+  }
+
+  void ApplyDataBatch(const WireMessage& wire) {
+    BufferReader reader(wire.payload);
+    const bool bsp = options_.model == ComputationModel::kBsp;
+    while (!reader.AtEnd()) {
+      uint64_t dst_raw, src_raw, version;
+      Message message;
+      SG_CHECK(reader.ReadVarint(&dst_raw));
+      SG_CHECK(reader.ReadVarint(&src_raw));
+      SG_CHECK(reader.ReadVarint(&version));
+      SG_CHECK(MessageCodec<Message>::Decode(reader, &message));
+      const VertexId dst = static_cast<VertexId>(dst_raw);
+      const VertexId src = static_cast<VertexId>(src_raw);
+      PartitionStore& store = *stores_[partitioning_.PartitionOf(dst)];
+      std::lock_guard<std::mutex> lock(store.mu);
+      AppendToStore(store, bsp ? store.incoming : store.current, dst,
+                    message);
+      if (recorder_ != nullptr) {
+        if (bsp) {
+          store.pending_notify.emplace_back(src, dst, version);
+        } else {
+          recorder_->OnDeliver(src, dst, version);
+        }
+      }
+    }
+  }
+
+  // --- communication thread ------------------------------------------
+
+  void CommLoop(WorkerState& worker) {
+    while (std::optional<WireMessage> msg = transport_->Receive(worker.id)) {
+      switch (msg->kind) {
+        case MessageKind::kDataBatch:
+          ApplyDataBatch(*msg);
+          break;
+        case MessageKind::kControl:
+          technique_->HandleControl(worker.id, *msg);
+          break;
+        case MessageKind::kFlushMarker: {
+          WireMessage ack;
+          ack.src = worker.id;
+          ack.dst = msg->src;
+          ack.kind = MessageKind::kAck;
+          ack.a = msg->a;
+          transport_->Send(std::move(ack));
+          break;
+        }
+        case MessageKind::kAck: {
+          std::lock_guard<std::mutex> lock(worker.ack_mu);
+          if (--worker.acks_pending == 0) worker.ack_cv.notify_all();
+          break;
+        }
+        default:
+          SG_LOG(kFatal) << "unexpected message kind";
+      }
+    }
+  }
+
+  /// Superstep-end write-all: flush outgoing buffers and confirm via
+  /// marker/ack that every peer this worker sent data to has applied the
+  /// messages (Giraph awaits delivery confirmations only for the remote
+  /// messages it actually sent). Peers that received nothing need no
+  /// round trip.
+  void FlushAndAwaitAcks(WorkerState& worker, int superstep) {
+    if (options_.num_workers == 1) return;
+    std::vector<WorkerId> targets;
+    for (WorkerId dst = 0; dst < options_.num_workers; ++dst) {
+      if (dst == worker.id) continue;
+      if (worker.touched[dst].exchange(0, std::memory_order_relaxed)) {
+        targets.push_back(dst);
+      }
+    }
+    if (targets.empty()) return;
+    {
+      std::lock_guard<std::mutex> lock(worker.ack_mu);
+      worker.acks_pending = static_cast<int>(targets.size());
+    }
+    for (WorkerId dst : targets) {
+      FlushBuffer(worker, dst);
+      WireMessage marker;
+      marker.src = worker.id;
+      marker.dst = dst;
+      marker.kind = MessageKind::kFlushMarker;
+      marker.a = superstep;
+      transport_->Send(std::move(marker));
+    }
+    std::unique_lock<std::mutex> lock(worker.ack_mu);
+    worker.ack_cv.wait(lock, [&] { return worker.acks_pending == 0; });
+  }
+
+  // --- vertex execution ----------------------------------------------
+
+  /// Executes `v` if it is active or has messages. Returns true if the
+  /// vertex actually ran. Caller must already hold the technique's
+  /// permission (fork/token) for `v`.
+  bool ExecuteVertexIfEligible(WorkerState& worker, PartitionStore& store,
+                               const Program& program, VertexId v,
+                               int superstep) {
+    std::vector<Message> messages;
+    {
+      std::lock_guard<std::mutex> lock(store.mu);
+      auto& vec = store.current[local_index_[v]];
+      if (!vec.empty()) {
+        messages = std::move(vec);
+        vec.clear();
+        --store.pending;
+      }
+    }
+    if (halted_[v] && messages.empty()) return false;
+
+    executions_->Increment();
+    concurrency_->Add(1);
+    uint64_t version = 0;
+    if (recorder_ != nullptr) {
+      version = recorder_->OnTxnBegin(worker.id, v, superstep);
+    }
+    Context ctx(this, &worker, v, superstep, version);
+    program.Compute(ctx, std::span<const Message>(messages));
+    const bool was_halted = halted_[v] != 0;
+    const bool now_halted = ctx.voted_halt();
+    halted_[v] = now_halted ? 1 : 0;
+    if (was_halted && !now_halted) ++store.active;
+    if (!was_halted && now_halted) --store.active;
+    if (recorder_ != nullptr) {
+      recorder_->OnTxnEnd(worker.id, v, ctx.sent_any());
+    }
+    concurrency_->Add(-1);
+    return true;
+  }
+
+  /// True if any vertex of `p` is active or has pending messages; used
+  /// for the Section 5.4 optimization of skipping halted partitions.
+  bool PartitionEligible(PartitionId p) {
+    PartitionStore& store = *stores_[p];
+    std::lock_guard<std::mutex> lock(store.mu);
+    return store.active > 0 || store.pending > 0;
+  }
+
+  bool VertexEligible(PartitionStore& store, VertexId v) {
+    if (!halted_[v]) return true;
+    std::lock_guard<std::mutex> lock(store.mu);
+    return !store.current[local_index_[v]].empty();
+  }
+
+  void ProcessPartition(WorkerState& worker, const Program& program,
+                        PartitionId p, int superstep) {
+    PartitionStore& store = *stores_[p];
+    const std::vector<VertexId>& vertices =
+        partitioning_.VerticesOfPartition(p);
+    switch (granularity_) {
+      case SyncTechnique::Granularity::kNone:
+        for (VertexId v : vertices) {
+          ExecuteVertexIfEligible(worker, store, program, v, superstep);
+        }
+        break;
+      case SyncTechnique::Granularity::kVertexGate:
+        for (VertexId v : vertices) {
+          if (!technique_->MayExecuteVertex(worker.id, superstep, v)) {
+            continue;  // stays pending until its token arrives
+          }
+          ExecuteVertexIfEligible(worker, store, program, v, superstep);
+        }
+        break;
+      case SyncTechnique::Granularity::kPartitionLock: {
+        if (!PartitionEligible(p)) {
+          skipped_partitions_->Increment();
+          return;
+        }
+        technique_->AcquirePartition(worker.id, p);
+        for (VertexId v : vertices) {
+          ExecuteVertexIfEligible(worker, store, program, v, superstep);
+        }
+        technique_->ReleasePartition(worker.id, p);
+        break;
+      }
+      case SyncTechnique::Granularity::kVertexLock:
+        for (VertexId v : vertices) {
+          if (!VertexEligible(store, v)) continue;
+          technique_->AcquireVertex(worker.id, v);
+          ExecuteVertexIfEligible(worker, store, program, v, superstep);
+          technique_->ReleaseVertex(worker.id, v);
+        }
+        break;
+    }
+  }
+
+  void RunPartitions(WorkerState& worker, const Program& program,
+                     int superstep) {
+    const auto& parts = partitioning_.PartitionsOfWorker(worker.id);
+    if (worker.pool != nullptr) {
+      for (PartitionId p : parts) {
+        worker.pool->Submit([this, &worker, &program, p, superstep] {
+          ProcessPartition(worker, program, p, superstep);
+        });
+      }
+      worker.pool->WaitIdle();
+    } else {
+      for (PartitionId p : parts) {
+        ProcessPartition(worker, program, p, superstep);
+      }
+    }
+  }
+
+  /// Between barriers: publish BSP arrivals into `current` and count this
+  /// worker's vertices that are still active or have pending messages.
+  int64_t SwapAndCountActive(WorkerState& worker) {
+    int64_t active = 0;
+    for (PartitionId p : partitioning_.PartitionsOfWorker(worker.id)) {
+      PartitionStore& store = *stores_[p];
+      std::lock_guard<std::mutex> lock(store.mu);
+      if (options_.model == ComputationModel::kBsp) {
+        const auto& vertices = partitioning_.VerticesOfPartition(p);
+        for (size_t i = 0; i < vertices.size(); ++i) {
+          auto& in = store.incoming[i];
+          if (in.empty()) continue;
+          auto& cur = store.current[i];
+          if (cur.empty()) ++store.pending;
+          if constexpr (kHasCombiner) {
+            for (const Message& m : in) AppendCombined(cur, m);
+          } else {
+            cur.insert(cur.end(), std::make_move_iterator(in.begin()),
+                       std::make_move_iterator(in.end()));
+          }
+          in.clear();
+        }
+        if (recorder_ != nullptr) {
+          for (const auto& [src, dst, version] : store.pending_notify) {
+            recorder_->OnDeliver(src, dst, version);
+          }
+          store.pending_notify.clear();
+        }
+      }
+      const auto& vertices = partitioning_.VerticesOfPartition(p);
+      for (size_t i = 0; i < vertices.size(); ++i) {
+        if (!halted_[vertices[i]] || !store.current[i].empty()) ++active;
+      }
+    }
+    return active;
+  }
+
+  static void AppendCombined(std::vector<Message>& vec, const Message& m) {
+    if constexpr (kHasCombiner) {
+      if (!vec.empty()) {
+        vec[0] = Program::Combine(vec[0], m);
+        return;
+      }
+    }
+    vec.push_back(m);
+  }
+
+  // --- checkpointing (Section 6.4) --------------------------------------
+
+  /// Serializes values, halted flags, and message-store contents. Called
+  /// from the barrier serial section: the state is consistent (nothing
+  /// executing, nothing in flight).
+  std::vector<uint8_t> EncodeState() {
+    BufferWriter writer;
+    if constexpr (kCheckpointable) {
+      const VertexId n = graph_->num_vertices();
+      writer.WriteVarint(static_cast<uint64_t>(n));
+      writer.AppendRaw(values_.data(), sizeof(VertexValue) * n);
+      writer.AppendRaw(halted_.data(), n);
+      writer.WriteVarint(stores_.size());
+      for (int p = 0; p < partitioning_.num_partitions(); ++p) {
+        PartitionStore& store = *stores_[p];
+        std::lock_guard<std::mutex> lock(store.mu);
+        writer.WriteVarint(store.current.size());
+        for (const auto& vec : store.current) {
+          writer.WriteVarint(vec.size());
+          for (const Message& m : vec) {
+            MessageCodec<Message>::Encode(writer, m);
+          }
+        }
+      }
+    }
+    return writer.Release();
+  }
+
+  Status DecodeState(const std::vector<uint8_t>& payload) {
+    if constexpr (kCheckpointable) {
+      BufferReader reader(payload);
+      uint64_t n, num_stores;
+      if (!reader.ReadVarint(&n) ||
+          n != static_cast<uint64_t>(graph_->num_vertices())) {
+        return Status::IoError("checkpoint vertex count mismatch");
+      }
+      if (!reader.ReadRaw(values_.data(), sizeof(VertexValue) * n) ||
+          !reader.ReadRaw(halted_.data(), n) ||
+          !reader.ReadVarint(&num_stores) ||
+          num_stores != stores_.size()) {
+        return Status::IoError("corrupt checkpoint state");
+      }
+      for (int p = 0; p < partitioning_.num_partitions(); ++p) {
+        PartitionStore& store = *stores_[p];
+        uint64_t num_slots;
+        if (!reader.ReadVarint(&num_slots) ||
+            num_slots != store.current.size()) {
+          return Status::IoError("checkpoint partition layout mismatch");
+        }
+        store.pending = 0;
+        for (auto& vec : store.current) {
+          uint64_t count;
+          if (!reader.ReadVarint(&count)) {
+            return Status::IoError("truncated checkpoint store");
+          }
+          vec.clear();
+          for (uint64_t i = 0; i < count; ++i) {
+            Message m;
+            if (!MessageCodec<Message>::Decode(reader, &m)) {
+              return Status::IoError("truncated checkpoint message");
+            }
+            vec.push_back(m);
+          }
+          if (!vec.empty()) ++store.pending;
+        }
+        // Recompute the active count from the restored halted flags.
+        const auto& vertices = partitioning_.VerticesOfPartition(p);
+        store.active = 0;
+        for (VertexId v : vertices) {
+          if (!halted_[v]) ++store.active;
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Folds every worker's aggregator contributions into the global
+  /// values for the next superstep. Runs in the barrier serial section.
+  void ReduceAggregates() {
+    for (int slot = 0; slot < kNumAggregatorSlots; ++slot) {
+      AggOp op = AggOp::kUnused;
+      double merged = 0.0;
+      for (auto& worker : workers_) {
+        WorkerAggregates& agg = worker->aggregates;
+        std::lock_guard<std::mutex> lock(agg.mu);
+        if (agg.op[slot] == AggOp::kUnused) continue;
+        if (op == AggOp::kUnused) {
+          op = agg.op[slot];
+          merged = agg.value[slot];
+        } else {
+          SG_DCHECK(op == agg.op[slot]);
+          WorkerAggregates::Merge(&merged, op, agg.value[slot]);
+        }
+        agg.op[slot] = AggOp::kUnused;
+        agg.value[slot] = 0.0;
+      }
+      global_aggregates_[slot] = op == AggOp::kUnused
+                                     ? global_aggregates_[slot]
+                                     : merged;
+    }
+  }
+
+  void MaybeCheckpoint(int next_superstep) {
+    if (options_.checkpoint_every <= 0) return;
+    if (next_superstep % options_.checkpoint_every != 0) return;
+    CheckpointFrame frame;
+    frame.superstep = next_superstep;
+    frame.payload = EncodeState();
+    const std::string path = options_.checkpoint_dir + "/checkpoint_" +
+                             std::to_string(next_superstep) + ".bin";
+    Status status = WriteCheckpoint(path, frame);
+    if (status.ok()) {
+      last_checkpoint_path_ = path;
+    } else {
+      SG_LOG(kError) << "checkpoint failed: " << status;
+    }
+  }
+
+  /// Non-consuming eligibility check.
+  bool PeekEligible(PartitionStore& store, VertexId v) {
+    if (!halted_[v]) return true;
+    std::lock_guard<std::mutex> lock(store.mu);
+    return !store.current[local_index_[v]].empty();
+  }
+
+  /// Proposition 1 execution scheme (kBspVertexLock): within one logical
+  /// superstep, run sub-supersteps separated by global barriers. In each
+  /// sub-superstep a worker executes exactly those still-pending vertices
+  /// that hold all their forks; fork requests and transfers are exchanged
+  /// only between the barriers, and each sub-barrier flushes + swaps so
+  /// that sub-superstep k+1 sees the messages written in k (fresh reads,
+  /// condition C1, under a synchronous model). Every eligible vertex
+  /// executes exactly once per logical superstep.
+  void RunSuperstepConstrainedBsp(WorkerState& worker, const Program& program,
+                                  int superstep) {
+    // Pending = this worker's eligible vertices, fixed at superstep start.
+    std::vector<VertexId> pending;
+    for (PartitionId p : partitioning_.PartitionsOfWorker(worker.id)) {
+      PartitionStore& store = *stores_[p];
+      for (VertexId v : partitioning_.VerticesOfPartition(p)) {
+        if (PeekEligible(store, v)) pending.push_back(v);
+      }
+    }
+    int idle_rounds = 0;
+    for (;;) {
+      int64_t executed = 0;
+      std::vector<VertexId> still_pending;
+      for (VertexId v : pending) {
+        if (technique_->VertexReady(worker.id, v)) {
+          PartitionStore& store = *stores_[partitioning_.PartitionOf(v)];
+          ExecuteVertexIfEligible(worker, store, program, v, superstep);
+          technique_->OnVertexExecuted(worker.id, v);
+          ++executed;
+        } else {
+          technique_->RequestVertexForks(worker.id, v);
+          still_pending.push_back(v);
+        }
+      }
+      pending.swap(still_pending);
+      sub_supersteps_->Increment();
+
+      // Sub-superstep barrier: deliver this round's messages (C1 needs
+      // them visible to later rounds) and agree on global progress.
+      FlushAndAwaitAcks(worker, superstep);
+      barrier_->Await();
+      {
+        int64_t count = static_cast<int64_t>(pending.size());
+        // Publish this sub-superstep's messages, then apply queued fork
+        // traffic — the only moment forks may move (Proposition 1 (ii)).
+        SubSwapIncoming(worker);
+        technique_->OnSubBarrier(worker.id);
+        active_counts_[worker.id] = count;
+      }
+      const bool serial = barrier_->Await();
+      if (serial) {
+        int64_t total = 0;
+        for (int64_t count : active_counts_) total += count;
+        sub_stop_ = total == 0;
+        sub_executed_any_ = false;  // reset; workers OR into it below
+      }
+      barrier_->Await();
+      // Publish whether anyone executed this round (progress detector).
+      if (executed > 0) sub_executed_any_ = true;
+      barrier_->Await();
+      if (sub_stop_) break;
+      if (!sub_executed_any_) {
+        // No vertex anywhere was ready: fork traffic is still in flight
+        // (it has simulated latency). Back off briefly; the protocol
+        // guarantees progress once the messages land.
+        if (++idle_rounds > 100000) {
+          SG_LOG(kFatal) << "constrained BSP locking stalled";
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      } else {
+        idle_rounds = 0;
+      }
+    }
+  }
+
+  /// Moves BSP `incoming` into `current` for this worker's partitions
+  /// (the sub-superstep variant of the swap in SwapAndCountActive).
+  void SubSwapIncoming(WorkerState& worker) {
+    for (PartitionId p : partitioning_.PartitionsOfWorker(worker.id)) {
+      PartitionStore& store = *stores_[p];
+      std::lock_guard<std::mutex> lock(store.mu);
+      const auto& vertices = partitioning_.VerticesOfPartition(p);
+      for (size_t i = 0; i < vertices.size(); ++i) {
+        auto& in = store.incoming[i];
+        if (in.empty()) continue;
+        auto& cur = store.current[i];
+        if (cur.empty()) ++store.pending;
+        if constexpr (kHasCombiner) {
+          for (const Message& m : in) AppendCombined(cur, m);
+        } else {
+          cur.insert(cur.end(), std::make_move_iterator(in.begin()),
+                     std::make_move_iterator(in.end()));
+        }
+        in.clear();
+      }
+      if (recorder_ != nullptr) {
+        for (const auto& [src, dst, version] : store.pending_notify) {
+          recorder_->OnDeliver(src, dst, version);
+        }
+        store.pending_notify.clear();
+      }
+    }
+  }
+
+  // --- worker main loop ------------------------------------------------
+
+  void WorkerLoop(WorkerState& worker, const Program& program) {
+    for (int superstep = start_superstep_;; ++superstep) {
+      if (options_.superstep_overhead_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(options_.superstep_overhead_us));
+      }
+      technique_->OnSuperstepStart(worker.id, superstep);
+      if (granularity_ == SyncTechnique::Granularity::kBspVertexLock) {
+        RunSuperstepConstrainedBsp(worker, program, superstep);
+      } else {
+        RunPartitions(worker, program, superstep);
+      }
+      FlushAndAwaitAcks(worker, superstep);
+      technique_->OnSuperstepEnd(worker.id, superstep);
+
+      barrier_->Await();  // B1: all superstep-s messages delivered
+      active_counts_[worker.id] = SwapAndCountActive(worker);
+      const bool serial = barrier_->Await();  // B2: counts published
+      if (serial) {
+        ReduceAggregates();
+        int64_t total = 0;
+        for (int64_t count : active_counts_) total += count;
+        supersteps_done_ = superstep + 1;
+        converged_ = total == 0;
+        const bool stop =
+            converged_ || superstep + 1 >= options_.max_supersteps;
+        if (!stop) MaybeCheckpoint(superstep + 1);
+        stop_.store(stop, std::memory_order_release);
+      }
+      barrier_->Await();  // B3: decision visible
+      if (stop_.load(std::memory_order_acquire)) break;
+    }
+  }
+
+  const Graph* graph_;
+  EngineOptions options_;
+  Partitioning partitioning_;
+  bool has_partitioning_ = false;
+  bool ran_ = false;
+
+  std::unique_ptr<BoundaryInfo> boundaries_;
+  std::unique_ptr<SyncTechnique> technique_;
+  SyncTechnique::Granularity granularity_ = SyncTechnique::Granularity::kNone;
+  MetricRegistry metrics_;
+  std::unique_ptr<Transport> transport_;
+  std::shared_ptr<HistoryRecorder> recorder_;
+
+  std::vector<VertexValue> values_;
+  std::vector<uint8_t> halted_;
+  std::vector<int32_t> local_index_;
+  std::vector<std::unique_ptr<PartitionStore>> stores_;
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+
+  std::unique_ptr<CyclicBarrier> barrier_;
+  std::vector<int64_t> active_counts_;
+  double global_aggregates_[kNumAggregatorSlots] = {};
+  std::atomic<bool> stop_{false};
+  bool sub_stop_ = false;
+  std::atomic<bool> sub_executed_any_{false};
+  int supersteps_done_ = 0;
+  int start_superstep_ = 0;
+  bool converged_ = false;
+  std::string last_checkpoint_path_;
+
+  Counter* messages_sent_ = nullptr;
+  Counter* local_sends_ = nullptr;
+  Counter* executions_ = nullptr;
+  Counter* flushes_ = nullptr;
+  Counter* skipped_partitions_ = nullptr;
+  Counter* sub_supersteps_ = nullptr;
+  MaxGauge* concurrency_ = nullptr;
+};
+
+template <typename Program>
+StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
+    const Program& program) {
+  SG_CHECK(!ran_);
+  ran_ = true;
+  SERIGRAPH_RETURN_IF_ERROR(Validate());
+  EnsurePartitioning();
+
+  const VertexId n = graph_->num_vertices();
+  const int num_workers = options_.num_workers;
+
+  // --- input loading phase (excluded from computation time) -----------
+  boundaries_ = std::make_unique<BoundaryInfo>(*graph_, partitioning_);
+  technique_ = MakeSyncTechnique(options_.sync_mode);
+  granularity_ = technique_->granularity();
+  if (technique_->RequiresSingleComputeThread()) {
+    options_.compute_threads_per_worker = 1;
+  }
+  SyncTechnique::Context tech_ctx;
+  tech_ctx.graph = graph_;
+  tech_ctx.partitioning = &partitioning_;
+  tech_ctx.boundaries = boundaries_.get();
+  tech_ctx.metrics = &metrics_;
+  SERIGRAPH_RETURN_IF_ERROR(technique_->Init(tech_ctx));
+
+  messages_sent_ = metrics_.GetCounter("pregel.messages_sent");
+  local_sends_ = metrics_.GetCounter("pregel.local_sends");
+  executions_ = metrics_.GetCounter("pregel.vertex_executions");
+  flushes_ = metrics_.GetCounter("pregel.flushes");
+  skipped_partitions_ = metrics_.GetCounter("pregel.skipped_partitions");
+  sub_supersteps_ = metrics_.GetCounter("pregel.sub_supersteps");
+  concurrency_ = metrics_.GetGauge("pregel.max_concurrent_executions");
+
+  transport_ = std::make_unique<Transport>(num_workers, options_.network,
+                                           &metrics_);
+  if (options_.record_history) {
+    recorder_ = std::make_shared<HistoryRecorder>(graph_, num_workers);
+  }
+
+  values_.resize(n);
+  halted_.assign(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    values_[v] = program.InitialValue(v, *graph_);
+  }
+  local_index_.assign(n, -1);
+  stores_.clear();
+  for (int p = 0; p < partitioning_.num_partitions(); ++p) {
+    const auto& vertices = partitioning_.VerticesOfPartition(p);
+    for (size_t i = 0; i < vertices.size(); ++i) {
+      local_index_[vertices[i]] = static_cast<int32_t>(i);
+    }
+    auto store = std::make_unique<PartitionStore>();
+    store->current.resize(vertices.size());
+    store->incoming.resize(options_.model == ComputationModel::kBsp
+                               ? vertices.size()
+                               : 0);
+    store->active = static_cast<int64_t>(vertices.size());
+    stores_.push_back(std::move(store));
+  }
+
+  if (!options_.restore_path.empty()) {
+    auto frame = ReadCheckpoint(options_.restore_path);
+    SERIGRAPH_RETURN_IF_ERROR(frame.status());
+    SERIGRAPH_RETURN_IF_ERROR(DecodeState(frame->payload));
+    start_superstep_ = frame->superstep;
+  }
+
+  barrier_ = std::make_unique<CyclicBarrier>(num_workers);
+  active_counts_.assign(num_workers, 0);
+
+  workers_.clear();
+  for (WorkerId w = 0; w < num_workers; ++w) {
+    auto worker = std::make_unique<WorkerState>();
+    worker->engine = this;
+    worker->id = w;
+    worker->touched = std::vector<std::atomic<uint8_t>>(num_workers);
+    for (int d = 0; d < num_workers; ++d) {
+      worker->out.push_back(std::make_unique<OutBuffer>());
+    }
+    if (options_.compute_threads_per_worker > 1) {
+      worker->pool =
+          std::make_unique<ThreadPool>(options_.compute_threads_per_worker);
+    }
+    workers_.push_back(std::move(worker));
+  }
+  for (auto& worker : workers_) {
+    technique_->BindWorker(worker->id, worker.get());
+  }
+  for (auto& worker : workers_) {
+    WorkerState* ws = worker.get();
+    ws->comm_thread = std::thread([this, ws] { CommLoop(*ws); });
+  }
+
+  // --- computation phase ----------------------------------------------
+  WallTimer timer;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(num_workers);
+    for (auto& worker : workers_) {
+      WorkerState* ws = worker.get();
+      threads.emplace_back(
+          [this, ws, &program] { WorkerLoop(*ws, program); });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double seconds = timer.ElapsedSeconds();
+
+  // --- teardown ---------------------------------------------------------
+  transport_->Shutdown();
+  for (auto& worker : workers_) {
+    if (worker->comm_thread.joinable()) worker->comm_thread.join();
+    if (worker->pool != nullptr) worker->pool->Shutdown();
+  }
+
+  Result result;
+  result.stats.supersteps = supersteps_done_;
+  result.stats.converged = converged_;
+  result.stats.computation_seconds = seconds;
+  result.stats.metrics = metrics_.Snapshot();
+  result.stats.metrics["pregel.supersteps"] = supersteps_done_;
+  for (int slot = 0; slot < kNumAggregatorSlots; ++slot) {
+    result.stats.aggregates[slot] = global_aggregates_[slot];
+  }
+  result.values = std::move(values_);
+  result.history = recorder_;
+  return result;
+}
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_PREGEL_ENGINE_H_

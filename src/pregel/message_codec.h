@@ -1,0 +1,28 @@
+#ifndef SERIGRAPH_PREGEL_MESSAGE_CODEC_H_
+#define SERIGRAPH_PREGEL_MESSAGE_CODEC_H_
+
+#include <type_traits>
+
+#include "common/serialize.h"
+
+namespace serigraph {
+
+/// Wire codec for vertex-to-vertex message payloads. The default handles
+/// any trivially copyable type by writing its object representation;
+/// programs with richer message types specialize MessageCodec<M>.
+template <typename M>
+struct MessageCodec {
+  static_assert(std::is_trivially_copyable_v<M>,
+                "specialize MessageCodec<M> for non-trivial message types");
+
+  static void Encode(BufferWriter& writer, const M& message) {
+    writer.AppendRaw(&message, sizeof(M));
+  }
+  static bool Decode(BufferReader& reader, M* message) {
+    return reader.ReadRaw(message, sizeof(M));
+  }
+};
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_PREGEL_MESSAGE_CODEC_H_

@@ -1,0 +1,15 @@
+#include "pregel/model.h"
+
+namespace serigraph {
+
+const char* ComputationModelName(ComputationModel model) {
+  switch (model) {
+    case ComputationModel::kBsp:
+      return "BSP";
+    case ComputationModel::kAsync:
+      return "AP";
+  }
+  return "?";
+}
+
+}  // namespace serigraph

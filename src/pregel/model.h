@@ -1,0 +1,105 @@
+#ifndef SERIGRAPH_PREGEL_MODEL_H_
+#define SERIGRAPH_PREGEL_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "net/transport.h"
+#include "sync/technique.h"
+
+namespace serigraph {
+
+/// Which computation model the engine runs (paper Section 2).
+enum class ComputationModel {
+  /// Bulk synchronous parallel: messages sent in superstep i are visible
+  /// only in superstep i+1, even between vertices of the same worker.
+  kBsp = 0,
+  /// Asynchronous parallel (Giraph async): messages become visible as
+  /// soon as they are received — local sends immediately, remote sends
+  /// when the receiving worker processes the batch. Global barriers
+  /// between supersteps are retained.
+  kAsync = 1,
+};
+
+const char* ComputationModelName(ComputationModel model);
+
+/// How vertices are assigned to partitions.
+enum class PartitionScheme {
+  kHash = 0,       ///< random hash partitioning (the paper's default)
+  kContiguous = 1, ///< contiguous ranges (used by tests/examples)
+};
+
+/// Configuration for one engine run.
+struct EngineOptions {
+  ComputationModel model = ComputationModel::kAsync;
+  /// Synchronization technique; any mode other than kNone requires
+  /// kAsync and makes the run serializable (Theorem 1).
+  SyncMode sync_mode = SyncMode::kNone;
+
+  /// Number of simulated worker machines.
+  int num_workers = 4;
+  /// Graph partitions per worker; 0 means the Giraph default of
+  /// |W| partitions per worker (paper Section 7.1).
+  int partitions_per_worker = 0;
+  /// Compute threads per worker (the paper's machines have 4 vCPUs).
+  /// Clamped to 1 when the technique requires it (single-layer token).
+  int compute_threads_per_worker = 2;
+
+  PartitionScheme partition_scheme = PartitionScheme::kHash;
+  uint64_t partition_seed = 0;
+
+  /// Simulated network behaviour.
+  NetworkOptions network;
+  /// Outgoing message buffer cache capacity per destination worker;
+  /// when a buffer exceeds this many bytes it is flushed (Giraph's
+  /// message buffer cache, Section 6.1). Set to 1 to disable batching.
+  int64_t message_batch_bytes = 64 * 1024;
+
+  /// Fixed extra cost charged to every worker every superstep, used by
+  /// the Giraphx emulation bench to model algorithm-level technique
+  /// implementations on an older, slower system.
+  int64_t superstep_overhead_us = 0;
+
+  /// Stop after this many supersteps even if not converged.
+  int max_supersteps = 100000;
+
+  /// Fault tolerance (paper Section 6.4): write a checkpoint after every
+  /// `checkpoint_every` supersteps into `checkpoint_dir` (0 = disabled).
+  /// Requires trivially copyable vertex values and messages.
+  int checkpoint_every = 0;
+  std::string checkpoint_dir;
+  /// Resume a run from this checkpoint file (same graph, same options).
+  std::string restore_path;
+
+  /// Record a transaction history for serializability checking
+  /// (Section 3). Adds overhead; meant for tests and audits.
+  bool record_history = false;
+};
+
+/// Outcome statistics of a run.
+struct RunStats {
+  static constexpr int kNumAggregatorSlots = 8;
+
+  int supersteps = 0;
+  /// True if the computation terminated (all vertices halted, no pending
+  /// messages) rather than hitting max_supersteps.
+  bool converged = false;
+  /// Wall-clock computation time: the superstep loop only, excluding
+  /// graph loading/partitioning and result extraction — the paper's
+  /// "computation time" metric (Section 7.3).
+  double computation_seconds = 0.0;
+  /// Snapshot of all engine/transport/technique counters.
+  std::map<std::string, int64_t> metrics;
+  /// Final global aggregator values (last superstep's reduction).
+  double aggregates[kNumAggregatorSlots] = {};
+
+  int64_t Metric(const std::string& name) const {
+    auto it = metrics.find(name);
+    return it == metrics.end() ? 0 : it->second;
+  }
+};
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_PREGEL_MODEL_H_

@@ -1,0 +1,227 @@
+#include "sync/chandy_misra.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace serigraph {
+
+ChandyMisraTable::ChandyMisraTable(Config config)
+    : config_(std::move(config)) {
+  SG_CHECK_GT(config_.num_workers, 0);
+  SG_CHECK(config_.worker_of != nullptr);
+  SG_CHECK(config_.metrics != nullptr);
+  SG_CHECK_EQ(static_cast<PhilosopherId>(config_.adjacency.size()),
+              config_.count);
+  SG_CHECK_NE(config_.request_tag, config_.transfer_tag);
+
+  fork_requests_ = config_.metrics->GetCounter("sync.fork_requests");
+  fork_transfers_ = config_.metrics->GetCounter("sync.fork_transfers");
+  cross_worker_transfers_ =
+      config_.metrics->GetCounter("sync.fork_transfers_cross_worker");
+  handover_flushes_ = config_.metrics->GetCounter("sync.handover_flushes");
+
+  shards_.reserve(config_.num_workers);
+  for (int w = 0; w < config_.num_workers; ++w) {
+    shards_.push_back(std::make_unique<WorkerShard>());
+  }
+
+  // Acyclic initial placement (Section 6.3): for each shared fork, the
+  // philosopher with the smaller id holds the request token and the one
+  // with the larger id holds the fork, dirty. Smaller ids therefore have
+  // initial precedence over all larger-id neighbors.
+  for (PhilosopherId p = 0; p < config_.count; ++p) {
+    WorkerShard& shard = *shards_[config_.worker_of(p)];
+    Philosopher& phil = shard.philosophers[p];
+    for (PhilosopherId q : config_.adjacency[p]) {
+      SG_CHECK_NE(p, q);
+      uint8_t bits = 0;
+      if (p > q) {
+        bits = kHasFork | kDirty;
+      } else {
+        bits = kHasToken;
+        ++num_forks_;
+      }
+      phil.edges.emplace(q, bits);
+    }
+  }
+}
+
+void ChandyMisraTable::BindWorker(WorkerId w, WorkerHandle* handle) {
+  SG_CHECK(handle != nullptr);
+  shards_[w]->handle = handle;
+}
+
+void ChandyMisraTable::Acquire(PhilosopherId p) {
+  WorkerShard& shard = ShardOf(p);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  Philosopher& phil = shard.philosophers[p];
+  SG_CHECK(phil.state == State::kThinking);
+  phil.state = State::kHungry;
+  phil.missing_forks = 0;
+  for (auto& [q, bits] : phil.edges) {
+    if ((bits & kHasFork) != 0) continue;
+    ++phil.missing_forks;
+    if ((bits & kHasToken) != 0) {
+      bits &= ~kHasToken;
+      SendRequestLocked(p, q);
+    }
+    // Without the token, the request is already outstanding: we sent the
+    // token away earlier and the fork will arrive eventually.
+  }
+  // Wait until all forks are held. The generous timeout is a test-friendly
+  // deadlock detector; the protocol itself is deadlock-free.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(300);
+  while (phil.missing_forks > 0) {
+    if (shard.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      SG_LOG(kFatal) << "Chandy-Misra acquire stalled for philosopher " << p
+                     << " (missing " << phil.missing_forks << " forks)";
+    }
+  }
+  phil.state = State::kEating;
+}
+
+void ChandyMisraTable::Release(PhilosopherId p) {
+  WorkerShard& shard = ShardOf(p);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Philosopher& phil = shard.philosophers[p];
+  SG_CHECK(phil.state == State::kEating);
+  phil.state = State::kThinking;
+  for (auto& [q, bits] : phil.edges) {
+    if ((bits & kHasFork) != 0) {
+      bits |= kDirty;  // forks were used to eat
+      if ((bits & kHasToken) != 0) {
+        // Deferred request: the neighbor asked while we were eating.
+        // Hand over the fork (cleaned); we keep the request token.
+        bits &= ~(kHasFork | kDirty);
+        SendTransferLocked(p, q);
+      }
+    }
+  }
+}
+
+bool ChandyMisraTable::HoldsAllForks(PhilosopherId p) {
+  WorkerShard& shard = ShardOf(p);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Philosopher& phil = shard.philosophers[p];
+  for (const auto& [q, bits] : phil.edges) {
+    if ((bits & kHasFork) == 0) return false;
+  }
+  return true;
+}
+
+void ChandyMisraTable::RequestMissingForks(PhilosopherId p) {
+  WorkerShard& shard = ShardOf(p);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Philosopher& phil = shard.philosophers[p];
+  for (auto& [q, bits] : phil.edges) {
+    if ((bits & kHasFork) != 0 || (bits & kHasToken) == 0) continue;
+    bits &= ~kHasToken;
+    SendRequestLocked(p, q);
+  }
+}
+
+void ChandyMisraTable::MarkEaten(PhilosopherId p) {
+  WorkerShard& shard = ShardOf(p);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Philosopher& phil = shard.philosophers[p];
+  SG_CHECK(phil.state == State::kThinking);
+  for (auto& [q, bits] : phil.edges) {
+    if ((bits & kHasFork) == 0) continue;
+    bits |= kDirty;
+    if ((bits & kHasToken) != 0) {
+      bits &= ~(kHasFork | kDirty);
+      SendTransferLocked(p, q);
+    }
+  }
+}
+
+void ChandyMisraTable::HandleControl(WorkerId w, const WireMessage& msg) {
+  WorkerShard& shard = *shards_[w];
+  const PhilosopherId from = msg.a;
+  const PhilosopherId to = msg.b;
+  SG_CHECK_EQ(config_.worker_of(to), w);
+  if (msg.tag == config_.request_tag) {
+    OnRequest(shard, from, to);
+  } else if (msg.tag == config_.transfer_tag) {
+    OnTransfer(shard, from, to);
+  } else {
+    SG_LOG(kFatal) << "unknown control tag " << msg.tag;
+  }
+}
+
+void ChandyMisraTable::SendRequestLocked(PhilosopherId p, PhilosopherId q) {
+  fork_requests_->Increment();
+  WorkerShard& shard = ShardOf(p);
+  SG_CHECK(shard.handle != nullptr);
+  shard.handle->SendControl(config_.worker_of(q), config_.request_tag, p, q,
+                            0);
+}
+
+void ChandyMisraTable::SendTransferLocked(PhilosopherId p, PhilosopherId q) {
+  fork_transfers_->Increment();
+  WorkerShard& shard = ShardOf(p);
+  SG_CHECK(shard.handle != nullptr);
+  const WorkerId dst = config_.worker_of(q);
+  if (dst != shard.handle->worker_id()) {
+    // Write-all rule (condition C1): pending remote replica updates must
+    // reach `dst` before the fork does. The transport's per-pair FIFO
+    // turns this flush-then-send into delivery-before-handover.
+    handover_flushes_->Increment();
+    shard.handle->FlushRemoteTo(dst);
+    cross_worker_transfers_->Increment();
+  }
+  shard.handle->SendControl(dst, config_.transfer_tag, p, q, 0);
+}
+
+void ChandyMisraTable::OnRequest(WorkerShard& shard, PhilosopherId from,
+                                 PhilosopherId to) {
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Philosopher& phil = shard.philosophers[to];
+  auto it = phil.edges.find(from);
+  SG_CHECK(it != phil.edges.end());
+  uint8_t& bits = it->second;
+  // The requester relinquished the token; it now rests with us. The fork
+  // must be here: exactly one endpoint holds it and the requester did not.
+  SG_CHECK((bits & kHasToken) == 0);
+  SG_CHECK((bits & kHasFork) != 0);
+  bits |= kHasToken;
+
+  const bool dirty = (bits & kDirty) != 0;
+  if (phil.state == State::kEating || !dirty) {
+    // Defer: an eating philosopher finishes first (hygiene); a clean fork
+    // means we are hungry and have priority for it.
+    return;
+  }
+  // Thinking-or-hungry with a dirty fork: we must yield it.
+  bits &= ~(kHasFork | kDirty);
+  SendTransferLocked(to, from);
+  if (phil.state == State::kHungry) {
+    // We still need the fork: spend the token we just received to ask for
+    // it back. The fork will return clean and then cannot be taken again.
+    ++phil.missing_forks;
+    bits &= ~kHasToken;
+    SendRequestLocked(to, from);
+  }
+}
+
+void ChandyMisraTable::OnTransfer(WorkerShard& shard, PhilosopherId from,
+                                  PhilosopherId to) {
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Philosopher& phil = shard.philosophers[to];
+  auto it = phil.edges.find(from);
+  SG_CHECK(it != phil.edges.end());
+  uint8_t& bits = it->second;
+  SG_CHECK((bits & kHasFork) == 0);
+  bits |= kHasFork;   // forks always arrive clean
+  bits &= ~kDirty;
+  if (phil.state == State::kHungry) {
+    SG_CHECK_GT(phil.missing_forks, 0);
+    if (--phil.missing_forks == 0) {
+      shard.cv.notify_all();
+    }
+  }
+}
+
+}  // namespace serigraph

@@ -1,0 +1,154 @@
+#ifndef SERIGRAPH_SYNC_CHANDY_MISRA_H_
+#define SERIGRAPH_SYNC_CHANDY_MISRA_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "sync/technique.h"
+
+namespace serigraph {
+
+/// Generic hygienic dining philosophers coordinator (Chandy & Misra 1984),
+/// the machinery behind both vertex-based (Section 4.3) and
+/// partition-based (Section 5.4) distributed locking. Philosophers are
+/// identified by dense int64 ids; the instantiation decides whether an id
+/// is a vertex or a partition.
+///
+/// Protocol state per (philosopher, neighbor) pair is a byte in a
+/// dual-layer hash map (philosopher id -> neighbor id -> bits), exactly
+/// the representation the paper describes in Section 6.3. Initial
+/// placement is acyclic: for every edge the smaller id holds the request
+/// token and the larger id holds the fork, dirty.
+///
+/// Guarantees (from the Chandy-Misra algorithm): no two neighbors eat
+/// concurrently, no deadlock, no starvation. The flush callback is
+/// invoked before a fork is transferred to a philosopher owned by a
+/// different worker, implementing the write-all rule (condition C1).
+class ChandyMisraTable {
+ public:
+  using PhilosopherId = int64_t;
+
+  struct Config {
+    /// Number of philosophers (ids are [0, count)).
+    PhilosopherId count = 0;
+    /// Neighbor lists; adjacency must be symmetric and self-free.
+    std::vector<std::vector<PhilosopherId>> adjacency;
+    /// Owning worker of each philosopher.
+    std::function<WorkerId(PhilosopherId)> worker_of;
+    int num_workers = 0;
+    /// Control-message tags to use on the wire (distinct per instance).
+    uint32_t request_tag = 0;
+    uint32_t transfer_tag = 1;
+    MetricRegistry* metrics = nullptr;
+  };
+
+  explicit ChandyMisraTable(Config config);
+
+  ChandyMisraTable(const ChandyMisraTable&) = delete;
+  ChandyMisraTable& operator=(const ChandyMisraTable&) = delete;
+
+  /// Registers the handle used to send control messages / flush for
+  /// philosophers owned by worker `w`.
+  void BindWorker(WorkerId w, WorkerHandle* handle);
+
+  /// Blocks the calling (compute) thread until `p` holds all its forks;
+  /// marks `p` eating. Fatal after a long stall (deadlock detector for
+  /// tests; the protocol itself cannot deadlock).
+  void Acquire(PhilosopherId p);
+
+  /// Marks `p` thinking, dirties its forks, and serves deferred requests.
+  void Release(PhilosopherId p);
+
+  // --- barrier-synchronized mode (paper Proposition 1) -----------------
+  // The constrained technique for synchronous models never blocks inside
+  // Acquire; instead the engine polls readiness between sub-supersteps
+  // and executes only philosophers that hold every fork. Philosophers
+  // stay in the thinking state throughout, so requests arriving between
+  // sub-supersteps are served immediately (dirty forks yield) or
+  // deferred (clean forks stick with their next eater).
+
+  /// True if `p` currently holds all of its forks.
+  bool HoldsAllForks(PhilosopherId p);
+
+  /// Sends requests for every fork `p` is missing and still has the
+  /// request token for. Idempotent across sub-supersteps: once the token
+  /// is spent the request is outstanding.
+  void RequestMissingForks(PhilosopherId p);
+
+  /// Records that `p` just executed (between barriers): its forks become
+  /// dirty and deferred requests are served. The engine must guarantee
+  /// no neighbor executed concurrently (it does, by construction).
+  void MarkEaten(PhilosopherId p);
+
+  /// Handles a REQUEST or TRANSFER control message addressed to a
+  /// philosopher owned by worker `w`. Called from comm threads.
+  void HandleControl(WorkerId w, const WireMessage& msg);
+
+  /// True if `msg` belongs to this table (by tag).
+  bool Owns(const WireMessage& msg) const {
+    return msg.tag == config_.request_tag || msg.tag == config_.transfer_tag;
+  }
+
+  /// Number of shared forks (edges in the philosopher adjacency).
+  int64_t num_forks() const { return num_forks_; }
+
+ private:
+  enum class State : uint8_t { kThinking = 0, kHungry = 1, kEating = 2 };
+
+  // Bits of the per-edge state byte (Section 6.3).
+  static constexpr uint8_t kHasFork = 1;
+  static constexpr uint8_t kDirty = 2;
+  static constexpr uint8_t kHasToken = 4;
+
+  struct Philosopher {
+    State state = State::kThinking;
+    int missing_forks = 0;
+    /// neighbor id -> state byte.
+    std::unordered_map<PhilosopherId, uint8_t> edges;
+  };
+
+  /// All philosophers of one worker share a mutex + cv; cross-worker
+  /// interaction happens only via control messages.
+  struct WorkerShard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<PhilosopherId, Philosopher> philosophers;
+    WorkerHandle* handle = nullptr;
+  };
+
+  WorkerShard& ShardOf(PhilosopherId p) {
+    return *shards_[config_.worker_of(p)];
+  }
+
+  /// Sends REQUEST(p -> q): p gives up the request token to ask q for the
+  /// shared fork. Caller holds p's shard lock.
+  void SendRequestLocked(PhilosopherId p, PhilosopherId q);
+
+  /// Sends TRANSFER(p -> q): p relinquishes the (cleaned) fork to q,
+  /// flushing data messages first if q lives on another worker. Caller
+  /// holds p's shard lock.
+  void SendTransferLocked(PhilosopherId p, PhilosopherId q);
+
+  void OnRequest(WorkerShard& shard, PhilosopherId from, PhilosopherId to);
+  void OnTransfer(WorkerShard& shard, PhilosopherId from, PhilosopherId to);
+
+  Config config_;
+  std::vector<std::unique_ptr<WorkerShard>> shards_;
+  int64_t num_forks_ = 0;
+
+  Counter* fork_requests_ = nullptr;
+  Counter* fork_transfers_ = nullptr;
+  Counter* cross_worker_transfers_ = nullptr;
+  Counter* handover_flushes_ = nullptr;
+};
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_SYNC_CHANDY_MISRA_H_

@@ -1,0 +1,184 @@
+#include "sync/distributed_locking.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace serigraph {
+
+Status PartitionBasedLocking::Init(const Context& ctx) {
+  SG_CHECK(ctx.graph != nullptr);
+  SG_CHECK(ctx.partitioning != nullptr);
+
+  ChandyMisraTable::Config config;
+  config.count = ctx.partitioning->num_partitions();
+  auto adjacency = BuildPartitionGraph(*ctx.graph, *ctx.partitioning);
+  config.adjacency.assign(adjacency.size(), {});
+  for (size_t p = 0; p < adjacency.size(); ++p) {
+    config.adjacency[p].assign(adjacency[p].begin(), adjacency[p].end());
+  }
+  const Partitioning* partitioning = ctx.partitioning;
+  config.worker_of = [partitioning](int64_t p) {
+    return partitioning->WorkerOfPartition(static_cast<PartitionId>(p));
+  };
+  config.num_workers = partitioning->num_workers();
+  config.request_tag = kRequestTag;
+  config.transfer_tag = kTransferTag;
+  config.metrics = ctx.metrics;
+  table_ = std::make_unique<ChandyMisraTable>(std::move(config));
+  ctx.metrics->GetCounter("sync.num_forks")->Add(table_->num_forks());
+  return Status::OK();
+}
+
+void PartitionBasedLocking::BindWorker(WorkerId w, WorkerHandle* handle) {
+  table_->BindWorker(w, handle);
+}
+
+void PartitionBasedLocking::AcquirePartition(WorkerId w, PartitionId p) {
+  (void)w;
+  table_->Acquire(p);
+}
+
+void PartitionBasedLocking::ReleasePartition(WorkerId w, PartitionId p) {
+  (void)w;
+  table_->Release(p);
+}
+
+void PartitionBasedLocking::HandleControl(WorkerId w, const WireMessage& msg) {
+  table_->HandleControl(w, msg);
+}
+
+Status VertexBasedLocking::Init(const Context& ctx) {
+  SG_CHECK(ctx.graph != nullptr);
+  SG_CHECK(ctx.partitioning != nullptr);
+  const Graph& graph = *ctx.graph;
+
+  // Philosopher adjacency = union of in- and out-neighbors (Section 3.5:
+  // a vertex must not run concurrently with either kind of neighbor).
+  ChandyMisraTable::Config config;
+  config.count = graph.num_vertices();
+  config.adjacency.resize(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    auto& nbrs = config.adjacency[v];
+    auto out = graph.OutNeighbors(v);
+    auto in = graph.InNeighbors(v);
+    nbrs.reserve(out.size() + in.size());
+    nbrs.assign(out.begin(), out.end());
+    nbrs.insert(nbrs.end(), in.begin(), in.end());
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  const Partitioning* partitioning = ctx.partitioning;
+  config.worker_of = [partitioning](int64_t v) {
+    return partitioning->WorkerOf(static_cast<VertexId>(v));
+  };
+  config.num_workers = partitioning->num_workers();
+  config.request_tag = kRequestTag;
+  config.transfer_tag = kTransferTag;
+  config.metrics = ctx.metrics;
+  table_ = std::make_unique<ChandyMisraTable>(std::move(config));
+  ctx.metrics->GetCounter("sync.num_forks")->Add(table_->num_forks());
+  return Status::OK();
+}
+
+void VertexBasedLocking::BindWorker(WorkerId w, WorkerHandle* handle) {
+  table_->BindWorker(w, handle);
+}
+
+void VertexBasedLocking::AcquireVertex(WorkerId w, VertexId v) {
+  (void)w;
+  table_->Acquire(v);
+}
+
+void VertexBasedLocking::ReleaseVertex(WorkerId w, VertexId v) {
+  (void)w;
+  table_->Release(v);
+}
+
+void VertexBasedLocking::HandleControl(WorkerId w, const WireMessage& msg) {
+  table_->HandleControl(w, msg);
+}
+
+namespace {
+
+/// Shared philosopher-adjacency builder: union of in- and out-neighbors.
+std::vector<std::vector<int64_t>> VertexAdjacency(const Graph& graph) {
+  std::vector<std::vector<int64_t>> adjacency(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    auto& nbrs = adjacency[v];
+    auto out = graph.OutNeighbors(v);
+    auto in = graph.InNeighbors(v);
+    nbrs.reserve(out.size() + in.size());
+    nbrs.assign(out.begin(), out.end());
+    nbrs.insert(nbrs.end(), in.begin(), in.end());
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  return adjacency;
+}
+
+}  // namespace
+
+Status ConstrainedBspVertexLocking::Init(const Context& ctx) {
+  SG_CHECK(ctx.graph != nullptr);
+  SG_CHECK(ctx.partitioning != nullptr);
+  ChandyMisraTable::Config config;
+  config.count = ctx.graph->num_vertices();
+  config.adjacency = VertexAdjacency(*ctx.graph);
+  const Partitioning* partitioning = ctx.partitioning;
+  config.worker_of = [partitioning](int64_t v) {
+    return partitioning->WorkerOf(static_cast<VertexId>(v));
+  };
+  config.num_workers = partitioning->num_workers();
+  config.request_tag = kRequestTag;
+  config.transfer_tag = kTransferTag;
+  config.metrics = ctx.metrics;
+  table_ = std::make_unique<ChandyMisraTable>(std::move(config));
+  ctx.metrics->GetCounter("sync.num_forks")->Add(table_->num_forks());
+  queues_.clear();
+  for (int w = 0; w < partitioning->num_workers(); ++w) {
+    queues_.push_back(std::make_unique<PendingControl>());
+  }
+  return Status::OK();
+}
+
+void ConstrainedBspVertexLocking::BindWorker(WorkerId w,
+                                             WorkerHandle* handle) {
+  table_->BindWorker(w, handle);
+}
+
+bool ConstrainedBspVertexLocking::VertexReady(WorkerId w, VertexId v) {
+  (void)w;
+  return table_->HoldsAllForks(v);
+}
+
+void ConstrainedBspVertexLocking::RequestVertexForks(WorkerId w, VertexId v) {
+  (void)w;
+  table_->RequestMissingForks(v);
+}
+
+void ConstrainedBspVertexLocking::OnVertexExecuted(WorkerId w, VertexId v) {
+  (void)w;
+  table_->MarkEaten(v);
+}
+
+void ConstrainedBspVertexLocking::HandleControl(WorkerId w,
+                                                const WireMessage& msg) {
+  PendingControl& queue = *queues_[w];
+  std::lock_guard<std::mutex> lock(queue.mu);
+  queue.messages.push_back(msg);
+}
+
+void ConstrainedBspVertexLocking::OnSubBarrier(WorkerId w) {
+  PendingControl& queue = *queues_[w];
+  std::vector<WireMessage> drained;
+  {
+    std::lock_guard<std::mutex> lock(queue.mu);
+    drained.swap(queue.messages);
+  }
+  for (const WireMessage& msg : drained) {
+    table_->HandleControl(w, msg);
+  }
+}
+
+}  // namespace serigraph

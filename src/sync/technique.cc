@@ -1,0 +1,46 @@
+#include "sync/technique.h"
+
+#include "common/logging.h"
+#include "sync/distributed_locking.h"
+#include "sync/token_passing.h"
+
+namespace serigraph {
+
+const char* SyncModeName(SyncMode mode) {
+  switch (mode) {
+    case SyncMode::kNone:
+      return "none";
+    case SyncMode::kSingleLayerToken:
+      return "single-token";
+    case SyncMode::kDualLayerToken:
+      return "dual-token";
+    case SyncMode::kVertexLocking:
+      return "vertex-locking";
+    case SyncMode::kPartitionLocking:
+      return "partition-locking";
+    case SyncMode::kConstrainedBspLocking:
+      return "bsp-constrained-locking";
+  }
+  return "?";
+}
+
+std::unique_ptr<SyncTechnique> MakeSyncTechnique(SyncMode mode) {
+  switch (mode) {
+    case SyncMode::kNone:
+      return std::make_unique<NoSync>();
+    case SyncMode::kSingleLayerToken:
+      return std::make_unique<SingleLayerTokenPassing>();
+    case SyncMode::kDualLayerToken:
+      return std::make_unique<DualLayerTokenPassing>();
+    case SyncMode::kVertexLocking:
+      return std::make_unique<VertexBasedLocking>();
+    case SyncMode::kPartitionLocking:
+      return std::make_unique<PartitionBasedLocking>();
+    case SyncMode::kConstrainedBspLocking:
+      return std::make_unique<ConstrainedBspVertexLocking>();
+  }
+  SG_LOG(kFatal) << "unknown sync mode";
+  return nullptr;
+}
+
+}  // namespace serigraph

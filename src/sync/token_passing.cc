@@ -1,0 +1,125 @@
+#include "sync/token_passing.h"
+
+#include "common/logging.h"
+
+namespace serigraph {
+
+Status SingleLayerTokenPassing::Init(const Context& ctx) {
+  SG_CHECK(ctx.boundaries != nullptr);
+  SG_CHECK(ctx.partitioning != nullptr);
+  boundaries_ = ctx.boundaries;
+  num_workers_ = ctx.partitioning->num_workers();
+  handles_.assign(num_workers_, nullptr);
+  token_passes_ = ctx.metrics->GetCounter("sync.global_token_passes");
+  return Status::OK();
+}
+
+void SingleLayerTokenPassing::BindWorker(WorkerId w, WorkerHandle* handle) {
+  handles_[w] = handle;
+}
+
+bool SingleLayerTokenPassing::MayExecuteVertex(WorkerId w, int superstep,
+                                               VertexId v) {
+  // m-internal vertices are safe under the worker's single thread;
+  // m-boundary vertices additionally need the global token.
+  return boundaries_->IsMInternal(v) || HolderOf(superstep) == w;
+}
+
+void SingleLayerTokenPassing::OnSuperstepEnd(WorkerId w, int superstep) {
+  if (num_workers_ < 2) return;
+  if (HolderOf(superstep) != w) return;
+  // The engine has already flushed and acked all remote messages for this
+  // superstep (write-all, C1), so the token may move.
+  token_passes_->Increment();
+  handles_[w]->SendControl(HolderOf(superstep + 1), kTokenTag, superstep, 0,
+                           0);
+}
+
+void SingleLayerTokenPassing::HandleControl(WorkerId w,
+                                            const WireMessage& msg) {
+  // The handover schedule is deterministic; the message exists so that the
+  // token's network cost is accounted for. Nothing to update.
+  (void)w;
+  (void)msg;
+}
+
+Status DualLayerTokenPassing::Init(const Context& ctx) {
+  SG_CHECK(ctx.boundaries != nullptr);
+  SG_CHECK(ctx.partitioning != nullptr);
+  partitioning_ = ctx.partitioning;
+  boundaries_ = ctx.boundaries;
+  num_workers_ = partitioning_->num_workers();
+  total_partitions_ = partitioning_->num_partitions();
+  window_start_.assign(num_workers_, 0);
+  int acc = 0;
+  for (WorkerId w = 0; w < num_workers_; ++w) {
+    window_start_[w] = acc;
+    acc += static_cast<int>(partitioning_->PartitionsOfWorker(w).size());
+  }
+  SG_CHECK_EQ(acc, total_partitions_);
+  handles_.assign(num_workers_, nullptr);
+  global_token_passes_ = ctx.metrics->GetCounter("sync.global_token_passes");
+  local_token_passes_ = ctx.metrics->GetCounter("sync.local_token_passes");
+  return Status::OK();
+}
+
+void DualLayerTokenPassing::BindWorker(WorkerId w, WorkerHandle* handle) {
+  handles_[w] = handle;
+}
+
+WorkerId DualLayerTokenPassing::GlobalHolderOf(int superstep) const {
+  const int pos = superstep % total_partitions_;
+  // Workers hold the token for a window equal to their partition count
+  // (Section 5.3: "each worker must hold the global token for a number of
+  // iterations equal to the number of partitions it owns").
+  for (WorkerId w = num_workers_ - 1; w >= 0; --w) {
+    if (pos >= window_start_[w]) return w;
+  }
+  return 0;
+}
+
+PartitionId DualLayerTokenPassing::LocalTokenPartition(WorkerId w,
+                                                       int superstep) const {
+  const auto& parts = partitioning_->PartitionsOfWorker(w);
+  if (parts.empty()) return kInvalidPartition;
+  return parts[superstep % parts.size()];
+}
+
+bool DualLayerTokenPassing::MayExecuteVertex(WorkerId w, int superstep,
+                                             VertexId v) {
+  switch (boundaries_->LocalityOf(v)) {
+    case VertexLocality::kPInternal:
+      return true;
+    case VertexLocality::kLocalBoundary:
+      return partitioning_->PartitionOf(v) ==
+             LocalTokenPartition(w, superstep);
+    case VertexLocality::kRemoteBoundary:
+      return GlobalHolderOf(superstep) == w;
+    case VertexLocality::kMixedBoundary:
+      return GlobalHolderOf(superstep) == w &&
+             partitioning_->PartitionOf(v) ==
+                 LocalTokenPartition(w, superstep);
+  }
+  return false;
+}
+
+void DualLayerTokenPassing::OnSuperstepEnd(WorkerId w, int superstep) {
+  // Local token rotation is in-worker bookkeeping (no wire traffic).
+  if (partitioning_->PartitionsOfWorker(w).size() > 1) {
+    local_token_passes_->Increment();
+  }
+  if (num_workers_ < 2) return;
+  const WorkerId holder = GlobalHolderOf(superstep);
+  const WorkerId next = GlobalHolderOf(superstep + 1);
+  if (holder == w && next != w) {
+    global_token_passes_->Increment();
+    handles_[w]->SendControl(next, kTokenTag, superstep, 0, 0);
+  }
+}
+
+void DualLayerTokenPassing::HandleControl(WorkerId w, const WireMessage& msg) {
+  (void)w;
+  (void)msg;
+}
+
+}  // namespace serigraph

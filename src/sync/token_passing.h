@@ -1,0 +1,95 @@
+#ifndef SERIGRAPH_SYNC_TOKEN_PASSING_H_
+#define SERIGRAPH_SYNC_TOKEN_PASSING_H_
+
+#include <vector>
+
+#include "sync/technique.h"
+
+namespace serigraph {
+
+/// Single-layer token passing (Section 4.2, as in Giraphx): one exclusive
+/// global token rotates round-robin through a fixed logical ring of
+/// workers, one hop per superstep. The holder may execute its m-boundary
+/// vertices; every worker always executes its m-internal vertices, which
+/// is safe only because workers are single-threaded under this technique.
+///
+/// The ring schedule is deterministic (holder of superstep s is
+/// s mod |W|), mirroring the fixed ring the paper criticizes: finished
+/// workers still occupy ring slots. A token control message is sent at
+/// each handover so the traffic shows up in the transport counters; the
+/// write-all flush (C1) happens in the engine's superstep-end phase,
+/// before OnSuperstepEnd fires.
+class SingleLayerTokenPassing final : public SyncTechnique {
+ public:
+  Status Init(const Context& ctx) override;
+  void BindWorker(WorkerId w, WorkerHandle* handle) override;
+  Granularity granularity() const override {
+    return Granularity::kVertexGate;
+  }
+  bool RequiresSingleComputeThread() const override { return true; }
+
+  bool MayExecuteVertex(WorkerId w, int superstep, VertexId v) override;
+  void OnSuperstepEnd(WorkerId w, int superstep) override;
+  void HandleControl(WorkerId w, const WireMessage& msg) override;
+
+  /// Ring position: which worker holds the global token in `superstep`.
+  WorkerId HolderOf(int superstep) const {
+    return static_cast<WorkerId>(superstep % num_workers_);
+  }
+
+  static constexpr uint32_t kTokenTag = 10;
+
+ private:
+  const BoundaryInfo* boundaries_ = nullptr;
+  int num_workers_ = 0;
+  std::vector<WorkerHandle*> handles_;
+  Counter* token_passes_ = nullptr;
+};
+
+/// Dual-layer token passing (Section 5.3): a global token rotates between
+/// workers while each worker circulates a local token among its own
+/// partitions. Vertex categories (Section 5.3 / VertexLocality) decide
+/// which tokens a vertex needs:
+///   p-internal      : none
+///   local boundary  : local token at its partition
+///   remote boundary : global token at its worker
+///   mixed boundary  : both
+/// A worker keeps the global token for as many supersteps as it owns
+/// partitions, so every mixed-boundary vertex gets a superstep where both
+/// tokens line up. Multithreaded workers are safe (unlike single-layer).
+class DualLayerTokenPassing final : public SyncTechnique {
+ public:
+  Status Init(const Context& ctx) override;
+  void BindWorker(WorkerId w, WorkerHandle* handle) override;
+  Granularity granularity() const override {
+    return Granularity::kVertexGate;
+  }
+
+  bool MayExecuteVertex(WorkerId w, int superstep, VertexId v) override;
+  void OnSuperstepEnd(WorkerId w, int superstep) override;
+  void HandleControl(WorkerId w, const WireMessage& msg) override;
+
+  /// Which worker holds the global token in `superstep`.
+  WorkerId GlobalHolderOf(int superstep) const;
+  /// Which of worker `w`'s partitions holds its local token in `superstep`.
+  PartitionId LocalTokenPartition(WorkerId w, int superstep) const;
+
+  static constexpr uint32_t kTokenTag = 11;
+
+ private:
+  const Partitioning* partitioning_ = nullptr;
+  const BoundaryInfo* boundaries_ = nullptr;
+  int num_workers_ = 0;
+  int total_partitions_ = 0;
+  /// Start of each worker's global-token window within one full cycle of
+  /// length |P| (worker w holds during [window_start_[w],
+  /// window_start_[w] + partitions(w))).
+  std::vector<int> window_start_;
+  std::vector<WorkerHandle*> handles_;
+  Counter* global_token_passes_ = nullptr;
+  Counter* local_token_passes_ = nullptr;
+};
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_SYNC_TOKEN_PASSING_H_

@@ -1,0 +1,240 @@
+#include "verify/history.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace serigraph {
+
+HistoryRecorder::HistoryRecorder(const Graph* graph, int num_workers)
+    : graph_(graph) {
+  SG_CHECK(graph != nullptr);
+  SG_CHECK_GT(num_workers, 0);
+  const VertexId n = graph->num_vertices();
+  versions_ = std::vector<std::atomic<uint64_t>>(n);
+  delivered_ = std::vector<std::atomic<uint64_t>>(graph->num_edges());
+  in_offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    in_offsets_[v + 1] = in_offsets_[v] + graph->InDegree(v);
+  }
+  logs_.reserve(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    logs_.push_back(std::make_unique<WorkerLog>());
+  }
+}
+
+int64_t HistoryRecorder::InEdgeIndex(VertexId src, VertexId dst) const {
+  auto in = graph_->InNeighbors(dst);
+  auto it = std::lower_bound(in.begin(), in.end(), src);
+  SG_CHECK(it != in.end() && *it == src);
+  return in_offsets_[dst] + (it - in.begin());
+}
+
+uint64_t HistoryRecorder::OnTxnBegin(WorkerId w, VertexId v, int superstep) {
+  TxnRecord rec;
+  rec.vertex = v;
+  rec.worker = w;
+  rec.superstep = superstep;
+  rec.start = clock_.fetch_add(1, std::memory_order_acq_rel);
+  // Snapshot the read set: what v's replica view says about each
+  // in-neighbor vs. the neighbor's primary copy right now. Under C2 no
+  // neighbor is mid-execution, so this pair is well-defined.
+  auto in = graph_->InNeighbors(v);
+  rec.reads.reserve(in.size());
+  for (VertexId u : in) {
+    TxnRecord::Read read;
+    read.neighbor = u;
+    read.seen_version =
+        delivered_[InEdgeIndex(u, v)].load(std::memory_order_acquire);
+    read.current_version = versions_[u].load(std::memory_order_acquire);
+    rec.reads.push_back(read);
+  }
+  rec.written_version = versions_[v].load(std::memory_order_acquire) + 1;
+  WorkerLog& log = *logs_[w];
+  uint64_t version = rec.written_version;
+  {
+    std::lock_guard<std::mutex> lock(log.mu);
+    log.open.push_back(std::move(rec));
+  }
+  return version;
+}
+
+void HistoryRecorder::OnTxnEnd(WorkerId w, VertexId v, bool published) {
+  WorkerLog& log = *logs_[w];
+  std::lock_guard<std::mutex> lock(log.mu);
+  auto it = std::find_if(log.open.rbegin(), log.open.rend(),
+                         [v](const TxnRecord& r) { return r.vertex == v; });
+  SG_CHECK(it != log.open.rend());
+  TxnRecord rec = std::move(*it);
+  log.open.erase(std::next(it).base());
+  if (published) {
+    versions_[v].store(rec.written_version, std::memory_order_release);
+  } else {
+    rec.written_version = 0;
+  }
+  rec.end = clock_.fetch_add(1, std::memory_order_acq_rel);
+  log.records.push_back(std::move(rec));
+}
+
+void HistoryRecorder::OnDeliver(VertexId src, VertexId dst,
+                                uint64_t version) {
+  std::atomic<uint64_t>& slot = delivered_[InEdgeIndex(src, dst)];
+  // Versions from one sender arrive in order, but be robust anyway.
+  uint64_t prev = slot.load(std::memory_order_relaxed);
+  while (version > prev && !slot.compare_exchange_weak(
+                               prev, version, std::memory_order_acq_rel)) {
+  }
+}
+
+std::vector<TxnRecord> HistoryRecorder::TakeRecords() {
+  std::vector<TxnRecord> all;
+  for (auto& log : logs_) {
+    std::lock_guard<std::mutex> lock(log->mu);
+    SG_CHECK(log->open.empty());
+    all.insert(all.end(), std::make_move_iterator(log->records.begin()),
+               std::make_move_iterator(log->records.end()));
+    log->records.clear();
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TxnRecord& a, const TxnRecord& b) {
+              return a.start < b.start;
+            });
+  return all;
+}
+
+namespace {
+
+void AddViolation(HistoryCheck* check, const std::string& text) {
+  if (check->violation_samples.size() < 8) {
+    check->violation_samples.push_back(text);
+  }
+}
+
+}  // namespace
+
+HistoryCheck CheckHistory(const Graph& graph, std::vector<TxnRecord> records) {
+  HistoryCheck check;
+  check.num_transactions = static_cast<int64_t>(records.size());
+
+  // --- Condition C1: every read fresh. -----------------------------------
+  for (const TxnRecord& rec : records) {
+    for (const TxnRecord::Read& read : rec.reads) {
+      if (read.seen_version != read.current_version) {
+        check.c1_fresh_reads = false;
+        ++check.c1_violations;
+        if (check.c1_violations <= 2) {
+          std::ostringstream os;
+          os << "C1: txn on v" << rec.vertex << " (superstep "
+             << rec.superstep << ") read v" << read.neighbor << " at version "
+             << read.seen_version << " but primary was at "
+             << read.current_version;
+          AddViolation(&check, os.str());
+        }
+      }
+    }
+  }
+
+  // --- Condition C2: no neighboring transactions overlap. ----------------
+  // Intervals per vertex, sorted by start (records are start-sorted).
+  std::vector<std::vector<const TxnRecord*>> by_vertex(graph.num_vertices());
+  for (const TxnRecord& rec : records) {
+    by_vertex[rec.vertex].push_back(&rec);
+  }
+  auto overlaps = [&](VertexId a, VertexId b) -> int64_t {
+    int64_t count = 0;
+    const auto& ta = by_vertex[a];
+    const auto& tb = by_vertex[b];
+    size_t j = 0;
+    for (const TxnRecord* ra : ta) {
+      while (j < tb.size() && tb[j]->end < ra->start) ++j;
+      for (size_t k = j; k < tb.size() && tb[k]->start < ra->end; ++k) {
+        if (ra->start < tb[k]->end && tb[k]->start < ra->end) {
+          ++count;
+          std::ostringstream os;
+          os << "C2: txns on neighbors v" << a << " [" << ra->start << ","
+             << ra->end << "] and v" << b << " [" << tb[k]->start << ","
+             << tb[k]->end << "] overlap";
+          AddViolation(&check, os.str());
+        }
+      }
+    }
+    return count;
+  };
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (VertexId u : graph.OutNeighbors(v)) {
+      if (u <= v) continue;  // each unordered pair once
+      int64_t c = overlaps(v, u);
+      if (c > 0) {
+        check.c2_no_neighbor_overlap = false;
+        check.c2_violations += c;
+      }
+    }
+  }
+
+  // --- 1SR: serialization-graph acyclicity. ------------------------------
+  // Writers are totally ordered per vertex by version. Dependencies:
+  //   WR: writer of (u, k) -> reader that saw (u, k)
+  //   RW: reader that saw (u, k) -> writer of (u, k+1)
+  //   WW: writer of (u, k) -> writer of (u, k+1)
+  const size_t n_txn = records.size();
+  std::unordered_map<uint64_t, size_t> writer_index;  // (vertex,ver) -> txn
+  auto key = [](VertexId v, uint64_t ver) {
+    return static_cast<uint64_t>(v) * 1000000007ULL + ver;
+  };
+  for (size_t i = 0; i < n_txn; ++i) {
+    if (records[i].written_version == 0) continue;  // unpublished write
+    writer_index[key(records[i].vertex, records[i].written_version)] = i;
+  }
+  std::vector<std::vector<uint32_t>> adj(n_txn);
+  std::vector<uint32_t> indegree(n_txn, 0);
+  auto add_edge = [&](size_t from, size_t to) {
+    if (from == to) return;
+    adj[from].push_back(static_cast<uint32_t>(to));
+    ++indegree[to];
+  };
+  for (size_t i = 0; i < n_txn; ++i) {
+    const TxnRecord& rec = records[i];
+    // WW chain (only for published writes).
+    if (rec.written_version > 0) {
+      auto next_w =
+          writer_index.find(key(rec.vertex, rec.written_version + 1));
+      if (next_w != writer_index.end()) add_edge(i, next_w->second);
+    }
+    // WR / RW edges from this txn's reads.
+    for (const TxnRecord::Read& read : rec.reads) {
+      if (read.seen_version > 0) {
+        auto w = writer_index.find(key(read.neighbor, read.seen_version));
+        if (w != writer_index.end()) add_edge(w->second, i);
+      }
+      auto w_next =
+          writer_index.find(key(read.neighbor, read.seen_version + 1));
+      if (w_next != writer_index.end()) add_edge(i, w_next->second);
+    }
+  }
+  // Kahn's algorithm; a leftover node means a cycle.
+  std::vector<uint32_t> queue;
+  queue.reserve(n_txn);
+  for (size_t i = 0; i < n_txn; ++i) {
+    if (indegree[i] == 0) queue.push_back(static_cast<uint32_t>(i));
+  }
+  size_t seen = 0;
+  while (seen < queue.size()) {
+    uint32_t node = queue[seen++];
+    for (uint32_t next : adj[node]) {
+      if (--indegree[next] == 0) queue.push_back(next);
+    }
+  }
+  if (seen != n_txn) {
+    check.serializable = false;
+    AddViolation(&check, "1SR: serialization graph contains a cycle (" +
+                             std::to_string(n_txn - seen) +
+                             " transactions involved)");
+  }
+
+  return check;
+}
+
+}  // namespace serigraph

@@ -1,0 +1,128 @@
+#ifndef SERIGRAPH_VERIFY_HISTORY_H_
+#define SERIGRAPH_VERIFY_HISTORY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace serigraph {
+
+/// One recorded transaction: a single execution of vertex `vertex`
+/// (paper Section 3.2: T_i = r_i[N_u] w_i[u]). Stamps come from a global
+/// atomic logical clock, so [start, end] intervals are comparable across
+/// workers. Each read records the version the executing vertex observed
+/// for an in-neighbor (from delivered messages) and the neighbor's
+/// committed version at transaction start — condition C1 requires them to
+/// be equal.
+struct TxnRecord {
+  VertexId vertex = kInvalidVertex;
+  WorkerId worker = kInvalidWorker;
+  int superstep = -1;
+  uint64_t start = 0;
+  uint64_t end = 0;
+  /// Version this transaction published to `vertex`'s replicas, or 0 if
+  /// the execution sent no messages (an unpublished write is invisible to
+  /// every other transaction, like Algorithm 1's superstep-0 init).
+  uint64_t written_version = 0;
+
+  struct Read {
+    VertexId neighbor = kInvalidVertex;
+    uint64_t seen_version = 0;    ///< from delivered messages (replica)
+    uint64_t current_version = 0; ///< primary copy at txn start
+  };
+  std::vector<Read> reads;
+};
+
+/// Records the transaction history of an engine run for offline
+/// serializability checking. Engine hooks:
+///   * OnDeliver(src, dst, version)   — a data message from src (written at
+///     `version`) became visible to dst's replica/message store.
+///   * OnTxnBegin(...)                — vertex execution starts; snapshots
+///     the read set and returns the version outgoing messages must carry.
+///   * OnTxnEnd(...)                  — execution finished; commits.
+///
+/// All hooks are thread-safe. Intended for test/verification runs on
+/// small to medium graphs (memory is O(|E| + #transactions)).
+class HistoryRecorder {
+ public:
+  HistoryRecorder(const Graph* graph, int num_workers);
+
+  HistoryRecorder(const HistoryRecorder&) = delete;
+  HistoryRecorder& operator=(const HistoryRecorder&) = delete;
+
+  /// Starts the transaction for one execution of `v`. Returns the version
+  /// number that this execution's writes (outgoing messages) carry.
+  uint64_t OnTxnBegin(WorkerId w, VertexId v, int superstep);
+
+  /// Commits the transaction begun by the matching OnTxnBegin.
+  /// `published` says whether the execution sent at least one message;
+  /// only published writes advance the vertex's replicated version.
+  void OnTxnEnd(WorkerId w, VertexId v, bool published);
+
+  /// Marks that dst's replica of src is now at `version` (a data message
+  /// carrying that version was applied to dst's message store).
+  void OnDeliver(VertexId src, VertexId dst, uint64_t version);
+
+  /// Committed version of `v` (number of completed executions).
+  uint64_t VersionOf(VertexId v) const {
+    return versions_[v].load(std::memory_order_acquire);
+  }
+
+  /// All transactions from all workers. Call only after the run finished.
+  std::vector<TxnRecord> TakeRecords();
+
+ private:
+  const Graph* graph_;
+  std::atomic<uint64_t> clock_{1};
+  /// Committed version per vertex (0 = never executed).
+  std::vector<std::atomic<uint64_t>> versions_;
+  /// Highest delivered version per in-edge, indexed by the graph's
+  /// in-edge CSR position of (src -> dst).
+  std::vector<std::atomic<uint64_t>> delivered_;
+
+  struct WorkerLog {
+    std::mutex mu;
+    std::vector<TxnRecord> records;
+    /// Transactions currently open on this worker, keyed by vertex.
+    std::vector<TxnRecord> open;
+  };
+  std::vector<std::unique_ptr<WorkerLog>> logs_;
+
+  /// Index of directed edge (src -> dst) in the in-edge CSR of dst.
+  int64_t InEdgeIndex(VertexId src, VertexId dst) const;
+  std::vector<int64_t> in_offsets_;
+};
+
+/// Result of checking a history against the paper's correctness criteria.
+struct HistoryCheck {
+  int64_t num_transactions = 0;
+  /// Condition C1 (Section 3.3): every read saw an up-to-date replica.
+  bool c1_fresh_reads = true;
+  int64_t c1_violations = 0;
+  /// Condition C2: no transaction overlapped a neighbor's transaction.
+  bool c2_no_neighbor_overlap = true;
+  int64_t c2_violations = 0;
+  /// One-copy serializability via serialization-graph acyclicity.
+  bool serializable = true;
+  /// Human-readable description of the first few violations.
+  std::vector<std::string> violation_samples;
+
+  bool ok() const {
+    return c1_fresh_reads && c2_no_neighbor_overlap && serializable;
+  }
+};
+
+/// Checks a recorded history: C1 freshness, C2 interval disjointness for
+/// every graph edge, and acyclicity of the (multiversion) serialization
+/// graph built from write->read and read->overwrite dependencies.
+HistoryCheck CheckHistory(const Graph& graph, std::vector<TxnRecord> records);
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_VERIFY_HISTORY_H_

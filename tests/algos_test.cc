@@ -1,0 +1,109 @@
+// Unit tests for algorithm helpers and sequential reference oracles.
+
+#include <gtest/gtest.h>
+
+#include "algos/coloring.h"
+#include "algos/mis.h"
+#include "algos/pagerank.h"
+#include "algos/sssp.h"
+#include "algos/wcc.h"
+#include "graph/generators.h"
+
+namespace serigraph {
+namespace {
+
+Graph Make(const EdgeList& el) {
+  auto g = Graph::FromEdgeList(el);
+  EXPECT_TRUE(g.ok()) << g.status();
+  return std::move(g).value();
+}
+
+TEST(SmallestFreeColorTest, Basics) {
+  EXPECT_EQ(SmallestFreeColor(std::vector<int64_t>{}), 0);
+  EXPECT_EQ(SmallestFreeColor(std::vector<int64_t>{0}), 1);
+  EXPECT_EQ(SmallestFreeColor(std::vector<int64_t>{1, 2}), 0);
+  EXPECT_EQ(SmallestFreeColor(std::vector<int64_t>{0, 1, 2}), 3);
+  EXPECT_EQ(SmallestFreeColor(std::vector<int64_t>{0, 0, 2, 2}), 1);
+  // Ignores kNoColor and out-of-range values.
+  EXPECT_EQ(SmallestFreeColor(std::vector<int64_t>{kNoColor, 0, 100}), 1);
+}
+
+TEST(IsProperColoringTest, DetectsConflictsAndUncolored) {
+  Graph g = Make(PaperExampleGraph());
+  EXPECT_TRUE(IsProperColoring(g, std::vector<int64_t>{0, 1, 1, 0}));
+  EXPECT_FALSE(IsProperColoring(g, std::vector<int64_t>{0, 0, 1, 1}));
+  EXPECT_FALSE(IsProperColoring(g, std::vector<int64_t>{0, 1, 1, kNoColor}));
+  EXPECT_FALSE(IsProperColoring(g, std::vector<int64_t>{0, 1}));  // size
+}
+
+TEST(CountColorsTest, CountsDistinctIgnoringNoColor) {
+  EXPECT_EQ(CountColors(std::vector<int64_t>{0, 1, 1, 2, kNoColor}), 3);
+  EXPECT_EQ(CountColors(std::vector<int64_t>{}), 0);
+}
+
+TEST(ReferenceSsspTest, PathDistances) {
+  Graph g = Make(Path(5));
+  auto dist = ReferenceSssp(g, 0);
+  EXPECT_EQ(dist, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+  auto from_end = ReferenceSssp(g, 4);
+  EXPECT_EQ(from_end[0], kInfiniteDistance);  // directed path
+  EXPECT_EQ(from_end[4], 0);
+}
+
+TEST(ReferenceWccTest, LabelsAreComponentMinima) {
+  EdgeList el{6, {{0, 1}, {1, 2}, {4, 5}}};
+  Graph g = Make(el);
+  auto labels = ReferenceWcc(g);
+  EXPECT_EQ(labels, (std::vector<int64_t>{0, 0, 0, 3, 4, 4}));
+  EXPECT_EQ(CountComponents(labels), 3);
+}
+
+TEST(ReferencePageRankTest, UniformOnRegularGraph) {
+  // On a directed ring every vertex has the same rank: 1.0 fixpoint.
+  Graph g = Make(Ring(10));
+  auto rank = ReferencePageRank(g, 1e-10);
+  for (double r : rank) EXPECT_NEAR(r, 1.0, 1e-6);
+}
+
+TEST(ReferencePageRankTest, SinksAbsorbMass) {
+  // v0 -> v1: v1 gets 0.15 + 0.85 * pr(v0), v0 gets only the base.
+  Graph g = Make({2, {{0, 1}}});
+  auto rank = ReferencePageRank(g, 1e-10);
+  EXPECT_NEAR(rank[0], 0.15, 1e-6);
+  EXPECT_NEAR(rank[1], 0.15 + 0.85 * 0.15, 1e-6);
+}
+
+TEST(MaxAbsDifferenceTest, Basics) {
+  std::vector<double> a{1, 2, 3};
+  std::vector<double> b{1, 2.5, 2};
+  EXPECT_DOUBLE_EQ(MaxAbsDifference(a, b), 1.0);
+}
+
+TEST(MisValidatorsTest, AcceptAndReject) {
+  Graph g = Make(PaperExampleGraph());  // 4-cycle
+  using M = MaximalIndependentSet;
+  // {v0, v3} is a maximal independent set.
+  EXPECT_TRUE(IsMaximalIndependentSet(
+      g, std::vector<int64_t>{M::kIn, M::kOut, M::kOut, M::kIn}));
+  // {v0} alone is independent but not maximal (v3 has no kIn neighbor).
+  EXPECT_TRUE(IsIndependentSet(
+      g, std::vector<int64_t>{M::kIn, M::kOut, M::kOut, M::kOut}));
+  EXPECT_FALSE(IsMaximalIndependentSet(
+      g, std::vector<int64_t>{M::kIn, M::kOut, M::kOut, M::kOut}));
+  // Adjacent vertices both in: not independent.
+  EXPECT_FALSE(IsIndependentSet(
+      g, std::vector<int64_t>{M::kIn, M::kIn, M::kOut, M::kOut}));
+  // Undecided vertex: not a complete answer.
+  EXPECT_FALSE(IsIndependentSet(
+      g, std::vector<int64_t>{M::kIn, M::kOut, M::kOut, M::kUndecided}));
+}
+
+TEST(RepairColoringColorsTest, ExtractsColors) {
+  std::vector<RepairColoring::State> states(2);
+  states[0].color = 3;
+  states[1].color = 1;
+  EXPECT_EQ(RepairColoringColors(states), (std::vector<int64_t>{3, 1}));
+}
+
+}  // namespace
+}  // namespace serigraph

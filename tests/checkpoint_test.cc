@@ -1,0 +1,214 @@
+// Fault-tolerance tests (paper Section 6.4): checkpoint frames round-trip
+// through disk, corrupt files are rejected, and an engine restored from a
+// mid-run checkpoint finishes with the same result as an uninterrupted
+// run.
+
+#include "pregel/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "algos/coloring.h"
+#include "algos/sssp.h"
+#include "graph/generators.h"
+#include "pregel/engine.h"
+
+namespace serigraph {
+namespace {
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(CheckpointFrameTest, RoundTrip) {
+  CheckpointFrame frame;
+  frame.superstep = 17;
+  frame.payload = {1, 2, 3, 250, 0};
+  const std::string path = TempPath("frame.bin");
+  ASSERT_TRUE(WriteCheckpoint(path, frame).ok());
+  auto loaded = ReadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->superstep, 17);
+  EXPECT_EQ(loaded->payload, frame.payload);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFrameTest, RejectsBadMagic) {
+  const std::string path = TempPath("garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a checkpoint";
+  }
+  EXPECT_FALSE(ReadCheckpoint(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFrameTest, RejectsTruncatedPayload) {
+  CheckpointFrame frame;
+  frame.superstep = 1;
+  frame.payload.assign(100, 7);
+  const std::string path = TempPath("trunc.bin");
+  ASSERT_TRUE(WriteCheckpoint(path, frame).ok());
+  // Chop the file.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 10));
+  }
+  EXPECT_FALSE(ReadCheckpoint(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFrameTest, MissingFileIsError) {
+  EXPECT_FALSE(ReadCheckpoint(TempPath("nope.bin")).ok());
+}
+
+TEST(EngineCheckpointTest, RestoreFinishesWithSameResult) {
+  // Deterministic workload: SSSP under BSP. Run once uninterrupted; run
+  // again with checkpoints; then restore from the last checkpoint and
+  // verify the final distances match.
+  auto g = Graph::FromEdgeList(ErdosRenyi(400, 1600, 31));
+  ASSERT_TRUE(g.ok());
+  Graph graph = std::move(g).value();
+
+  EngineOptions base;
+  base.model = ComputationModel::kBsp;
+  base.num_workers = 3;
+  base.partitions_per_worker = 2;
+
+  Engine<Sssp> uninterrupted(&graph, base);
+  auto full = uninterrupted.Run(Sssp(0));
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(full->stats.converged);
+  ASSERT_GT(full->stats.supersteps, 4);  // checkpoints must fire mid-run
+
+  EngineOptions with_ckpt = base;
+  with_ckpt.checkpoint_every = 3;
+  with_ckpt.checkpoint_dir = testing::TempDir();
+  Engine<Sssp> writer(&graph, with_ckpt);
+  auto first = writer.Run(Sssp(0));
+  ASSERT_TRUE(first.ok());
+  ASSERT_FALSE(writer.last_checkpoint_path().empty());
+  EXPECT_EQ(first->values, full->values);
+
+  EngineOptions restore = base;
+  restore.restore_path = writer.last_checkpoint_path();
+  Engine<Sssp> restored(&graph, restore);
+  auto resumed = restored.Run(Sssp(0));
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_TRUE(resumed->stats.converged);
+  EXPECT_EQ(resumed->values, full->values);
+  // The resumed run continued from the checkpoint, not from scratch.
+  EXPECT_EQ(resumed->stats.supersteps, full->stats.supersteps);
+  std::remove(writer.last_checkpoint_path().c_str());
+}
+
+TEST(EngineCheckpointTest, RestoreFromEarlierCheckpointAlsoFinishes) {
+  // Restoring from a checkpoint that is NOT the last one replays more
+  // supersteps but must land on the same (deterministic, BSP) result.
+  auto g = Graph::FromEdgeList(ErdosRenyi(300, 1200, 37));
+  ASSERT_TRUE(g.ok());
+  Graph graph = std::move(g).value();
+
+  EngineOptions base;
+  base.model = ComputationModel::kBsp;
+  base.num_workers = 2;
+
+  Engine<Sssp> full(&graph, base);
+  auto expected = full.Run(Sssp(0));
+  ASSERT_TRUE(expected.ok());
+  ASSERT_GT(expected->stats.supersteps, 4);
+
+  EngineOptions with_ckpt = base;
+  with_ckpt.checkpoint_every = 2;
+  with_ckpt.checkpoint_dir = testing::TempDir();
+  Engine<Sssp> writer(&graph, with_ckpt);
+  ASSERT_TRUE(writer.Run(Sssp(0)).ok());
+
+  // The *first* checkpoint (superstep 2), not the last.
+  const std::string early = testing::TempDir() + "/checkpoint_2.bin";
+  EngineOptions restore = base;
+  restore.restore_path = early;
+  Engine<Sssp> restored(&graph, restore);
+  auto resumed = restored.Run(Sssp(0));
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_TRUE(resumed->stats.converged);
+  EXPECT_EQ(resumed->values, expected->values);
+  std::remove(early.c_str());
+  std::remove(writer.last_checkpoint_path().c_str());
+}
+
+TEST(EngineCheckpointTest, RestoreUnderSerializableTechnique) {
+  auto g = Graph::FromEdgeList(ErdosRenyi(200, 900, 33));
+  ASSERT_TRUE(g.ok());
+  Graph graph = g->Undirected();
+
+  EngineOptions opts;
+  opts.sync_mode = SyncMode::kPartitionLocking;
+  opts.num_workers = 2;
+  opts.checkpoint_every = 1;
+  opts.checkpoint_dir = testing::TempDir();
+  Engine<GreedyColoring> writer(&graph, opts);
+  auto first = writer.Run(GreedyColoring());
+  ASSERT_TRUE(first.ok());
+  ASSERT_FALSE(writer.last_checkpoint_path().empty());
+
+  EngineOptions restore;
+  restore.sync_mode = SyncMode::kPartitionLocking;
+  restore.num_workers = 2;
+  restore.restore_path = writer.last_checkpoint_path();
+  Engine<GreedyColoring> restored(&graph, restore);
+  auto resumed = restored.Run(GreedyColoring());
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_TRUE(resumed->stats.converged);
+  // Fork placement resets on restore, so colors may differ, but the
+  // result must still be a proper coloring.
+  EXPECT_TRUE(IsProperColoring(graph, resumed->values));
+  std::remove(writer.last_checkpoint_path().c_str());
+}
+
+TEST(EngineCheckpointTest, MismatchedGraphIsRejected) {
+  auto g1 = Graph::FromEdgeList(Ring(16));
+  auto g2 = Graph::FromEdgeList(Ring(20));
+  ASSERT_TRUE(g1.ok() && g2.ok());
+
+  EngineOptions opts;
+  opts.model = ComputationModel::kBsp;
+  opts.num_workers = 1;
+  opts.checkpoint_every = 1;
+  opts.checkpoint_dir = testing::TempDir();
+  Engine<Sssp> writer(&*g1, opts);
+  ASSERT_TRUE(writer.Run(Sssp(0)).ok());
+  ASSERT_FALSE(writer.last_checkpoint_path().empty());
+
+  EngineOptions restore;
+  restore.model = ComputationModel::kBsp;
+  restore.num_workers = 1;
+  restore.restore_path = writer.last_checkpoint_path();
+  Engine<Sssp> restored(&*g2, restore);
+  auto result = restored.Run(Sssp(0));
+  EXPECT_FALSE(result.ok());
+  std::remove(writer.last_checkpoint_path().c_str());
+}
+
+TEST(EngineCheckpointTest, NonCheckpointableProgramIsRejected) {
+  // RepairColoring's vertex value owns a vector => not trivially
+  // copyable => checkpointing must be refused, not miscompiled.
+  auto g = Graph::FromEdgeList(PaperExampleGraph());
+  ASSERT_TRUE(g.ok());
+  EngineOptions opts;
+  opts.num_workers = 1;
+  opts.checkpoint_every = 1;
+  opts.checkpoint_dir = testing::TempDir();
+  Engine<RepairColoring> engine(&*g, opts);
+  auto result = engine.Run(RepairColoring());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace serigraph

@@ -1,0 +1,274 @@
+// Tests for the common substrate: RNG, metrics, serialization, threading.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/threading.h"
+#include "common/timer.h"
+
+namespace serigraph {
+namespace {
+
+// --- Rng ------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.Uniform(bound), bound);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit in 1000 draws
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);  // rough uniformity
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+// --- Metrics ----------------------------------------------------------
+
+TEST(MetricsTest, CounterConcurrentIncrements) {
+  Counter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) counter.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(), 40000);
+}
+
+TEST(MetricsTest, MaxGaugeTracksPeak) {
+  MaxGauge gauge;
+  gauge.Add(3);
+  gauge.Add(4);
+  gauge.Add(-5);
+  gauge.Add(1);
+  EXPECT_EQ(gauge.value(), 3);
+  EXPECT_EQ(gauge.max(), 7);
+}
+
+TEST(MetricsTest, HistogramQuantilesAndMean) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(i);
+  EXPECT_EQ(h.count(), 1000);
+  EXPECT_NEAR(h.Mean(), 500.5, 0.1);
+  // log2 buckets: median of 1..1000 lands in bucket [512, 1023].
+  EXPECT_GE(h.ApproxQuantile(0.5), 255);
+  EXPECT_LE(h.ApproxQuantile(0.5), 1023);
+  EXPECT_LE(h.ApproxQuantile(0.0), 1);
+}
+
+TEST(MetricsTest, RegistryReturnsSameCounterForSameName) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("x");
+  Counter* b = registry.GetCounter("x");
+  EXPECT_EQ(a, b);
+  a->Add(5);
+  auto snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot["x"], 5);
+  registry.ResetAll();
+  EXPECT_EQ(registry.Snapshot()["x"], 0);
+}
+
+// --- Serialization ---------------------------------------------------
+
+TEST(SerializeTest, PrimitiveRoundTrip) {
+  BufferWriter writer;
+  writer.WriteU8(0xab);
+  writer.WriteU32(0xdeadbeef);
+  writer.WriteU64(1ull << 62);
+  writer.WriteI64(-123456789);
+  writer.WriteDouble(3.25);
+  writer.WriteString("hello");
+
+  BufferReader reader(writer.data());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  int64_t i64;
+  double d;
+  std::string s;
+  ASSERT_TRUE(reader.ReadU8(&u8));
+  ASSERT_TRUE(reader.ReadU32(&u32));
+  ASSERT_TRUE(reader.ReadU64(&u64));
+  ASSERT_TRUE(reader.ReadI64(&i64));
+  ASSERT_TRUE(reader.ReadDouble(&d));
+  ASSERT_TRUE(reader.ReadString(&s));
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 1ull << 62);
+  EXPECT_EQ(i64, -123456789);
+  EXPECT_EQ(d, 3.25);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerializeTest, VarintBoundaries) {
+  const uint64_t values[] = {0,       1,        127,        128,
+                             16383,   16384,    (1u << 21) - 1,
+                             1u << 21, ~0ull >> 1, ~0ull};
+  BufferWriter writer;
+  for (uint64_t v : values) writer.WriteVarint(v);
+  BufferReader reader(writer.data());
+  for (uint64_t v : values) {
+    uint64_t got;
+    ASSERT_TRUE(reader.ReadVarint(&got));
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerializeTest, SignedVarintRoundTrip) {
+  const int64_t values[] = {0, -1, 1, -64, 64, INT64_MIN, INT64_MAX};
+  BufferWriter writer;
+  for (int64_t v : values) writer.WriteSignedVarint(v);
+  BufferReader reader(writer.data());
+  for (int64_t v : values) {
+    int64_t got;
+    ASSERT_TRUE(reader.ReadSignedVarint(&got));
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(SerializeTest, UnderflowReturnsFalse) {
+  BufferWriter writer;
+  writer.WriteU8(1);
+  BufferReader reader(writer.data());
+  uint64_t u64;
+  EXPECT_FALSE(reader.ReadU64(&u64));
+  std::string s;
+  EXPECT_FALSE(reader.ReadString(&s));
+}
+
+TEST(SerializeTest, StringLengthLargerThanRemainingFails) {
+  BufferWriter writer;
+  writer.WriteVarint(100);  // claims 100 bytes follow
+  writer.WriteU8('x');
+  BufferReader reader(writer.data());
+  std::string s;
+  EXPECT_FALSE(reader.ReadString(&s));
+}
+
+// --- Threading ----------------------------------------------------------
+
+TEST(ThreadingTest, CyclicBarrierReleasesAllAndElectsOneWinner) {
+  constexpr int kParties = 8;
+  CyclicBarrier barrier(kParties);
+  std::atomic<int> winners{0};
+  std::atomic<int> arrived{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kParties; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 50; ++round) {
+        arrived.fetch_add(1);
+        if (barrier.Await()) winners.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(arrived.load(), kParties * 50);
+  EXPECT_EQ(winners.load(), 50);  // exactly one winner per generation
+}
+
+TEST(ThreadingTest, CountDownLatchBlocksUntilZero) {
+  CountDownLatch latch(3);
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    latch.Wait();
+    released.store(true);
+  });
+  latch.CountDown();
+  latch.CountDown();
+  EXPECT_FALSE(released.load());
+  latch.CountDown();
+  waiter.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST(ThreadingTest, ThreadPoolRunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&] { ran.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 1000);
+  pool.Shutdown();
+}
+
+TEST(ThreadingTest, ThreadPoolWaitIdleReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 50; ++i) pool.Submit([&] { ran.fetch_add(1); });
+    pool.WaitIdle();
+    EXPECT_EQ(ran.load(), (round + 1) * 50);
+  }
+}
+
+TEST(ThreadingTest, ShutdownDrainsQueue) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 100; ++i) pool.Submit([&] { ran.fetch_add(1); });
+    pool.Shutdown();
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.ElapsedMillis(), 15.0);
+  EXPECT_GE(timer.ElapsedMicros(), 15000);
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedMillis(), 15.0);
+}
+
+}  // namespace
+}  // namespace serigraph

@@ -1,0 +1,165 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/stats.h"
+
+namespace serigraph {
+namespace {
+
+Graph Make(const EdgeList& el) {
+  auto g = Graph::FromEdgeList(el);
+  EXPECT_TRUE(g.ok()) << g.status();
+  return std::move(g).value();
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g = Make({0, {}});
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(GraphTest, BasicCsrStructure) {
+  Graph g = Make({4, {{0, 1}, {0, 2}, {1, 2}, {3, 0}}});
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.OutDegree(0), 2);
+  EXPECT_EQ(g.InDegree(2), 2);
+  auto n0 = g.OutNeighbors(0);
+  EXPECT_EQ(std::vector<VertexId>(n0.begin(), n0.end()),
+            (std::vector<VertexId>{1, 2}));
+  auto in0 = g.InNeighbors(0);
+  EXPECT_EQ(std::vector<VertexId>(in0.begin(), in0.end()),
+            (std::vector<VertexId>{3}));
+}
+
+TEST(GraphTest, DropsSelfLoopsAndDuplicates) {
+  Graph g = Make({3, {{0, 0}, {0, 1}, {0, 1}, {1, 2}, {1, 2}, {2, 2}}});
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.OutDegree(0), 1);
+  EXPECT_EQ(g.OutDegree(2), 0);
+}
+
+TEST(GraphTest, RejectsOutOfRangeEndpoints) {
+  EXPECT_FALSE(Graph::FromEdgeList({2, {{0, 2}}}).ok());
+  EXPECT_FALSE(Graph::FromEdgeList({2, {{-1, 0}}}).ok());
+  EXPECT_FALSE(Graph::FromEdgeList({-1, {}}).ok());
+}
+
+TEST(GraphTest, UndirectedClosureIsSymmetric) {
+  Graph g = Make({5, {{0, 1}, {1, 2}, {3, 4}, {4, 0}}});
+  EXPECT_FALSE(g.IsSymmetric());
+  Graph u = g.Undirected();
+  EXPECT_TRUE(u.IsSymmetric());
+  EXPECT_EQ(u.num_edges(), 8);
+  for (VertexId v = 0; v < u.num_vertices(); ++v) {
+    EXPECT_EQ(u.OutDegree(v), u.InDegree(v));
+  }
+}
+
+TEST(GraphTest, CloneIsDeepAndEqual) {
+  Graph g = Make({10, ErdosRenyi(10, 30, 1).edges});
+  Graph c = g.Clone();
+  EXPECT_EQ(c.num_vertices(), g.num_vertices());
+  EXPECT_EQ(c.ToEdges(), g.ToEdges());
+}
+
+TEST(GraphTest, MaxDegrees) {
+  // Star: center 0 has in+out degree 2*(n-1).
+  Graph g = Make(Star(11));
+  EXPECT_EQ(g.MaxTotalDegree(), 20);
+  EXPECT_EQ(g.MaxOutDegree(), 10);
+}
+
+TEST(GraphTest, ToEdgesRoundTrip) {
+  EdgeList el = ErdosRenyi(50, 200, 3);
+  Graph g = Make(el);
+  EdgeList rt{50, g.ToEdges()};
+  Graph g2 = Make(rt);
+  EXPECT_EQ(g.ToEdges(), g2.ToEdges());
+}
+
+TEST(GraphStatsTest, CountsMatchDefinition) {
+  Graph g = Make({4, {{0, 1}, {1, 0}, {1, 2}, {2, 3}}});
+  GraphStats stats = ComputeGraphStats(g, /*compute_undirected=*/true);
+  EXPECT_EQ(stats.num_vertices, 4);
+  EXPECT_EQ(stats.num_directed_edges, 4);
+  // Undirected edges: {0,1}, {1,2}, {2,3} = 3.
+  EXPECT_EQ(stats.num_undirected_edges, 3);
+  EXPECT_EQ(stats.max_degree, 3);  // v1: out {0,2}, in {0}
+}
+
+TEST(HumanCountTest, Formats) {
+  EXPECT_EQ(HumanCount(999), "999");
+  EXPECT_EQ(HumanCount(3000000), "3.0M");
+  EXPECT_EQ(HumanCount(1460000000), "1.46B");
+  EXPECT_EQ(HumanCount(33000), "33.0K");
+}
+
+// --- generators -------------------------------------------------------
+
+TEST(GeneratorsTest, RingStructure) {
+  Graph g = Make(Ring(10));
+  EXPECT_EQ(g.num_edges(), 10);
+  for (VertexId v = 0; v < 10; ++v) {
+    EXPECT_EQ(g.OutDegree(v), 1);
+    EXPECT_EQ(g.OutNeighbors(v)[0], (v + 1) % 10);
+  }
+}
+
+TEST(GeneratorsTest, GridStructure) {
+  Graph g = Make(Grid(3, 4));
+  EXPECT_EQ(g.num_vertices(), 12);
+  EXPECT_TRUE(g.IsSymmetric());
+  // Corner vertex 0 has degree 2; interior vertex (1,1)=5 has degree 4.
+  EXPECT_EQ(g.OutDegree(0), 2);
+  EXPECT_EQ(g.OutDegree(5), 4);
+}
+
+TEST(GeneratorsTest, CompleteHasAllPairs) {
+  Graph g = Make(Complete(6));
+  EXPECT_EQ(g.num_edges(), 30);
+  EXPECT_TRUE(g.IsSymmetric());
+}
+
+TEST(GeneratorsTest, PathIsChain) {
+  Graph g = Make(Path(5));
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.OutDegree(4), 0);
+}
+
+TEST(GeneratorsTest, ErdosRenyiDeterministicBySeed) {
+  EdgeList a = ErdosRenyi(100, 500, 42);
+  EdgeList b = ErdosRenyi(100, 500, 42);
+  EdgeList c = ErdosRenyi(100, 500, 43);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_NE(a.edges, c.edges);
+}
+
+TEST(GeneratorsTest, PowerLawHasSkewedDegrees) {
+  Graph g = Make(PowerLawChungLu(2000, 10.0, 2.2, 7));
+  // Max degree should be far above the mean for a power-law graph.
+  EXPECT_GT(g.MaxTotalDegree(), 10 * 10);
+  EXPECT_GT(g.num_edges(), 2000 * 5);
+}
+
+TEST(GeneratorsTest, RMatSizes) {
+  EdgeList el = RMat(/*scale=*/8, /*edge_factor=*/8, /*seed=*/5);
+  EXPECT_EQ(el.num_vertices, 256);
+  EXPECT_EQ(static_cast<int64_t>(el.edges.size()), 2048);
+}
+
+TEST(GeneratorsTest, PaperExampleIsTheFourCycle) {
+  Graph g = Make(PaperExampleGraph());
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 8);
+  EXPECT_TRUE(g.IsSymmetric());
+  for (VertexId v = 0; v < 4; ++v) EXPECT_EQ(g.OutDegree(v), 2);
+  // v0 adjacent to v1 and v2, not v3.
+  auto n = g.OutNeighbors(0);
+  EXPECT_EQ(std::vector<VertexId>(n.begin(), n.end()),
+            (std::vector<VertexId>{1, 2}));
+}
+
+}  // namespace
+}  // namespace serigraph

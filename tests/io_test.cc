@@ -1,0 +1,68 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "graph/generators.h"
+
+namespace serigraph {
+namespace {
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(IoTest, SaveLoadRoundTrip) {
+  EdgeList original = ErdosRenyi(100, 400, 9);
+  const std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(SaveEdgeListText(original, path).ok());
+  auto loaded = LoadEdgeListText(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->edges, original.edges);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, SkipsCommentsAndBlankLines) {
+  const std::string path = TempPath("comments.txt");
+  {
+    std::ofstream out(path);
+    out << "# SNAP-style header\n% matrix-market style\n\n0 1\n2 3\n";
+  }
+  auto loaded = LoadEdgeListText(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_vertices, 4);
+  EXPECT_EQ(loaded->edges.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MalformedLineIsError) {
+  const std::string path = TempPath("bad.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\nnot an edge\n";
+  }
+  auto loaded = LoadEdgeListText(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, NegativeIdIsError) {
+  const std::string path = TempPath("neg.txt");
+  {
+    std::ofstream out(path);
+    out << "0 -1\n";
+  }
+  EXPECT_FALSE(LoadEdgeListText(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileIsError) {
+  auto loaded = LoadEdgeListText(TempPath("does_not_exist.txt"));
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace serigraph

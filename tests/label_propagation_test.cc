@@ -1,0 +1,115 @@
+#include "algos/label_propagation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+#include "pregel/engine.h"
+#include "verify/history.h"
+
+namespace serigraph {
+namespace {
+
+Graph Make(const EdgeList& el) {
+  auto g = Graph::FromEdgeList(el);
+  EXPECT_TRUE(g.ok()) << g.status();
+  return std::move(g).value();
+}
+
+/// Two dense communities joined by a single bridge edge.
+Graph TwoCommunities() {
+  EdgeList el;
+  el.num_vertices = 24;
+  auto undirected = [&](VertexId a, VertexId b) {
+    el.edges.push_back({a, b});
+    el.edges.push_back({b, a});
+  };
+  for (VertexId a = 0; a < 12; ++a) {
+    for (VertexId b = a + 1; b < 12; ++b) undirected(a, b);
+  }
+  for (VertexId a = 12; a < 24; ++a) {
+    for (VertexId b = a + 1; b < 24; ++b) undirected(a, b);
+  }
+  undirected(11, 12);  // bridge
+  return Make(el);
+}
+
+TEST(DominantLabelTest, FrequencyAndTieBreak) {
+  using NL = LabelPropagation::NeighborLabel;
+  std::vector<NL> heard = {{0, 5}, {1, 5}, {2, 3}};
+  EXPECT_EQ(LabelPropagation::DominantLabel(heard, 9), 5);
+  std::vector<NL> tie = {{0, 7}, {1, 4}};
+  EXPECT_EQ(LabelPropagation::DominantLabel(tie, 9), 4);  // smallest wins
+  EXPECT_EQ(LabelPropagation::DominantLabel({}, 9), 9);
+}
+
+TEST(LabelPropagationTest, FindsTwoCommunitiesUnderSerializability) {
+  Graph g = TwoCommunities();
+  EngineOptions opts;
+  opts.sync_mode = SyncMode::kPartitionLocking;
+  opts.num_workers = 3;
+  opts.max_supersteps = 500;
+  opts.record_history = true;
+  Engine<LabelPropagation> engine(&g, opts);
+  auto result = engine.Run(LabelPropagation());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->stats.converged);
+
+  auto labels = LabelPropagationLabels(result->values);
+  EXPECT_TRUE(IsLocallyStableLabeling(g, labels));
+  // Each clique must be label-uniform; the bridge may merge them, so
+  // there are at most 2 distinct labels overall.
+  std::set<int64_t> first(labels.begin(), labels.begin() + 12);
+  std::set<int64_t> second(labels.begin() + 12, labels.end());
+  EXPECT_EQ(first.size(), 1u);
+  EXPECT_EQ(second.size(), 1u);
+
+  HistoryCheck check = CheckHistory(g, result->history->TakeRecords());
+  EXPECT_TRUE(check.ok()) << (check.violation_samples.empty()
+                                  ? "?"
+                                  : check.violation_samples[0]);
+}
+
+TEST(LabelPropagationTest, StableAcrossTechniques) {
+  Graph g = Make(PowerLawChungLu(150, 6, 2.3, 21)).Undirected();
+  for (SyncMode sync :
+       {SyncMode::kSingleLayerToken, SyncMode::kVertexLocking,
+        SyncMode::kPartitionLocking}) {
+    EngineOptions opts;
+    opts.sync_mode = sync;
+    opts.num_workers = 3;
+    opts.max_supersteps = 2000;
+    Engine<LabelPropagation> engine(&g, opts);
+    auto result = engine.Run(LabelPropagation());
+    ASSERT_TRUE(result.ok()) << SyncModeName(sync);
+    EXPECT_TRUE(result->stats.converged) << SyncModeName(sync);
+    EXPECT_TRUE(
+        IsLocallyStableLabeling(g, LabelPropagationLabels(result->values)))
+        << SyncModeName(sync);
+  }
+}
+
+TEST(LabelPropagationTest, IsolatedVerticesKeepOwnLabel) {
+  EdgeList el{5, {}};
+  Graph g = Make(el);
+  EngineOptions opts;
+  opts.num_workers = 2;
+  Engine<LabelPropagation> engine(&g, opts);
+  auto result = engine.Run(LabelPropagation());
+  ASSERT_TRUE(result.ok());
+  auto labels = LabelPropagationLabels(result->values);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(labels[v], v);
+}
+
+TEST(IsLocallyStableLabelingTest, RejectsUnstable) {
+  Graph g = TwoCommunities();
+  std::vector<int64_t> labels(24, 0);
+  labels[5] = 99;  // a lone dissenter inside clique 0 is unstable
+  EXPECT_FALSE(IsLocallyStableLabeling(g, labels));
+  std::vector<int64_t> uniform(24, 0);
+  EXPECT_TRUE(IsLocallyStableLabeling(g, uniform));
+}
+
+}  // namespace
+}  // namespace serigraph

@@ -1,0 +1,67 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace serigraph {
+namespace {
+
+TEST(LoggingTest, LevelsAreOrdered) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug),
+            static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo),
+            static_cast<int>(LogLevel::kWarning));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarning),
+            static_cast<int>(LogLevel::kError));
+  EXPECT_LT(static_cast<int>(LogLevel::kError),
+            static_cast<int>(LogLevel::kFatal));
+}
+
+TEST(LoggingTest, SetAndGetLevel) {
+  LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(old);
+}
+
+TEST(LoggingTest, NonFatalLevelsDoNotAbort) {
+  SG_LOG(kDebug) << "debug message";
+  SG_LOG(kInfo) << "info message";
+  SG_LOG(kWarning) << "warning message";
+  SG_LOG(kError) << "error message";
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(SG_CHECK(1 == 2), "Check failed: 1 == 2");
+}
+
+TEST(LoggingDeathTest, CheckOpPrintsOperands) {
+  int a = 3, b = 4;
+  EXPECT_DEATH(SG_CHECK_EQ(a, b), "3 vs 4");
+  EXPECT_DEATH(SG_CHECK_GT(a, b), "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(SG_CHECK_OK(Status::Internal("boom")), "boom");
+}
+
+TEST(LoggingTest, PassingChecksAreSilent) {
+  SG_CHECK(true);
+  SG_CHECK_EQ(1, 1);
+  SG_CHECK_NE(1, 2);
+  SG_CHECK_LT(1, 2);
+  SG_CHECK_LE(2, 2);
+  SG_CHECK_GT(2, 1);
+  SG_CHECK_GE(2, 2);
+  SG_CHECK_OK(Status::OK());
+}
+
+TEST(LoggingTest, FatalFiresEvenBelowThreshold) {
+  // kFatal must abort regardless of the configured minimum level.
+  LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_DEATH(SG_LOG(kFatal) << "fatal anyway", "fatal anyway");
+  SetLogLevel(old);
+}
+
+}  // namespace
+}  // namespace serigraph

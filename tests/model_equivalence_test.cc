@@ -1,0 +1,127 @@
+// Randomized cross-model equivalence properties: algorithms with a
+// unique fixpoint (SSSP, WCC, triangle counting) must produce identical
+// results under every computation model and synchronization technique,
+// across random graphs, seeds, worker counts, and partitionings.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "algos/sssp.h"
+#include "algos/triangles.h"
+#include "algos/wcc.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/streaming_partitioner.h"
+#include "pregel/engine.h"
+
+namespace serigraph {
+namespace {
+
+struct Scenario {
+  uint64_t seed;
+};
+
+class ModelEquivalenceTest : public testing::TestWithParam<Scenario> {};
+
+Graph RandomGraph(uint64_t seed) {
+  Rng rng(seed);
+  const VertexId n = 100 + static_cast<VertexId>(rng.Uniform(300));
+  const int64_t m = n * (2 + static_cast<int64_t>(rng.Uniform(6)));
+  auto g = Graph::FromEdgeList(ErdosRenyi(n, m, seed * 31 + 7));
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST_P(ModelEquivalenceTest, SsspIdenticalAcrossConfigurations) {
+  const uint64_t seed = GetParam().seed;
+  Graph g = RandomGraph(seed);
+  auto reference = ReferenceSssp(g, 0);
+  Rng rng(seed * 13 + 1);
+
+  struct Config {
+    ComputationModel model;
+    SyncMode sync;
+  };
+  const Config configs[] = {
+      {ComputationModel::kBsp, SyncMode::kNone},
+      {ComputationModel::kAsync, SyncMode::kNone},
+      {ComputationModel::kAsync, SyncMode::kDualLayerToken},
+      {ComputationModel::kAsync, SyncMode::kPartitionLocking},
+      {ComputationModel::kAsync, SyncMode::kVertexLocking},
+  };
+  for (const Config& config : configs) {
+    EngineOptions opts;
+    opts.model = config.model;
+    opts.sync_mode = config.sync;
+    opts.num_workers = 1 + static_cast<int>(rng.Uniform(5));
+    opts.partitions_per_worker = 1 + static_cast<int>(rng.Uniform(4));
+    opts.compute_threads_per_worker = 1 + static_cast<int>(rng.Uniform(3));
+    opts.partition_seed = rng.Next();
+    Engine<Sssp> engine(&g, opts);
+    auto result = engine.Run(Sssp(0));
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(result->stats.converged);
+    EXPECT_EQ(result->values, reference)
+        << "seed=" << seed << " sync=" << SyncModeName(config.sync);
+  }
+}
+
+TEST_P(ModelEquivalenceTest, WccIdenticalAcrossConfigurations) {
+  const uint64_t seed = GetParam().seed;
+  // Sparser graph so several components exist.
+  auto el = ErdosRenyi(250, 260, seed * 17 + 3);
+  auto g_or = Graph::FromEdgeList(el);
+  ASSERT_TRUE(g_or.ok());
+  Graph g = g_or->Undirected();
+  auto reference = ReferenceWcc(g);
+  Rng rng(seed);
+
+  for (SyncMode sync : {SyncMode::kNone, SyncMode::kSingleLayerToken,
+                        SyncMode::kPartitionLocking}) {
+    EngineOptions opts;
+    opts.model = sync == SyncMode::kNone && rng.Bernoulli(0.5)
+                     ? ComputationModel::kBsp
+                     : ComputationModel::kAsync;
+    opts.sync_mode = sync;
+    opts.num_workers = 2 + static_cast<int>(rng.Uniform(3));
+    opts.partition_seed = rng.Next();
+    Engine<Wcc> engine(&g, opts);
+    auto result = engine.Run(Wcc());
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->values, reference) << "sync=" << SyncModeName(sync);
+  }
+}
+
+TEST_P(ModelEquivalenceTest, TrianglesIdenticalUnderLdgPartitioning) {
+  const uint64_t seed = GetParam().seed;
+  auto g_or = Graph::FromEdgeList(ErdosRenyi(120, 800, seed * 5 + 11));
+  ASSERT_TRUE(g_or.ok());
+  Graph g = g_or->Undirected();
+  const int64_t expected = ReferenceTriangleCount(g);
+
+  StreamingPartitionOptions popts;
+  popts.num_workers = 3;
+  popts.seed = seed + 1;
+  EngineOptions opts;
+  opts.num_workers = 3;
+  Engine<TriangleCount> engine(&g, opts);
+  ASSERT_TRUE(
+      engine.UsePartitioning(StreamingGreedyPartition(g, popts)).ok());
+  auto result = engine.Run(TriangleCount());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(std::accumulate(result->values.begin(), result->values.end(),
+                            int64_t{0}),
+            expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ModelEquivalenceTest,
+    testing::Values(Scenario{1}, Scenario{2}, Scenario{3}, Scenario{4},
+                    Scenario{5}, Scenario{6}),
+    [](const testing::TestParamInfo<Scenario>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace serigraph

@@ -1,0 +1,117 @@
+#include "pregel/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "algos/coloring.h"
+#include "algos/pagerank.h"
+#include "algos/sssp.h"
+#include "algos/wcc.h"
+#include "graph/generators.h"
+
+namespace serigraph {
+namespace {
+
+Graph MakeGraph(const EdgeList& el) {
+  auto g = Graph::FromEdgeList(el);
+  SG_CHECK_OK(g.status());
+  return std::move(g).value();
+}
+
+EngineOptions BaseOptions(int workers = 2) {
+  EngineOptions opts;
+  opts.num_workers = workers;
+  opts.partitions_per_worker = 2;
+  opts.compute_threads_per_worker = 1;
+  opts.max_supersteps = 500;
+  return opts;
+}
+
+TEST(EngineTest, SsspBspMatchesReferenceOnRing) {
+  Graph g = MakeGraph(Ring(64));
+  EngineOptions opts = BaseOptions();
+  opts.model = ComputationModel::kBsp;
+  Engine<Sssp> engine(&g, opts);
+  auto result = engine.Run(Sssp(0));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->stats.converged);
+  EXPECT_EQ(result->values, ReferenceSssp(g, 0));
+}
+
+TEST(EngineTest, SsspAsyncMatchesReferenceOnRandomGraph) {
+  Graph g = MakeGraph(ErdosRenyi(200, 800, /*seed=*/7));
+  EngineOptions opts = BaseOptions(4);
+  opts.model = ComputationModel::kAsync;
+  Engine<Sssp> engine(&g, opts);
+  auto result = engine.Run(Sssp(0));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->stats.converged);
+  EXPECT_EQ(result->values, ReferenceSssp(g, 0));
+}
+
+TEST(EngineTest, WccFindsComponents) {
+  // Two disjoint rings.
+  EdgeList el = Ring(20);
+  EdgeList second = Ring(20);
+  for (Edge& e : second.edges) {
+    e.src += 20;
+    e.dst += 20;
+  }
+  el.edges.insert(el.edges.end(), second.edges.begin(), second.edges.end());
+  el.num_vertices = 40;
+  Graph g = MakeGraph(el).Undirected();
+
+  Engine<Wcc> engine(&g, BaseOptions());
+  auto result = engine.Run(Wcc());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->stats.converged);
+  EXPECT_EQ(result->values, ReferenceWcc(g));
+  EXPECT_EQ(CountComponents(result->values), 2);
+}
+
+TEST(EngineTest, PageRankAsyncApproximatesReference) {
+  Graph g = MakeGraph(ErdosRenyi(100, 600, /*seed=*/3));
+  EngineOptions opts = BaseOptions(4);
+  Engine<PageRank> engine(&g, opts);
+  auto result = engine.Run(PageRank(1e-4));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->stats.converged);
+  auto reference = ReferencePageRank(g, 1e-6);
+  // The delta formulation truncates mass below tolerance; allow slack.
+  EXPECT_LT(MaxAbsDifference(result->values, reference), 0.05);
+}
+
+TEST(EngineTest, SerializableColoringIsProper) {
+  Graph g = MakeGraph(ErdosRenyi(120, 700, /*seed=*/11)).Undirected();
+  for (SyncMode mode :
+       {SyncMode::kSingleLayerToken, SyncMode::kDualLayerToken,
+        SyncMode::kVertexLocking, SyncMode::kPartitionLocking}) {
+    SCOPED_TRACE(SyncModeName(mode));
+    EngineOptions opts = BaseOptions(3);
+    opts.sync_mode = mode;
+    opts.record_history = true;
+    Engine<GreedyColoring> engine(&g, opts);
+    auto result = engine.Run(GreedyColoring());
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(result->stats.converged);
+    EXPECT_TRUE(IsProperColoring(g, result->values));
+    ASSERT_NE(result->history, nullptr);
+    HistoryCheck check = CheckHistory(g, result->history->TakeRecords());
+    EXPECT_TRUE(check.ok()) << (check.violation_samples.empty()
+                                    ? "?"
+                                    : check.violation_samples[0]);
+  }
+}
+
+TEST(EngineTest, BspWithSyncTechniqueIsRejected) {
+  Graph g = MakeGraph(Ring(8));
+  EngineOptions opts = BaseOptions();
+  opts.model = ComputationModel::kBsp;
+  opts.sync_mode = SyncMode::kPartitionLocking;
+  Engine<Sssp> engine(&g, opts);
+  auto result = engine.Run(Sssp(0));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace serigraph

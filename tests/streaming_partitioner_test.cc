@@ -1,0 +1,94 @@
+#include "graph/streaming_partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include "algos/coloring.h"
+#include "graph/generators.h"
+#include "pregel/engine.h"
+
+namespace serigraph {
+namespace {
+
+Graph Make(const EdgeList& el) {
+  auto g = Graph::FromEdgeList(el);
+  EXPECT_TRUE(g.ok()) << g.status();
+  return std::move(g).value();
+}
+
+TEST(StreamingPartitionerTest, RespectsBalanceSlack) {
+  Graph g = Make(PowerLawChungLu(2000, 8, 2.2, 5)).Undirected();
+  StreamingPartitionOptions opts;
+  opts.num_workers = 4;
+  opts.partitions_per_worker = 4;
+  opts.balance_slack = 1.05;
+  Partitioning p = StreamingGreedyPartition(g, opts);
+  EXPECT_EQ(p.num_partitions(), 16);
+  const double capacity = 1.05 * 2000.0 / 16.0;
+  for (int part = 0; part < 16; ++part) {
+    EXPECT_LE(p.VerticesOfPartition(part).size(),
+              static_cast<size_t>(capacity) + 1);
+  }
+}
+
+TEST(StreamingPartitionerTest, CoversAllVertices) {
+  Graph g = Make(ErdosRenyi(500, 2000, 7));
+  StreamingPartitionOptions opts;
+  opts.num_workers = 3;
+  Partitioning p = StreamingGreedyPartition(g, opts);
+  int64_t total = 0;
+  for (int part = 0; part < p.num_partitions(); ++part) {
+    total += static_cast<int64_t>(p.VerticesOfPartition(part).size());
+  }
+  EXPECT_EQ(total, 500);
+}
+
+TEST(StreamingPartitionerTest, DeterministicForSameSeed) {
+  Graph g = Make(ErdosRenyi(300, 1200, 9));
+  StreamingPartitionOptions opts;
+  opts.num_workers = 4;
+  opts.seed = 11;
+  Partitioning a = StreamingGreedyPartition(g, opts);
+  Partitioning b = StreamingGreedyPartition(g, opts);
+  for (VertexId v = 0; v < 300; ++v) {
+    EXPECT_EQ(a.PartitionOf(v), b.PartitionOf(v));
+  }
+}
+
+TEST(StreamingPartitionerTest, CutsFewerEdgesThanHashOnStructuredGraph) {
+  // A grid has strong locality: LDG must beat random hashing clearly.
+  Graph g = Make(Grid(40, 40));
+  StreamingPartitionOptions opts;
+  opts.num_workers = 4;
+  Partitioning ldg = StreamingGreedyPartition(g, opts);
+  Partitioning hash = Partitioning::Hash(g.num_vertices(), 4, 4);
+  EXPECT_LT(CountCutEdges(g, ldg), CountCutEdges(g, hash) / 2);
+}
+
+TEST(StreamingPartitionerTest, CutEdgesCountIsExact) {
+  // 4 vertices in a path, split in the middle: exactly the middle edge
+  // (both directions) is cut.
+  Graph g = Make(Path(4)).Undirected();
+  auto p = Partitioning::FromAssignment({0, 0, 1, 1}, {0, 1});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(CountCutEdges(g, *p), 2);
+}
+
+TEST(StreamingPartitionerTest, EngineRunsOnLdgPartitioning) {
+  Graph g = Make(PowerLawChungLu(400, 6, 2.3, 3)).Undirected();
+  StreamingPartitionOptions popts;
+  popts.num_workers = 3;
+  Partitioning partitioning = StreamingGreedyPartition(g, popts);
+
+  EngineOptions opts;
+  opts.sync_mode = SyncMode::kPartitionLocking;
+  opts.num_workers = 3;
+  Engine<GreedyColoring> engine(&g, opts);
+  ASSERT_TRUE(engine.UsePartitioning(std::move(partitioning)).ok());
+  auto result = engine.Run(GreedyColoring());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->stats.converged);
+  EXPECT_TRUE(IsProperColoring(g, result->values));
+}
+
+}  // namespace
+}  // namespace serigraph

@@ -1,0 +1,218 @@
+// Unit tests for the synchronization techniques' scheduling logic:
+// token schedules, vertex gating rules, fork-count bookkeeping, and the
+// factory.
+
+#include <gtest/gtest.h>
+
+#include "algos/pagerank.h"
+#include "graph/generators.h"
+#include "pregel/engine.h"
+#include "sync/distributed_locking.h"
+#include "sync/token_passing.h"
+
+namespace serigraph {
+namespace {
+
+Graph Make(const EdgeList& el) {
+  auto g = Graph::FromEdgeList(el);
+  EXPECT_TRUE(g.ok()) << g.status();
+  return std::move(g).value();
+}
+
+SyncTechnique::Context MakeContext(const Graph* g, const Partitioning* p,
+                                   const BoundaryInfo* b,
+                                   MetricRegistry* m) {
+  SyncTechnique::Context ctx;
+  ctx.graph = g;
+  ctx.partitioning = p;
+  ctx.boundaries = b;
+  ctx.metrics = m;
+  return ctx;
+}
+
+TEST(SyncModeNameTest, AllNames) {
+  EXPECT_STREQ(SyncModeName(SyncMode::kNone), "none");
+  EXPECT_STREQ(SyncModeName(SyncMode::kSingleLayerToken), "single-token");
+  EXPECT_STREQ(SyncModeName(SyncMode::kDualLayerToken), "dual-token");
+  EXPECT_STREQ(SyncModeName(SyncMode::kVertexLocking), "vertex-locking");
+  EXPECT_STREQ(SyncModeName(SyncMode::kPartitionLocking),
+               "partition-locking");
+}
+
+TEST(FactoryTest, ProducesMatchingGranularity) {
+  using G = SyncTechnique::Granularity;
+  EXPECT_EQ(MakeSyncTechnique(SyncMode::kNone)->granularity(), G::kNone);
+  EXPECT_EQ(MakeSyncTechnique(SyncMode::kSingleLayerToken)->granularity(),
+            G::kVertexGate);
+  EXPECT_EQ(MakeSyncTechnique(SyncMode::kDualLayerToken)->granularity(),
+            G::kVertexGate);
+  EXPECT_EQ(MakeSyncTechnique(SyncMode::kVertexLocking)->granularity(),
+            G::kVertexLock);
+  EXPECT_EQ(MakeSyncTechnique(SyncMode::kPartitionLocking)->granularity(),
+            G::kPartitionLock);
+}
+
+TEST(FactoryTest, OnlySingleTokenRequiresOneThread) {
+  EXPECT_TRUE(MakeSyncTechnique(SyncMode::kSingleLayerToken)
+                  ->RequiresSingleComputeThread());
+  EXPECT_FALSE(MakeSyncTechnique(SyncMode::kDualLayerToken)
+                   ->RequiresSingleComputeThread());
+  EXPECT_FALSE(MakeSyncTechnique(SyncMode::kPartitionLocking)
+                   ->RequiresSingleComputeThread());
+}
+
+TEST(SingleLayerTokenTest, RoundRobinHolderAndGating) {
+  Graph g = Make(PaperExampleGraph());
+  auto p = Partitioning::FromAssignment({0, 2, 1, 3}, {0, 0, 1, 1});
+  ASSERT_TRUE(p.ok());
+  BoundaryInfo boundaries(g, *p);
+  MetricRegistry metrics;
+  SingleLayerTokenPassing technique;
+  ASSERT_TRUE(
+      technique.Init(MakeContext(&g, &*p, &boundaries, &metrics)).ok());
+
+  EXPECT_EQ(technique.HolderOf(0), 0);
+  EXPECT_EQ(technique.HolderOf(1), 1);
+  EXPECT_EQ(technique.HolderOf(2), 0);
+
+  // All four vertices are m-boundary in this layout: only the holder's
+  // worker may execute them.
+  for (int s = 0; s < 4; ++s) {
+    for (VertexId v = 0; v < 4; ++v) {
+      const WorkerId w = p->WorkerOf(v);
+      EXPECT_EQ(technique.MayExecuteVertex(w, s, v),
+                technique.HolderOf(s) == w)
+          << "s=" << s << " v=" << v;
+    }
+  }
+}
+
+TEST(SingleLayerTokenTest, MInternalAlwaysAllowed) {
+  // Path 0-1-2 all on one worker of two; all m-internal there.
+  Graph g = Make(Path(3)).Undirected();
+  auto p = Partitioning::FromAssignment({0, 0, 0}, {0, 1});
+  ASSERT_TRUE(p.ok());
+  BoundaryInfo boundaries(g, *p);
+  MetricRegistry metrics;
+  SingleLayerTokenPassing technique;
+  ASSERT_TRUE(
+      technique.Init(MakeContext(&g, &*p, &boundaries, &metrics)).ok());
+  for (int s = 0; s < 4; ++s) {
+    for (VertexId v = 0; v < 3; ++v) {
+      EXPECT_TRUE(technique.MayExecuteVertex(0, s, v));
+    }
+  }
+}
+
+TEST(DualLayerTokenTest, GlobalWindowsProportionalToPartitions) {
+  // Worker 0 owns 1 partition, worker 1 owns 3: windows of size 1 and 3.
+  Graph g = Make(Ring(8)).Undirected();
+  auto p = Partitioning::FromAssignment({0, 0, 1, 1, 2, 2, 3, 3},
+                                        {0, 1, 1, 1});
+  ASSERT_TRUE(p.ok());
+  BoundaryInfo boundaries(g, *p);
+  MetricRegistry metrics;
+  DualLayerTokenPassing technique;
+  ASSERT_TRUE(
+      technique.Init(MakeContext(&g, &*p, &boundaries, &metrics)).ok());
+  EXPECT_EQ(technique.GlobalHolderOf(0), 0);
+  EXPECT_EQ(technique.GlobalHolderOf(1), 1);
+  EXPECT_EQ(technique.GlobalHolderOf(2), 1);
+  EXPECT_EQ(technique.GlobalHolderOf(3), 1);
+  EXPECT_EQ(technique.GlobalHolderOf(4), 0);  // cycle length 4
+}
+
+TEST(DualLayerTokenTest, LocalTokenRotatesThroughOwnPartitions) {
+  Graph g = Make(Ring(8)).Undirected();
+  Partitioning p = Partitioning::Contiguous(8, 2, 2);
+  BoundaryInfo boundaries(g, p);
+  MetricRegistry metrics;
+  DualLayerTokenPassing technique;
+  ASSERT_TRUE(
+      technique.Init(MakeContext(&g, &p, &boundaries, &metrics)).ok());
+  const auto& parts0 = p.PartitionsOfWorker(0);
+  EXPECT_EQ(technique.LocalTokenPartition(0, 0), parts0[0]);
+  EXPECT_EQ(technique.LocalTokenPartition(0, 1), parts0[1]);
+  EXPECT_EQ(technique.LocalTokenPartition(0, 2), parts0[0]);
+}
+
+TEST(DualLayerTokenTest, EveryMixedVertexGetsAnAlignedSuperstep) {
+  // Over one full global cycle every vertex must be executable at least
+  // once, otherwise computations starve.
+  Graph g = Make(PowerLawChungLu(120, 5, 2.3, 3)).Undirected();
+  Partitioning p = Partitioning::Hash(120, 3, 4, 1);
+  BoundaryInfo boundaries(g, p);
+  MetricRegistry metrics;
+  DualLayerTokenPassing technique;
+  ASSERT_TRUE(
+      technique.Init(MakeContext(&g, &p, &boundaries, &metrics)).ok());
+  const int cycle = p.num_partitions();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    bool allowed = false;
+    for (int s = 0; s < cycle && !allowed; ++s) {
+      allowed = technique.MayExecuteVertex(p.WorkerOf(v), s, v);
+    }
+    EXPECT_TRUE(allowed) << "vertex " << v << " never allowed in a cycle";
+  }
+}
+
+TEST(DualLayerTokenTest, NeighborsNeverBothAllowed) {
+  // The C2 scheduling core: two adjacent vertices on different owners
+  // must never be simultaneously executable in the same superstep
+  // (vertices of the same partition execute sequentially, so exclude
+  // same-partition pairs).
+  Graph g = Make(PowerLawChungLu(100, 6, 2.2, 9)).Undirected();
+  Partitioning p = Partitioning::Hash(100, 3, 3, 2);
+  BoundaryInfo boundaries(g, p);
+  MetricRegistry metrics;
+  DualLayerTokenPassing technique;
+  ASSERT_TRUE(
+      technique.Init(MakeContext(&g, &p, &boundaries, &metrics)).ok());
+  for (int s = 0; s < p.num_partitions() + 2; ++s) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (!technique.MayExecuteVertex(p.WorkerOf(v), s, v)) continue;
+      for (VertexId u : g.OutNeighbors(v)) {
+        if (p.PartitionOf(u) == p.PartitionOf(v)) continue;
+        EXPECT_FALSE(technique.MayExecuteVertex(p.WorkerOf(u), s, u))
+            << "superstep " << s << ": neighbors " << v << "," << u;
+      }
+    }
+  }
+}
+
+TEST(LockingTest, ForkCountsMatchStructures) {
+  Graph g = Make(PowerLawChungLu(200, 6, 2.3, 4)).Undirected();
+  Partitioning p = Partitioning::Hash(200, 4, 4, 0);
+  BoundaryInfo boundaries(g, p);
+
+  MetricRegistry m1;
+  VertexBasedLocking vertex_locking;
+  ASSERT_TRUE(
+      vertex_locking.Init(MakeContext(&g, &p, &boundaries, &m1)).ok());
+  EXPECT_EQ(vertex_locking.num_forks(), g.num_edges() / 2);
+
+  MetricRegistry m2;
+  PartitionBasedLocking partition_locking;
+  ASSERT_TRUE(
+      partition_locking.Init(MakeContext(&g, &p, &boundaries, &m2)).ok());
+  EXPECT_EQ(partition_locking.num_forks(),
+            CountPartitionForks(BuildPartitionGraph(g, p)));
+  EXPECT_LT(partition_locking.num_forks(), vertex_locking.num_forks());
+}
+
+TEST(EngineIntegrationTest, SingleTokenForcesOneComputeThread) {
+  // With single-layer token passing the engine must clamp threads; the
+  // run still completes correctly.
+  Graph g = Make(PowerLawChungLu(200, 6, 2.3, 4));
+  EngineOptions opts;
+  opts.sync_mode = SyncMode::kSingleLayerToken;
+  opts.num_workers = 2;
+  opts.compute_threads_per_worker = 8;  // will be clamped to 1
+  Engine<PageRank> engine(&g, opts);
+  auto result = engine.Run(PageRank(0.01));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->stats.converged);
+}
+
+}  // namespace
+}  // namespace serigraph

@@ -1,0 +1,174 @@
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/timer.h"
+
+namespace serigraph {
+namespace {
+
+WireMessage Control(WorkerId src, WorkerId dst, uint32_t tag) {
+  WireMessage msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.kind = MessageKind::kControl;
+  msg.tag = tag;
+  return msg;
+}
+
+TEST(TransportTest, DeliversToCorrectInbox) {
+  MetricRegistry metrics;
+  Transport transport(3, NetworkOptions{}, &metrics);
+  transport.Send(Control(0, 1, 7));
+  transport.Send(Control(0, 2, 8));
+  auto m1 = transport.TryReceive(1);
+  ASSERT_TRUE(m1.has_value());
+  EXPECT_EQ(m1->tag, 7u);
+  auto m2 = transport.TryReceive(2);
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_EQ(m2->tag, 8u);
+  EXPECT_FALSE(transport.TryReceive(0).has_value());
+}
+
+TEST(TransportTest, PerPairFifoWithoutLatency) {
+  MetricRegistry metrics;
+  Transport transport(2, NetworkOptions{}, &metrics);
+  for (uint32_t i = 0; i < 100; ++i) transport.Send(Control(0, 1, i));
+  for (uint32_t i = 0; i < 100; ++i) {
+    auto m = transport.TryReceive(1);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->tag, i);
+  }
+}
+
+TEST(TransportTest, PerPairFifoWithSizeDependentDelays) {
+  // A large batch (long delay) followed by a small marker (short delay)
+  // must still arrive in order: the flush/ack protocol depends on it.
+  MetricRegistry metrics;
+  NetworkOptions network;
+  network.one_way_latency_us = 1000;
+  network.per_kib_us = 5000;  // exaggerate the bandwidth term
+  Transport transport(2, network, &metrics);
+
+  WireMessage big;
+  big.src = 0;
+  big.dst = 1;
+  big.kind = MessageKind::kDataBatch;
+  big.payload.assign(16 * 1024, 0xcd);
+  transport.Send(std::move(big));
+  transport.Send(Control(0, 1, 42));  // tiny, would overtake naively
+
+  auto first = transport.Receive(1);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->kind, MessageKind::kDataBatch);
+  auto second = transport.Receive(1);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->tag, 42u);
+}
+
+TEST(TransportTest, LatencyDelaysVisibility) {
+  MetricRegistry metrics;
+  NetworkOptions network;
+  network.one_way_latency_us = 30000;  // 30 ms
+  Transport transport(2, network, &metrics);
+  transport.Send(Control(0, 1, 1));
+  EXPECT_FALSE(transport.TryReceive(1).has_value());  // not yet visible
+  WallTimer timer;
+  auto m = transport.Receive(1);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_GE(timer.ElapsedMicros(), 20000);
+}
+
+TEST(TransportTest, LocalMessagesSkipLatency) {
+  MetricRegistry metrics;
+  NetworkOptions network;
+  network.one_way_latency_us = 1000000;  // 1s, would time the test out
+  Transport transport(2, network, &metrics);
+  transport.Send(Control(1, 1, 5));
+  auto m = transport.TryReceive(1);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->tag, 5u);
+}
+
+TEST(TransportTest, CountersTrackTraffic) {
+  MetricRegistry metrics;
+  Transport transport(2, NetworkOptions{}, &metrics);
+  transport.Send(Control(0, 1, 1));
+  WireMessage data;
+  data.src = 0;
+  data.dst = 1;
+  data.kind = MessageKind::kDataBatch;
+  data.payload.assign(100, 1);
+  transport.Send(std::move(data));
+  transport.Send(Control(1, 1, 2));  // local
+  auto snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot["net.wire_messages"], 3);
+  EXPECT_EQ(snapshot["net.control_messages"], 1);
+  EXPECT_EQ(snapshot["net.data_batches"], 1);
+  EXPECT_EQ(snapshot["net.local_messages"], 1);
+  EXPECT_EQ(snapshot["net.wire_bytes"], 32 + 132 + 32);
+}
+
+TEST(TransportTest, ReceiveBlocksUntilSend) {
+  MetricRegistry metrics;
+  Transport transport(2, NetworkOptions{}, &metrics);
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    transport.Send(Control(0, 1, 9));
+  });
+  auto m = transport.Receive(1);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->tag, 9u);
+  sender.join();
+}
+
+TEST(TransportTest, ShutdownUnblocksReceivers) {
+  MetricRegistry metrics;
+  Transport transport(2, NetworkOptions{}, &metrics);
+  std::thread receiver([&] {
+    auto m = transport.Receive(1);
+    EXPECT_FALSE(m.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  transport.Shutdown();
+  receiver.join();
+}
+
+TEST(TransportTest, InboxEmptySeesUndeliveredMessages) {
+  MetricRegistry metrics;
+  NetworkOptions network;
+  network.one_way_latency_us = 50000;
+  Transport transport(2, network, &metrics);
+  EXPECT_TRUE(transport.InboxEmpty(1));
+  transport.Send(Control(0, 1, 1));
+  EXPECT_FALSE(transport.InboxEmpty(1));  // in flight still counts
+}
+
+TEST(TransportTest, ManyThreadsManyMessages) {
+  MetricRegistry metrics;
+  Transport transport(4, NetworkOptions{}, &metrics);
+  constexpr int kPerSender = 500;
+  std::vector<std::thread> senders;
+  for (WorkerId src = 0; src < 4; ++src) {
+    senders.emplace_back([&, src] {
+      for (int i = 0; i < kPerSender; ++i) {
+        transport.Send(Control(src, (src + 1) % 4, i));
+      }
+    });
+  }
+  for (auto& t : senders) t.join();
+  for (WorkerId dst = 0; dst < 4; ++dst) {
+    int received = 0;
+    uint32_t expect = 0;
+    while (auto m = transport.TryReceive(dst)) {
+      EXPECT_EQ(m->tag, expect++);  // per-pair FIFO
+      ++received;
+    }
+    EXPECT_EQ(received, kPerSender);
+  }
+}
+
+}  // namespace
+}  // namespace serigraph

@@ -1,0 +1,88 @@
+#include "algos/triangles.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.h"
+#include "pregel/engine.h"
+
+namespace serigraph {
+namespace {
+
+Graph Make(const EdgeList& el) {
+  auto g = Graph::FromEdgeList(el);
+  EXPECT_TRUE(g.ok()) << g.status();
+  return std::move(g).value();
+}
+
+int64_t RunTriangles(const Graph& g, const EngineOptions& opts) {
+  Engine<TriangleCount> engine(&g, opts);
+  auto result = engine.Run(TriangleCount());
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::accumulate(result->values.begin(), result->values.end(),
+                         int64_t{0});
+}
+
+TEST(NeighborListCodecTest, RoundTrip) {
+  NeighborList list;
+  list.ids = {0, 5, 127, 128, 1000000};
+  BufferWriter writer;
+  MessageCodec<NeighborList>::Encode(writer, list);
+  BufferReader reader(writer.data());
+  NeighborList decoded;
+  ASSERT_TRUE(MessageCodec<NeighborList>::Decode(reader, &decoded));
+  EXPECT_EQ(decoded.ids, list.ids);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(NeighborListCodecTest, TruncationFails) {
+  NeighborList list;
+  list.ids = {1, 2, 3};
+  BufferWriter writer;
+  MessageCodec<NeighborList>::Encode(writer, list);
+  BufferReader reader(writer.data().data(), writer.size() - 1);
+  NeighborList decoded;
+  EXPECT_FALSE(MessageCodec<NeighborList>::Decode(reader, &decoded));
+}
+
+TEST(ReferenceTriangleCountTest, KnownGraphs) {
+  EXPECT_EQ(ReferenceTriangleCount(Make(Complete(4))), 4);   // C(4,3)
+  EXPECT_EQ(ReferenceTriangleCount(Make(Complete(6))), 20);  // C(6,3)
+  EXPECT_EQ(ReferenceTriangleCount(Make(Ring(10)).Undirected()), 0);
+  EXPECT_EQ(ReferenceTriangleCount(Make(Grid(5, 5))), 0);
+}
+
+TEST(TriangleCountTest, MatchesReferenceOnCompleteGraph) {
+  Graph g = Make(Complete(10));
+  EngineOptions opts;
+  opts.num_workers = 2;
+  EXPECT_EQ(RunTriangles(g, opts), 120);  // C(10,3)
+}
+
+TEST(TriangleCountTest, MatchesReferenceOnRandomGraphs) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Graph g = Make(ErdosRenyi(120, 900, seed)).Undirected();
+    const int64_t expected = ReferenceTriangleCount(g);
+    for (ComputationModel model :
+         {ComputationModel::kBsp, ComputationModel::kAsync}) {
+      EngineOptions opts;
+      opts.model = model;
+      opts.num_workers = 3;
+      EXPECT_EQ(RunTriangles(g, opts), expected)
+          << "seed=" << seed << " model=" << ComputationModelName(model);
+    }
+  }
+}
+
+TEST(TriangleCountTest, WorksUnderPartitionLocking) {
+  Graph g = Make(PowerLawChungLu(200, 8, 2.2, 4)).Undirected();
+  const int64_t expected = ReferenceTriangleCount(g);
+  EngineOptions opts;
+  opts.sync_mode = SyncMode::kPartitionLocking;
+  opts.num_workers = 3;
+  EXPECT_EQ(RunTriangles(g, opts), expected);
+}
+
+}  // namespace
+}  // namespace serigraph

@@ -1,0 +1,85 @@
+#include "gas/vertex_cut.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace serigraph {
+namespace {
+
+Graph Make(const EdgeList& el) {
+  auto g = Graph::FromEdgeList(el);
+  EXPECT_TRUE(g.ok()) << g.status();
+  return std::move(g).value();
+}
+
+TEST(VertexCutTest, EveryEdgeAssignedToValidWorker) {
+  Graph g = Make(ErdosRenyi(200, 1000, 3));
+  VertexCut cut = VertexCut::Random(g, 4, 7);
+  EXPECT_EQ(cut.num_edges(), g.num_edges());
+  for (int64_t e = 0; e < cut.num_edges(); ++e) {
+    EXPECT_GE(cut.EdgeWorker(e), 0);
+    EXPECT_LT(cut.EdgeWorker(e), 4);
+  }
+}
+
+TEST(VertexCutTest, ReplicasCoverEdgeWorkers) {
+  Graph g = Make(Star(20));
+  VertexCut cut = VertexCut::Random(g, 4, 1);
+  // The hub's replicas must include every worker that owns one of its
+  // edges; with 38 directed edges over 4 workers that is all of them
+  // with overwhelming probability.
+  const auto& hub_replicas = cut.ReplicasOf(0);
+  EXPECT_GE(hub_replicas.size(), 2u);
+  // Leaves touch few edges => few replicas.
+  for (VertexId v = 1; v < 20; ++v) {
+    EXPECT_LE(cut.ReplicasOf(v).size(), 2u);
+    EXPECT_GE(cut.ReplicasOf(v).size(), 1u);
+  }
+}
+
+TEST(VertexCutTest, MasterIsAReplica) {
+  Graph g = Make(PowerLawChungLu(300, 8, 2.2, 5));
+  VertexCut cut = VertexCut::Random(g, 8, 3);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (cut.ReplicasOf(v).empty()) continue;  // isolated
+    const auto& reps = cut.ReplicasOf(v);
+    EXPECT_TRUE(std::find(reps.begin(), reps.end(), cut.MasterOf(v)) !=
+                reps.end());
+  }
+}
+
+TEST(VertexCutTest, GreedyBeatsRandomOnReplicationFactor) {
+  // PowerGraph's core result: greedy edge placement substantially lowers
+  // the replication factor on power-law graphs.
+  Graph g = Make(PowerLawChungLu(1000, 10, 2.2, 9));
+  VertexCut random = VertexCut::Random(g, 16, 5);
+  VertexCut greedy = VertexCut::Greedy(g, 16);
+  EXPECT_LT(greedy.ReplicationFactor(), random.ReplicationFactor() * 0.8);
+  EXPECT_GE(greedy.ReplicationFactor(), 1.0);
+}
+
+TEST(VertexCutTest, GreedyStaysReasonablyBalanced) {
+  Graph g = Make(PowerLawChungLu(500, 8, 2.3, 11));
+  VertexCut greedy = VertexCut::Greedy(g, 8);
+  EXPECT_LT(greedy.EdgeImbalance(), 2.0);
+}
+
+TEST(VertexCutTest, SingleWorkerNoReplication) {
+  Graph g = Make(Ring(32));
+  VertexCut cut = VertexCut::Random(g, 1, 0);
+  EXPECT_DOUBLE_EQ(cut.ReplicationFactor(), 1.0);
+  EXPECT_DOUBLE_EQ(cut.EdgeImbalance(), 1.0);
+}
+
+TEST(VertexCutTest, DeterministicBySeed) {
+  Graph g = Make(ErdosRenyi(100, 500, 13));
+  VertexCut a = VertexCut::Random(g, 4, 42);
+  VertexCut b = VertexCut::Random(g, 4, 42);
+  for (int64_t e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.EdgeWorker(e), b.EdgeWorker(e));
+  }
+}
+
+}  // namespace
+}  // namespace serigraph
