@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_forks.dir/ablation_forks.cc.o"
+  "CMakeFiles/ablation_forks.dir/ablation_forks.cc.o.d"
+  "ablation_forks"
+  "ablation_forks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_forks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_partitions.dir/ablation_partitions.cc.o"
+  "CMakeFiles/ablation_partitions.dir/ablation_partitions.cc.o.d"
+  "ablation_partitions"
+  "ablation_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

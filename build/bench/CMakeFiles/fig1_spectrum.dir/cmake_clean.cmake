@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_spectrum.dir/fig1_spectrum.cc.o"
+  "CMakeFiles/fig1_spectrum.dir/fig1_spectrum.cc.o.d"
+  "fig1_spectrum"
+  "fig1_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

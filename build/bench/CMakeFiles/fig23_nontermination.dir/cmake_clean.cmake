@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_nontermination.dir/fig23_nontermination.cc.o"
+  "CMakeFiles/fig23_nontermination.dir/fig23_nontermination.cc.o.d"
+  "fig23_nontermination"
+  "fig23_nontermination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_nontermination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_ar_appendix.dir/fig6_ar_appendix.cc.o"
+  "CMakeFiles/fig6_ar_appendix.dir/fig6_ar_appendix.cc.o.d"
+  "fig6_ar_appendix"
+  "fig6_ar_appendix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ar_appendix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_coloring.dir/fig6a_coloring.cc.o"
+  "CMakeFiles/fig6a_coloring.dir/fig6a_coloring.cc.o.d"
+  "fig6a_coloring"
+  "fig6a_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

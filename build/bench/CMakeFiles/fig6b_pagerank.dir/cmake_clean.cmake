@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_pagerank.dir/fig6b_pagerank.cc.o"
+  "CMakeFiles/fig6b_pagerank.dir/fig6b_pagerank.cc.o.d"
+  "fig6b_pagerank"
+  "fig6b_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6c_sssp.dir/fig6c_sssp.cc.o"
+  "CMakeFiles/fig6c_sssp.dir/fig6c_sssp.cc.o.d"
+  "fig6c_sssp"
+  "fig6c_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6d_wcc.dir/fig6d_wcc.cc.o"
+  "CMakeFiles/fig6d_wcc.dir/fig6d_wcc.cc.o.d"
+  "fig6d_wcc"
+  "fig6d_wcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6d_wcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

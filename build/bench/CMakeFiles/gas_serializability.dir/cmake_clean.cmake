@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_serializability.dir/gas_serializability.cc.o"
+  "CMakeFiles/gas_serializability.dir/gas_serializability.cc.o.d"
+  "gas_serializability"
+  "gas_serializability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_serializability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

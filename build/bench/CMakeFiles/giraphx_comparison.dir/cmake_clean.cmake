@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/giraphx_comparison.dir/giraphx_comparison.cc.o"
+  "CMakeFiles/giraphx_comparison.dir/giraphx_comparison.cc.o.d"
+  "giraphx_comparison"
+  "giraphx_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/giraphx_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

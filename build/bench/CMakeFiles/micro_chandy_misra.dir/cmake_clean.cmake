@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_chandy_misra.dir/micro_chandy_misra.cc.o"
+  "CMakeFiles/micro_chandy_misra.dir/micro_chandy_misra.cc.o.d"
+  "micro_chandy_misra"
+  "micro_chandy_misra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_chandy_misra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

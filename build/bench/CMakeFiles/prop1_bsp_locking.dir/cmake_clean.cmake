@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop1_bsp_locking.dir/prop1_bsp_locking.cc.o"
+  "CMakeFiles/prop1_bsp_locking.dir/prop1_bsp_locking.cc.o.d"
+  "prop1_bsp_locking"
+  "prop1_bsp_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop1_bsp_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replication_analysis.dir/replication_analysis.cc.o"
+  "CMakeFiles/replication_analysis.dir/replication_analysis.cc.o.d"
+  "replication_analysis"
+  "replication_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replication_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

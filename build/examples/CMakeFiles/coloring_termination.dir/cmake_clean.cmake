@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coloring_termination.dir/coloring_termination.cpp.o"
+  "CMakeFiles/coloring_termination.dir/coloring_termination.cpp.o.d"
+  "coloring_termination"
+  "coloring_termination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coloring_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/serializability_audit.cpp" "examples/CMakeFiles/serializability_audit.dir/serializability_audit.cpp.o" "gcc" "examples/CMakeFiles/serializability_audit.dir/serializability_audit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pregel/CMakeFiles/serigraph_pregel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/serigraph_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/serigraph_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/serigraph_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/serigraph_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/gas/CMakeFiles/serigraph_gas.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/serigraph_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/serigraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/serigraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serializability_audit.dir/serializability_audit.cpp.o"
+  "CMakeFiles/serializability_audit.dir/serializability_audit.cpp.o.d"
+  "serializability_audit"
+  "serializability_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serializability_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serigraph_cli.dir/serigraph_cli.cpp.o"
+  "CMakeFiles/serigraph_cli.dir/serigraph_cli.cpp.o.d"
+  "serigraph_cli"
+  "serigraph_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serigraph_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssp_roadnet.dir/sssp_roadnet.cpp.o"
+  "CMakeFiles/sssp_roadnet.dir/sssp_roadnet.cpp.o.d"
+  "sssp_roadnet"
+  "sssp_roadnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssp_roadnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

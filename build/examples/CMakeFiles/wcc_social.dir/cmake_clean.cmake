@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcc_social.dir/wcc_social.cpp.o"
+  "CMakeFiles/wcc_social.dir/wcc_social.cpp.o.d"
+  "wcc_social"
+  "wcc_social.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcc_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

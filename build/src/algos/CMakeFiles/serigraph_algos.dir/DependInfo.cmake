@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/coloring.cc" "src/algos/CMakeFiles/serigraph_algos.dir/coloring.cc.o" "gcc" "src/algos/CMakeFiles/serigraph_algos.dir/coloring.cc.o.d"
+  "/root/repo/src/algos/label_propagation.cc" "src/algos/CMakeFiles/serigraph_algos.dir/label_propagation.cc.o" "gcc" "src/algos/CMakeFiles/serigraph_algos.dir/label_propagation.cc.o.d"
+  "/root/repo/src/algos/reference.cc" "src/algos/CMakeFiles/serigraph_algos.dir/reference.cc.o" "gcc" "src/algos/CMakeFiles/serigraph_algos.dir/reference.cc.o.d"
+  "/root/repo/src/algos/triangles.cc" "src/algos/CMakeFiles/serigraph_algos.dir/triangles.cc.o" "gcc" "src/algos/CMakeFiles/serigraph_algos.dir/triangles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/serigraph_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/serigraph_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

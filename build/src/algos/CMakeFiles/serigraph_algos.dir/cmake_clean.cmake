@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serigraph_algos.dir/coloring.cc.o"
+  "CMakeFiles/serigraph_algos.dir/coloring.cc.o.d"
+  "CMakeFiles/serigraph_algos.dir/label_propagation.cc.o"
+  "CMakeFiles/serigraph_algos.dir/label_propagation.cc.o.d"
+  "CMakeFiles/serigraph_algos.dir/reference.cc.o"
+  "CMakeFiles/serigraph_algos.dir/reference.cc.o.d"
+  "CMakeFiles/serigraph_algos.dir/triangles.cc.o"
+  "CMakeFiles/serigraph_algos.dir/triangles.cc.o.d"
+  "libserigraph_algos.a"
+  "libserigraph_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serigraph_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serigraph_common.dir/logging.cc.o"
+  "CMakeFiles/serigraph_common.dir/logging.cc.o.d"
+  "CMakeFiles/serigraph_common.dir/metrics.cc.o"
+  "CMakeFiles/serigraph_common.dir/metrics.cc.o.d"
+  "CMakeFiles/serigraph_common.dir/status.cc.o"
+  "CMakeFiles/serigraph_common.dir/status.cc.o.d"
+  "CMakeFiles/serigraph_common.dir/threading.cc.o"
+  "CMakeFiles/serigraph_common.dir/threading.cc.o.d"
+  "libserigraph_common.a"
+  "libserigraph_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serigraph_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gas/gas_engine.cc" "src/gas/CMakeFiles/serigraph_gas.dir/gas_engine.cc.o" "gcc" "src/gas/CMakeFiles/serigraph_gas.dir/gas_engine.cc.o.d"
+  "/root/repo/src/gas/vertex_cut.cc" "src/gas/CMakeFiles/serigraph_gas.dir/vertex_cut.cc.o" "gcc" "src/gas/CMakeFiles/serigraph_gas.dir/vertex_cut.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/serigraph_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/serigraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/serigraph_algos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serigraph_gas.dir/gas_engine.cc.o"
+  "CMakeFiles/serigraph_gas.dir/gas_engine.cc.o.d"
+  "CMakeFiles/serigraph_gas.dir/vertex_cut.cc.o"
+  "CMakeFiles/serigraph_gas.dir/vertex_cut.cc.o.d"
+  "libserigraph_gas.a"
+  "libserigraph_gas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serigraph_gas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serigraph_graph.dir/generators.cc.o"
+  "CMakeFiles/serigraph_graph.dir/generators.cc.o.d"
+  "CMakeFiles/serigraph_graph.dir/graph.cc.o"
+  "CMakeFiles/serigraph_graph.dir/graph.cc.o.d"
+  "CMakeFiles/serigraph_graph.dir/io.cc.o"
+  "CMakeFiles/serigraph_graph.dir/io.cc.o.d"
+  "CMakeFiles/serigraph_graph.dir/partitioning.cc.o"
+  "CMakeFiles/serigraph_graph.dir/partitioning.cc.o.d"
+  "CMakeFiles/serigraph_graph.dir/stats.cc.o"
+  "CMakeFiles/serigraph_graph.dir/stats.cc.o.d"
+  "CMakeFiles/serigraph_graph.dir/streaming_partitioner.cc.o"
+  "CMakeFiles/serigraph_graph.dir/streaming_partitioner.cc.o.d"
+  "libserigraph_graph.a"
+  "libserigraph_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serigraph_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

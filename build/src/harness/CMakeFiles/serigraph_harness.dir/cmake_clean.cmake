@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serigraph_harness.dir/datasets.cc.o"
+  "CMakeFiles/serigraph_harness.dir/datasets.cc.o.d"
+  "CMakeFiles/serigraph_harness.dir/table.cc.o"
+  "CMakeFiles/serigraph_harness.dir/table.cc.o.d"
+  "libserigraph_harness.a"
+  "libserigraph_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serigraph_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

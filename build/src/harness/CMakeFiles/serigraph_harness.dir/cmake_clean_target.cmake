@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libserigraph_harness.a"
+)

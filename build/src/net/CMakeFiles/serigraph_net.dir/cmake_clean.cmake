@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serigraph_net.dir/transport.cc.o"
+  "CMakeFiles/serigraph_net.dir/transport.cc.o.d"
+  "libserigraph_net.a"
+  "libserigraph_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serigraph_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serigraph_pregel.dir/checkpoint.cc.o"
+  "CMakeFiles/serigraph_pregel.dir/checkpoint.cc.o.d"
+  "CMakeFiles/serigraph_pregel.dir/model.cc.o"
+  "CMakeFiles/serigraph_pregel.dir/model.cc.o.d"
+  "libserigraph_pregel.a"
+  "libserigraph_pregel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serigraph_pregel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

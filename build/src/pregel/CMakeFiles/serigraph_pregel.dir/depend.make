@@ -1,0 +1,2 @@
+# Empty dependencies file for serigraph_pregel.
+# This may be replaced when dependencies are built.

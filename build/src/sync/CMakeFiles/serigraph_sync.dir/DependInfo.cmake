@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/chandy_misra.cc" "src/sync/CMakeFiles/serigraph_sync.dir/chandy_misra.cc.o" "gcc" "src/sync/CMakeFiles/serigraph_sync.dir/chandy_misra.cc.o.d"
+  "/root/repo/src/sync/distributed_locking.cc" "src/sync/CMakeFiles/serigraph_sync.dir/distributed_locking.cc.o" "gcc" "src/sync/CMakeFiles/serigraph_sync.dir/distributed_locking.cc.o.d"
+  "/root/repo/src/sync/technique.cc" "src/sync/CMakeFiles/serigraph_sync.dir/technique.cc.o" "gcc" "src/sync/CMakeFiles/serigraph_sync.dir/technique.cc.o.d"
+  "/root/repo/src/sync/token_passing.cc" "src/sync/CMakeFiles/serigraph_sync.dir/token_passing.cc.o" "gcc" "src/sync/CMakeFiles/serigraph_sync.dir/token_passing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/serigraph_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/serigraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/serigraph_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serigraph_sync.dir/chandy_misra.cc.o"
+  "CMakeFiles/serigraph_sync.dir/chandy_misra.cc.o.d"
+  "CMakeFiles/serigraph_sync.dir/distributed_locking.cc.o"
+  "CMakeFiles/serigraph_sync.dir/distributed_locking.cc.o.d"
+  "CMakeFiles/serigraph_sync.dir/technique.cc.o"
+  "CMakeFiles/serigraph_sync.dir/technique.cc.o.d"
+  "CMakeFiles/serigraph_sync.dir/token_passing.cc.o"
+  "CMakeFiles/serigraph_sync.dir/token_passing.cc.o.d"
+  "libserigraph_sync.a"
+  "libserigraph_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serigraph_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

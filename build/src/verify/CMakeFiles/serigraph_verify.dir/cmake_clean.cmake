@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serigraph_verify.dir/history.cc.o"
+  "CMakeFiles/serigraph_verify.dir/history.cc.o.d"
+  "libserigraph_verify.a"
+  "libserigraph_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serigraph_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

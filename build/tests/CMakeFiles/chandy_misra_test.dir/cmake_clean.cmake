@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chandy_misra_test.dir/chandy_misra_test.cc.o"
+  "CMakeFiles/chandy_misra_test.dir/chandy_misra_test.cc.o.d"
+  "chandy_misra_test"
+  "chandy_misra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chandy_misra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constrained_bsp_test.dir/constrained_bsp_test.cc.o"
+  "CMakeFiles/constrained_bsp_test.dir/constrained_bsp_test.cc.o.d"
+  "constrained_bsp_test"
+  "constrained_bsp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constrained_bsp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/label_propagation_test.dir/label_propagation_test.cc.o"
+  "CMakeFiles/label_propagation_test.dir/label_propagation_test.cc.o.d"
+  "label_propagation_test"
+  "label_propagation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/label_propagation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_equivalence_test.dir/model_equivalence_test.cc.o"
+  "CMakeFiles/model_equivalence_test.dir/model_equivalence_test.cc.o.d"
+  "model_equivalence_test"
+  "model_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

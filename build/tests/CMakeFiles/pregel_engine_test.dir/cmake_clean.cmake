@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregel_engine_test.dir/pregel_engine_test.cc.o"
+  "CMakeFiles/pregel_engine_test.dir/pregel_engine_test.cc.o.d"
+  "pregel_engine_test"
+  "pregel_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregel_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

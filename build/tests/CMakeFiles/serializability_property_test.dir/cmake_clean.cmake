@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serializability_property_test.dir/serializability_property_test.cc.o"
+  "CMakeFiles/serializability_property_test.dir/serializability_property_test.cc.o.d"
+  "serializability_property_test"
+  "serializability_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serializability_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_partitioner_test.dir/streaming_partitioner_test.cc.o"
+  "CMakeFiles/streaming_partitioner_test.dir/streaming_partitioner_test.cc.o.d"
+  "streaming_partitioner_test"
+  "streaming_partitioner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_partitioner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_algorithms_test.dir/token_algorithms_test.cc.o"
+  "CMakeFiles/token_algorithms_test.dir/token_algorithms_test.cc.o.d"
+  "token_algorithms_test"
+  "token_algorithms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

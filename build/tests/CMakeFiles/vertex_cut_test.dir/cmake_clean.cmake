@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertex_cut_test.dir/vertex_cut_test.cc.o"
+  "CMakeFiles/vertex_cut_test.dir/vertex_cut_test.cc.o.d"
+  "vertex_cut_test"
+  "vertex_cut_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertex_cut_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
