@@ -19,6 +19,7 @@
 #include "harness/datasets.h"
 #include "harness/runner.h"
 #include "harness/table.h"
+#include "obs/timeline.h"
 
 namespace serigraph {
 
@@ -47,7 +48,10 @@ inline void RunFig6Grid(
                              SyncMode::kPartitionLocking,
                              SyncMode::kVertexLocking};
   TablePrinter table({"dataset", "workers", "technique", "time", "supersteps",
-                      "ctrl msgs", "wire MB", "valid", "vs partition"});
+                      "ctrl msgs", "wire MB", "valid", "vs partition",
+                      "fork/compute"});
+  std::vector<SuperstepSample> last_timeline;
+  std::string last_timeline_label;
   for (const DatasetSpec& spec : StandInSpecs()) {
     if (spec.name == "AR'") continue;  // like the paper's main text
     Graph graph =
@@ -70,9 +74,25 @@ inline void RunFig6Grid(
         cells.push_back(cell);
         if (sync == SyncMode::kPartitionLocking) {
           partition_time = stats.computation_seconds;
+          last_timeline = stats.timeline;
+          last_timeline_label = spec.name + ", " +
+                                std::to_string(workers) + " workers, " +
+                                SyncModeName(sync);
         }
       }
       for (const Fig6Cell& cell : cells) {
+        // Where did the time go? Fork-wait share approximates the
+        // synchronization overhead of the locking techniques (Section 7.3).
+        const int64_t compute_us =
+            Total(cell.stats.timeline, &SuperstepSample::compute_us);
+        const int64_t fork_us =
+            Total(cell.stats.timeline, &SuperstepSample::fork_wait_us);
+        char fork_share[32];
+        std::snprintf(fork_share, sizeof(fork_share), "%.1f%%",
+                      compute_us > 0
+                          ? 100.0 * static_cast<double>(fork_us) /
+                                static_cast<double>(compute_us)
+                          : 0.0);
         table.AddRow(
             {cell.dataset, std::to_string(cell.workers),
              SyncModeName(cell.sync),
@@ -83,11 +103,23 @@ inline void RunFig6Grid(
                  " MB",
              cell.valid ? "yes" : "NO",
              TablePrinter::Ratio(cell.stats.computation_seconds /
-                                 partition_time)});
+                                 partition_time),
+             fork_share});
       }
     }
   }
   table.Print(std::cout);
+  std::printf("fork/compute: fork-acquire wait as a share of compute time "
+              "(both summed over workers;\n waits are per compute thread, "
+              "so >100%% means threads mostly blocked on forks)\n");
+
+  // One per-superstep breakdown per grid, for the contribution technique's
+  // last configuration: shows how phase costs evolve over the run.
+  if (!last_timeline.empty()) {
+    std::printf("\nper-superstep timeline (%s):\n",
+                last_timeline_label.c_str());
+    PrintTimeline(std::cout, last_timeline);
+  }
 }
 
 }  // namespace serigraph

@@ -26,7 +26,10 @@
 #include "graph/io.h"
 #include "graph/stats.h"
 #include "harness/datasets.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "pregel/engine.h"
+#include "pregel/model.h"
 #include "verify/history.h"
 
 using namespace serigraph;
@@ -49,6 +52,8 @@ struct CliOptions {
   double tolerance = 0.01;
   bool verify = false;
   bool help = false;
+  std::string trace_out;
+  std::string metrics_json;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -97,6 +102,8 @@ CliOptions Parse(int argc, char** argv) {
       opts.tolerance = std::atof(value.c_str());
       continue;
     }
+    if (ParseFlag(arg, "trace-out", &opts.trace_out)) continue;
+    if (ParseFlag(arg, "metrics-json", &opts.metrics_json)) continue;
     if (std::strcmp(arg, "--verify") == 0) {
       opts.verify = true;
       continue;
@@ -126,7 +133,11 @@ void PrintHelp() {
       "  --workers=N --threads=N          simulated cluster shape\n"
       "  --latency-us=N                   simulated one-way latency\n"
       "  --tolerance=X                    PageRank threshold\n"
-      "  --verify                         record + check C1/C2/1SR\n");
+      "  --verify                         record + check C1/C2/1SR\n"
+      "  --trace-out=FILE                 write a Chrome trace-event JSON\n"
+      "                                   (open in Perfetto / chrome://tracing)\n"
+      "  --metrics-json=FILE              write run stats + per-superstep\n"
+      "                                   timeline as JSON\n");
 }
 
 StatusOr<SyncMode> ParseSync(const std::string& name) {
@@ -191,6 +202,23 @@ int RunAndReport(const Graph& graph, const CliOptions& cli,
               (long long)result->stats.Metric("net.control_messages"),
               (long long)result->stats.Metric("sync.fork_transfers"));
   if (!result_note.empty()) std::printf("%s\n", result_note.c_str());
+  if (!cli.metrics_json.empty()) {
+    Status s = WriteTextFile(cli.metrics_json, RunStatsToJson(result->stats));
+    if (!s.ok()) {
+      std::fprintf(stderr, "metrics-json: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", cli.metrics_json.c_str());
+  }
+  if (!cli.trace_out.empty()) {
+    Status s = Tracer::Get().WriteChromeTrace(cli.trace_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace-out: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (%lld events)\n", cli.trace_out.c_str(),
+                (long long)Tracer::Get().event_count());
+  }
   if (cli.verify) {
     HistoryCheck check =
         CheckHistory(graph, result->history->TakeRecords());
@@ -230,6 +258,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   Graph graph = std::move(graph_or).value();
+  if (!cli.trace_out.empty()) {
+    Tracer::Get().Enable();
+  }
   GraphStats stats = ComputeGraphStats(graph, false);
   std::printf("graph: %lld vertices, %lld directed edges, max degree %lld\n",
               (long long)stats.num_vertices,

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds the full tree under ThreadSanitizer and runs the test suite.
+# The tracer's lock-free recording path and the engine's per-superstep
+# accounting are only as good as this check: any data race in them shows
+# up here, not in a flaky bench.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DSERIGRAPH_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# Second-guess TSan's default: halt_on_error keeps the first race report
+# readable instead of burying it under cascading failures.
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "check.sh: all tests passed under ThreadSanitizer"

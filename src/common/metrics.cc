@@ -21,6 +21,11 @@ void Histogram::Record(int64_t sample) {
   buckets_[BucketFor(sample)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(sample, std::memory_order_relaxed);
+  int64_t prev = max_.load(std::memory_order_relaxed);
+  while (sample > prev &&
+         !max_.compare_exchange_weak(prev, sample,
+                                     std::memory_order_relaxed)) {
+  }
 }
 
 double Histogram::Mean() const {
@@ -31,24 +36,30 @@ double Histogram::Mean() const {
 int64_t Histogram::ApproxQuantile(double q) const {
   int64_t total = count();
   if (total == 0) return 0;
-  if (q < 0) q = 0;
+  // Clamp q into [0,1]; the negated comparison also routes NaN to 0.
+  if (!(q >= 0)) q = 0;
   if (q > 1) q = 1;
   int64_t target = static_cast<int64_t>(q * static_cast<double>(total - 1));
+  const int64_t observed_max = max();
   int64_t seen = 0;
   for (int b = 0; b < kNumBuckets; ++b) {
     seen += buckets_[b].load(std::memory_order_relaxed);
     if (seen > target) {
-      // Upper bound of bucket b: 2^b - 1 (bucket 0 holds <=0 samples).
-      return b == 0 ? 0 : (int64_t{1} << b) - 1;
+      // Upper bound of bucket b: 2^b - 1 (bucket 0 holds <=0 samples),
+      // never reported beyond the largest sample actually seen — so
+      // q=1 returns the exact max.
+      const int64_t bound = b == 0 ? 0 : (int64_t{1} << b) - 1;
+      return bound < observed_max ? bound : observed_max;
     }
   }
-  return int64_t{1} << (kNumBuckets - 1);
+  return observed_max;
 }
 
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
 }
 
 Counter* MetricRegistry::GetCounter(const std::string& name) {
@@ -65,11 +76,25 @@ MaxGauge* MetricRegistry::GetGauge(const std::string& name) {
   return slot.get();
 }
 
+Histogram* MetricRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
 std::map<std::string, int64_t> MetricRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, int64_t> out;
   for (const auto& [name, counter] : counters_) out[name] = counter->value();
   for (const auto& [name, gauge] : gauges_) out[name] = gauge->max();
+  for (const auto& [name, histogram] : histograms_) {
+    out[name + ".p50"] = histogram->ApproxQuantile(0.5);
+    out[name + ".p95"] = histogram->ApproxQuantile(0.95);
+    out[name + ".max"] = histogram->max();
+    out[name + ".count"] = histogram->count();
+    out[name + ".sum"] = histogram->sum();
+  }
   return out;
 }
 
@@ -77,6 +102,7 @@ void MetricRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
 }  // namespace serigraph

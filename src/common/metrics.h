@@ -53,6 +53,9 @@ class MaxGauge {
 };
 
 /// Fixed-bucket log2 histogram of non-negative samples (thread-safe).
+/// Used for latency distributions (fork-wait, token-hold, barrier-wait);
+/// see MetricRegistry::GetHistogram and the DESIGN.md observability
+/// section for the naming scheme.
 class Histogram {
  public:
   static constexpr int kNumBuckets = 48;
@@ -62,8 +65,13 @@ class Histogram {
   void Record(int64_t sample);
   int64_t count() const { return count_.load(std::memory_order_relaxed); }
   int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Largest sample ever recorded (exact, not bucketed); 0 when empty.
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
   double Mean() const;
-  /// Approximate quantile (q in [0,1]) from bucket boundaries.
+  /// Approximate quantile from bucket boundaries: returns an upper bound
+  /// of the bucket holding the q-th sample, capped at the exact max.
+  /// Edge cases: empty histogram -> 0; q (including NaN) is clamped to
+  /// [0,1]; q=0 reports the first non-empty bucket, q=1 the exact max.
   int64_t ApproxQuantile(double q) const;
   void Reset();
 
@@ -71,6 +79,7 @@ class Histogram {
   std::atomic<int64_t> buckets_[kNumBuckets];
   std::atomic<int64_t> count_;
   std::atomic<int64_t> sum_;
+  std::atomic<int64_t> max_;
 };
 
 /// Named registry of counters for a single engine run. Components hold
@@ -86,8 +95,13 @@ class MetricRegistry {
   Counter* GetCounter(const std::string& name);
   /// Returns the max-gauge registered under `name`, creating it on first use.
   MaxGauge* GetGauge(const std::string& name);
+  /// Returns the histogram registered under `name`, creating it on first
+  /// use. Histograms surface in Snapshot() as `name.p50/.p95/.max/.count`
+  /// (plus `.sum` so callers can derive shares and means).
+  Histogram* GetHistogram(const std::string& name);
 
-  /// Snapshot of all counter values (gauges report their max).
+  /// Snapshot of all counter values (gauges report their max; histograms
+  /// expand into their quantile/max/count/sum sub-keys).
   std::map<std::string, int64_t> Snapshot() const;
   void ResetAll();
 
@@ -95,6 +109,7 @@ class MetricRegistry {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<MaxGauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 }  // namespace serigraph

@@ -13,6 +13,7 @@
 #include "common/logging.h"
 #include "common/status.h"
 #include "graph/graph.h"
+#include "obs/trace.h"
 
 namespace serigraph {
 
@@ -112,6 +113,7 @@ class GasEngine {
     int64_t updates = 0;
     int superstep = 0;
     for (; superstep < options_.max_supersteps; ++superstep) {
+      SG_TRACE_SPAN("gas.superstep");
       bool any = false;
       next_values = values_;
       for (VertexId v = 0; v < n; ++v) {
@@ -239,6 +241,7 @@ class GasEngine {
         if (serializable) {
           // One critical section across all three phases: no neighboring
           // computation can interleave (condition C2).
+          SG_TRACE_SPAN("gas.update");
           LockHood(hood);
           Gather acc = program.GatherInit();
           for (VertexId u : graph_->InNeighbors(v)) {
@@ -250,16 +253,22 @@ class GasEngine {
           // Per-phase locking only (GraphLab async without
           // serializability): neighbors can gather stale values while we
           // are between phases.
-          LockHood(hood);
           Gather acc = program.GatherInit();
-          for (VertexId u : graph_->InNeighbors(v)) {
-            acc = program.GatherEdge(std::move(acc), v, u, values_[u]);
+          {
+            SG_TRACE_SPAN("gas.gather");
+            LockHood(hood);
+            for (VertexId u : graph_->InNeighbors(v)) {
+              acc = program.GatherEdge(std::move(acc), v, u, values_[u]);
+            }
+            UnlockHood(hood);
           }
-          UnlockHood(hood);
           std::this_thread::yield();  // widen the interleaving window
-          LockHood(hood);
-          values_[v] = program.Apply(v, values_[v], acc, &activate);
-          UnlockHood(hood);
+          {
+            SG_TRACE_SPAN("gas.apply");
+            LockHood(hood);
+            values_[v] = program.Apply(v, values_[v], acc, &activate);
+            UnlockHood(hood);
+          }
         }
         if (activate) {
           for (VertexId u : graph_->OutNeighbors(v)) PushTask(u);

@@ -1,5 +1,6 @@
 #include "harness/table.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <iomanip>
 
@@ -61,6 +62,75 @@ std::string TablePrinter::Ratio(double value) {
 
 void PrintHeader(std::ostream& os, const std::string& title) {
   os << "\n=== " << title << " ===\n";
+}
+
+namespace {
+
+std::string Micros(int64_t us) {
+  char buf[32];
+  if (us >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", static_cast<double>(us) / 1e6);
+  } else if (us >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", static_cast<double>(us) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld us", (long long)us);
+  }
+  return buf;
+}
+
+}  // namespace
+
+void PrintTimeline(std::ostream& os,
+                   const std::vector<SuperstepSample>& timeline,
+                   int max_rows) {
+  if (timeline.empty()) return;
+  // Sum each superstep across workers. The timeline is ordered by
+  // (superstep, worker), so supersteps form contiguous runs.
+  std::vector<SuperstepSample> per_step;
+  for (const SuperstepSample& s : timeline) {
+    if (per_step.empty() || per_step.back().superstep != s.superstep) {
+      SuperstepSample agg;
+      agg.superstep = s.superstep;
+      per_step.push_back(agg);
+    }
+    SuperstepSample& agg = per_step.back();
+    agg.compute_us += s.compute_us;
+    agg.barrier_wait_us += s.barrier_wait_us;
+    agg.flush_wait_us += s.flush_wait_us;
+    agg.fork_wait_us += s.fork_wait_us;
+    agg.vertices_executed += s.vertices_executed;
+    agg.messages_sent += s.messages_sent;
+  }
+  // Merge consecutive supersteps into ranges when the run is long.
+  const int total = static_cast<int>(per_step.size());
+  const int bucket = std::max(1, (total + max_rows - 1) / max_rows);
+
+  TablePrinter table({"superstep", "compute", "barrier wait", "flush wait",
+                      "fork wait", "vertices", "messages"});
+  for (int i = 0; i < total; i += bucket) {
+    SuperstepSample agg;
+    const int end = std::min(total, i + bucket);
+    for (int j = i; j < end; ++j) {
+      agg.compute_us += per_step[j].compute_us;
+      agg.barrier_wait_us += per_step[j].barrier_wait_us;
+      agg.flush_wait_us += per_step[j].flush_wait_us;
+      agg.fork_wait_us += per_step[j].fork_wait_us;
+      agg.vertices_executed += per_step[j].vertices_executed;
+      agg.messages_sent += per_step[j].messages_sent;
+    }
+    char label[32];
+    if (end - i == 1) {
+      std::snprintf(label, sizeof(label), "%d", per_step[i].superstep);
+    } else {
+      std::snprintf(label, sizeof(label), "%d-%d", per_step[i].superstep,
+                    per_step[end - 1].superstep);
+    }
+    table.AddRow({label, Micros(agg.compute_us), Micros(agg.barrier_wait_us),
+                  Micros(agg.flush_wait_us), Micros(agg.fork_wait_us),
+                  TablePrinter::Count(agg.vertices_executed),
+                  TablePrinter::Count(agg.messages_sent)});
+  }
+  table.Print(os);
 }
 
 }  // namespace serigraph

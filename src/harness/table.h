@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/timeline.h"
+
 namespace serigraph {
 
 /// Minimal fixed-width ASCII table for bench output: the rows/series the
@@ -29,6 +31,14 @@ class TablePrinter {
 
 /// Prints a section header ("=== Figure 6(a): ... ===").
 void PrintHeader(std::ostream& os, const std::string& title);
+
+/// Renders a per-superstep timeline (RunStats::timeline) as a table, one
+/// row per superstep with worker-summed phase times. When the run has
+/// more than `max_rows` supersteps, consecutive supersteps are merged
+/// into ranges so the table stays readable.
+void PrintTimeline(std::ostream& os,
+                   const std::vector<SuperstepSample>& timeline,
+                   int max_rows = 16);
 
 }  // namespace serigraph
 

@@ -20,6 +20,8 @@ Transport::Transport(int num_workers, NetworkOptions options,
   control_messages_ = metrics->GetCounter("net.control_messages");
   data_batches_ = metrics->GetCounter("net.data_batches");
   local_messages_ = metrics->GetCounter("net.local_messages");
+  batch_delay_hist_ = metrics->GetHistogram("net.batch_delay_us");
+  batch_bytes_hist_ = metrics->GetHistogram("net.batch_bytes");
 }
 
 void Transport::Send(WireMessage msg) {
@@ -36,6 +38,8 @@ void Transport::Send(WireMessage msg) {
     control_messages_->Increment();
   } else if (msg.kind == MessageKind::kDataBatch) {
     data_batches_->Increment();
+    batch_delay_hist_->Record(options_.DelayMicros(bytes));
+    batch_bytes_hist_->Record(bytes);
   }
 
   Inbox& inbox = *inboxes_[msg.dst];

@@ -103,6 +103,10 @@ class Transport {
   Counter* control_messages_;
   Counter* data_batches_;
   Counter* local_messages_;
+  // Per-batch distributions: simulated wire delay and batch size of
+  // cross-worker data batches.
+  Histogram* batch_delay_hist_;
+  Histogram* batch_bytes_hist_;
 };
 
 }  // namespace serigraph

@@ -1,0 +1,155 @@
+#include "obs/report.h"
+
+#include <cstdio>
+
+namespace serigraph {
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& value) {
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void JsonWriter::MaybeComma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (needs_comma_.back()) out_ += ',';
+  needs_comma_.back() = true;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  MaybeComma();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  needs_comma_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  MaybeComma();
+  out_ += '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  needs_comma_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& key) {
+  MaybeComma();
+  out_ += '"';
+  AppendEscaped(out_, key);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t value) {
+  MaybeComma();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double value) {
+  MaybeComma();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool value) {
+  MaybeComma();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const std::string& value) {
+  MaybeComma();
+  out_ += '"';
+  AppendEscaped(out_, value);
+  out_ += '"';
+  return *this;
+}
+
+std::string RunReportToJson(const RunReport& report) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("supersteps").Value(report.supersteps);
+  json.Key("converged").Value(report.converged);
+  json.Key("computation_seconds").Value(report.computation_seconds);
+  json.Key("metrics").BeginObject();
+  for (const auto& [name, value] : report.metrics) {
+    json.Key(name).Value(value);
+  }
+  json.EndObject();
+  json.Key("timeline").BeginArray();
+  for (const SuperstepSample& sample : report.timeline) {
+    json.BeginObject();
+    json.Key("superstep").Value(sample.superstep);
+    json.Key("worker").Value(sample.worker);
+    json.Key("compute_us").Value(sample.compute_us);
+    json.Key("barrier_wait_us").Value(sample.barrier_wait_us);
+    json.Key("flush_wait_us").Value(sample.flush_wait_us);
+    json.Key("fork_wait_us").Value(sample.fork_wait_us);
+    json.Key("vertices_executed").Value(sample.vertices_executed);
+    json.Key("messages_sent").Value(sample.messages_sent);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open output file " + path);
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int close_err = std::fclose(f);
+  if (written != content.size() || close_err != 0) {
+    return Status::IoError("short write to output file " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace serigraph

@@ -1,0 +1,64 @@
+#ifndef SERIGRAPH_OBS_REPORT_H_
+#define SERIGRAPH_OBS_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/timeline.h"
+
+namespace serigraph {
+
+/// Minimal streaming JSON writer (objects, arrays, scalar values) used
+/// for machine-readable run reports and other tool output. Produces
+/// compact (non-pretty) JSON; keys and string values are escaped.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  /// Starts a key inside an object; follow with a value or Begin*().
+  JsonWriter& Key(const std::string& key);
+  JsonWriter& Value(int64_t value);
+  JsonWriter& Value(int value) { return Value(static_cast<int64_t>(value)); }
+  JsonWriter& Value(double value);
+  JsonWriter& Value(bool value);
+  JsonWriter& Value(const std::string& value);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  /// Whether a comma is needed before the next element, per nesting level.
+  std::vector<bool> needs_comma_{false};
+  bool after_key_ = false;
+};
+
+/// The machine-readable summary of one engine run, mirroring
+/// RunStats plus the per-superstep timeline (serigraph_cli
+/// --metrics-json writes exactly this).
+struct RunReport {
+  int supersteps = 0;
+  bool converged = false;
+  double computation_seconds = 0.0;
+  std::map<std::string, int64_t> metrics;
+  std::vector<SuperstepSample> timeline;
+};
+
+/// Serializes `report` as a JSON object:
+///   {"supersteps":N,"converged":true,"computation_seconds":S,
+///    "metrics":{"name":value,...},
+///    "timeline":[{"superstep":0,"worker":0,"compute_us":...,...},...]}
+std::string RunReportToJson(const RunReport& report);
+
+/// Writes `content` to `path` (overwrite).
+Status WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_OBS_REPORT_H_

@@ -1,0 +1,38 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+
+namespace serigraph {
+
+TimelineRecorder::TimelineRecorder(int num_workers) {
+  lanes_.resize(num_workers > 0 ? static_cast<size_t>(num_workers) : 1);
+}
+
+void TimelineRecorder::Append(const SuperstepSample& sample) {
+  lanes_[sample.worker].push_back(sample);
+}
+
+std::vector<SuperstepSample> TimelineRecorder::Collect() const {
+  std::vector<SuperstepSample> out;
+  size_t total = 0;
+  for (const auto& lane : lanes_) total += lane.size();
+  out.reserve(total);
+  for (const auto& lane : lanes_) {
+    out.insert(out.end(), lane.begin(), lane.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SuperstepSample& a, const SuperstepSample& b) {
+              if (a.superstep != b.superstep) return a.superstep < b.superstep;
+              return a.worker < b.worker;
+            });
+  return out;
+}
+
+int64_t Total(const std::vector<SuperstepSample>& timeline,
+              int64_t SuperstepSample::* field) {
+  int64_t total = 0;
+  for (const SuperstepSample& sample : timeline) total += sample.*field;
+  return total;
+}
+
+}  // namespace serigraph

@@ -1,0 +1,54 @@
+#ifndef SERIGRAPH_OBS_TIMELINE_H_
+#define SERIGRAPH_OBS_TIMELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace serigraph {
+
+/// One worker's accounting for one superstep: where its wall-clock time
+/// went (the paper's Section 7.3 breakdown of computation time into
+/// compute vs. synchronization costs) plus its work counters.
+struct SuperstepSample {
+  int superstep = 0;
+  int worker = 0;
+  /// Time spent executing vertex programs (RunPartitions).
+  int64_t compute_us = 0;
+  /// Time blocked on global superstep barriers.
+  int64_t barrier_wait_us = 0;
+  /// Time in the superstep-end flush + delivery-ack round trip.
+  int64_t flush_wait_us = 0;
+  /// Time blocked acquiring forks (distributed-locking techniques only).
+  int64_t fork_wait_us = 0;
+  /// Vertices this worker executed during the superstep.
+  int64_t vertices_executed = 0;
+  /// Messages this worker's vertices sent during the superstep.
+  int64_t messages_sent = 0;
+};
+
+/// Collects SuperstepSamples across workers with no cross-thread
+/// contention: each worker appends to its own lane (one lane is only ever
+/// touched by its owning worker thread), and Collect() merges lanes after
+/// the workers have joined.
+class TimelineRecorder {
+ public:
+  explicit TimelineRecorder(int num_workers);
+
+  /// Appends `sample` to worker `sample.worker`'s lane. Must only be
+  /// called from that worker's thread.
+  void Append(const SuperstepSample& sample);
+
+  /// All samples ordered by (superstep, worker). Call after workers join.
+  std::vector<SuperstepSample> Collect() const;
+
+ private:
+  std::vector<std::vector<SuperstepSample>> lanes_;
+};
+
+/// Sum of a field over `timeline`, e.g. Total(t, &SuperstepSample::fork_wait_us).
+int64_t Total(const std::vector<SuperstepSample>& timeline,
+              int64_t SuperstepSample::* field);
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_OBS_TIMELINE_H_

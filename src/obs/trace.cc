@@ -1,0 +1,208 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace serigraph {
+
+std::atomic<bool> Tracer::enabled_{false};
+
+namespace {
+
+/// Fixed process-wide epoch so timestamps from all threads share a zero.
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+struct TlsSlot {
+  void* buffer = nullptr;  // Tracer::ThreadBuffer*, type-erased for TLS
+  uint64_t epoch = ~uint64_t{0};
+};
+
+thread_local TlsSlot tls_slot;
+
+/// Appends `value` to `out` with JSON string escaping.
+void AppendJsonEscaped(std::string& out, const char* value) {
+  for (const char* p = value; *p != '\0'; ++p) {
+    const char c = *p;
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Tracer& Tracer::Get() {
+  static Tracer* tracer = new Tracer();  // leaked: alive for exiting threads
+  return *tracer;
+}
+
+int64_t Tracer::NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - TraceEpoch())
+      .count();
+}
+
+Tracer::ThreadBuffer* Tracer::CurrentThreadBuffer() {
+  const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  if (tls_slot.buffer != nullptr && tls_slot.epoch == epoch) {
+    return static_cast<ThreadBuffer*>(tls_slot.buffer);
+  }
+  auto buffer = std::make_unique<ThreadBuffer>();
+  ThreadBuffer* raw = buffer.get();
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    raw->tid = next_tid_++;
+    buffers_.push_back(std::move(buffer));
+  }
+  tls_slot.buffer = raw;
+  tls_slot.epoch = epoch;
+  return raw;
+}
+
+void Tracer::RecordComplete(const char* name, int64_t ts_us, int64_t dur_us) {
+  ThreadBuffer* buffer = CurrentThreadBuffer();
+  Chunk* chunk = nullptr;
+  {
+    // The chunk-list mutex is uncontended in steady state: only the owning
+    // thread grows the list, and the exporter takes it briefly to snapshot
+    // chunk pointers. Event writes below happen outside the lock.
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    if (!buffer->chunks.empty()) {
+      Chunk* last = buffer->chunks.back().get();
+      if (last->count.load(std::memory_order_relaxed) < kChunkCapacity) {
+        chunk = last;
+      }
+    }
+    if (chunk == nullptr) {
+      if (buffer->chunks.size() >= kMaxChunksPerThread) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      buffer->chunks.push_back(std::make_unique<Chunk>());
+      chunk = buffer->chunks.back().get();
+    }
+  }
+  const size_t slot = chunk->count.load(std::memory_order_relaxed);
+  chunk->events[slot].name = name;
+  chunk->events[slot].ts_us = ts_us;
+  chunk->events[slot].dur_us = dur_us;
+  // Publish: the exporter's acquire load of `count` makes the event fields
+  // written above visible before it reads them.
+  chunk->count.store(slot + 1, std::memory_order_release);
+}
+
+void Tracer::SetCurrentThreadName(const std::string& name) {
+  ThreadBuffer* buffer = CurrentThreadBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->name = name;
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  std::lock_guard<std::mutex> registry_lock(registry_mu_);
+  for (const auto& buffer : buffers_) {
+    std::vector<Chunk*> chunks;
+    std::string thread_name;
+    {
+      std::lock_guard<std::mutex> lock(buffer->mu);
+      chunks.reserve(buffer->chunks.size());
+      for (const auto& chunk : buffer->chunks) chunks.push_back(chunk.get());
+      thread_name = buffer->name;
+    }
+    if (!thread_name.empty()) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+      out += std::to_string(buffer->tid);
+      out += ",\"args\":{\"name\":\"";
+      AppendJsonEscaped(out, thread_name.c_str());
+      out += "\"}}";
+    }
+    for (Chunk* chunk : chunks) {
+      const size_t n = chunk->count.load(std::memory_order_acquire);
+      for (size_t i = 0; i < n; ++i) {
+        const TraceEvent& event = chunk->events[i];
+        if (!first) out += ",";
+        first = false;
+        out += "{\"name\":\"";
+        AppendJsonEscaped(out, event.name);
+        out += "\",\"ph\":\"X\",\"pid\":0,\"tid\":";
+        out += std::to_string(buffer->tid);
+        out += ",\"ts\":";
+        out += std::to_string(event.ts_us);
+        out += ",\"dur\":";
+        out += std::to_string(event.dur_us);
+        out += "}";
+      }
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  const std::string json = ToChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace output file " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_err = std::fclose(f);
+  if (written != json.size() || close_err != 0) {
+    return Status::IoError("short write to trace output file " + path);
+  }
+  return Status::OK();
+}
+
+int64_t Tracer::event_count() const {
+  int64_t total = 0;
+  std::lock_guard<std::mutex> registry_lock(registry_mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    for (const auto& chunk : buffer->chunks) {
+      total +=
+          static_cast<int64_t>(chunk->count.load(std::memory_order_acquire));
+    }
+  }
+  return total;
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  buffers_.clear();
+  next_tid_ = 1;
+  dropped_.store(0, std::memory_order_relaxed);
+  // Invalidate every thread's cached buffer pointer.
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace serigraph

@@ -1,0 +1,162 @@
+#ifndef SERIGRAPH_OBS_TRACE_H_
+#define SERIGRAPH_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace serigraph {
+
+/// One completed span ("X" phase in the Chrome trace-event format).
+/// `name` must point at a string with static storage duration — span
+/// macros pass literals, so recording never copies or allocates.
+struct TraceEvent {
+  const char* name = nullptr;
+  int64_t ts_us = 0;   ///< start, microseconds since the trace epoch
+  int64_t dur_us = 0;  ///< duration in microseconds
+};
+
+/// Process-wide tracer with per-thread event buffers.
+///
+/// Design goals (in priority order):
+///  1. Near-zero cost when disabled: the span macros check one relaxed
+///     atomic load and touch nothing else.
+///  2. No locks on the hot path when enabled: each thread appends to its
+///     own chunked buffer; a chunk's element count is published with a
+///     release store and read by the exporter with an acquire load, so
+///     concurrent export observes a consistent prefix (race-free under
+///     TSan; see tests/trace_test.cc and scripts/check.sh).
+///  3. Chrome trace-event JSON output, loadable in chrome://tracing and
+///     Perfetto (https://ui.perfetto.dev).
+///
+/// Buffers are bounded (kMaxChunksPerThread); once a thread fills its
+/// budget further events from that thread are dropped and counted.
+class Tracer {
+ public:
+  static constexpr size_t kChunkCapacity = 4096;
+  static constexpr size_t kMaxChunksPerThread = 256;
+
+  /// The process-wide tracer instance used by the SG_TRACE_* macros.
+  static Tracer& Get();
+
+  /// Fast global check, inlined into every span constructor.
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  /// Microseconds since the trace epoch (process start).
+  static int64_t NowMicros();
+
+  /// Appends a completed span to the calling thread's buffer.
+  void RecordComplete(const char* name, int64_t ts_us, int64_t dur_us);
+
+  /// Names the calling thread in the exported trace ("worker-3"). Safe to
+  /// call at any time; the last name wins.
+  void SetCurrentThreadName(const std::string& name);
+
+  /// Serializes all recorded events as Chrome trace-event JSON:
+  ///   {"traceEvents":[{"name":...,"ph":"X","pid":0,"tid":...,
+  ///                    "ts":...,"dur":...}, ...]}
+  /// Safe to call while other threads are still recording (exports a
+  /// consistent prefix of each buffer).
+  std::string ToChromeTraceJson() const;
+
+  /// Writes ToChromeTraceJson() to `path`.
+  Status WriteChromeTrace(const std::string& path) const;
+
+  /// Total events currently recorded across all threads.
+  int64_t event_count() const;
+  /// Events dropped because a thread exhausted its buffer budget.
+  int64_t dropped_count() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Discards all recorded events and thread names. Not thread-safe with
+  /// concurrent recording; meant for tests and between CLI runs.
+  void Reset();
+
+ private:
+  struct Chunk {
+    TraceEvent events[kChunkCapacity];
+    /// Number of valid entries; written only by the owning thread
+    /// (release), read by the exporter (acquire).
+    std::atomic<size_t> count{0};
+  };
+
+  struct ThreadBuffer {
+    uint64_t tid = 0;
+    std::string name;
+    /// Guards the chunk list structure (growth + export snapshot), never
+    /// held while writing events.
+    mutable std::mutex mu;
+    std::vector<std::unique_ptr<Chunk>> chunks;
+  };
+
+  Tracer() = default;
+
+  ThreadBuffer* CurrentThreadBuffer();
+
+  static std::atomic<bool> enabled_;
+
+  mutable std::mutex registry_mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  uint64_t next_tid_ = 1;
+  std::atomic<uint64_t> epoch_{0};  ///< bumped by Reset to invalidate TLS
+  std::atomic<int64_t> dropped_{0};
+};
+
+/// RAII span: records a complete event from construction to destruction.
+/// `name` must be a string literal (or otherwise outlive the tracer).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (Tracer::enabled()) {
+      name_ = name;
+      start_us_ = Tracer::NowMicros();
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      const int64_t end = Tracer::NowMicros();
+      Tracer::Get().RecordComplete(name_, start_us_, end - start_us_);
+    }
+  }
+
+ private:
+  const char* name_ = nullptr;
+  int64_t start_us_ = 0;
+};
+
+#define SG_TRACE_CONCAT_INNER(a, b) a##b
+#define SG_TRACE_CONCAT(a, b) SG_TRACE_CONCAT_INNER(a, b)
+
+/// Traces the enclosing scope as a span named `name` (a string literal).
+#define SG_TRACE_SPAN(name) \
+  ::serigraph::TraceSpan SG_TRACE_CONCAT(sg_trace_span_, __COUNTER__)(name)
+
+/// Records an already-measured interval (for spans that do not map to a
+/// lexical scope, e.g. token hold times).
+#define SG_TRACE_INTERVAL(name, start_us, dur_us)                     \
+  do {                                                                \
+    if (::serigraph::Tracer::enabled()) {                             \
+      ::serigraph::Tracer::Get().RecordComplete((name), (start_us),   \
+                                                (dur_us));            \
+    }                                                                 \
+  } while (0)
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_OBS_TRACE_H_

@@ -20,6 +20,8 @@
 #include "graph/graph.h"
 #include "graph/partitioning.h"
 #include "net/transport.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
 #include "pregel/checkpoint.h"
 #include "pregel/message_codec.h"
 #include "pregel/model.h"
@@ -182,6 +184,12 @@ class Engine {
     std::unique_ptr<ThreadPool> pool;  // null when 1 compute thread
 
     WorkerAggregates aggregates;
+
+    /// Per-superstep accumulators for the timeline (atomic because a
+    /// worker may run several compute threads); drained at each barrier.
+    std::atomic<int64_t> ss_executions{0};
+    std::atomic<int64_t> ss_messages{0};
+    std::atomic<int64_t> ss_fork_wait_us{0};
 
     std::mutex ack_mu;
     std::condition_variable ack_cv;
@@ -381,6 +389,7 @@ class Engine {
   void SendMessage(WorkerState& worker, VertexId src, VertexId dst,
                    const Message& message, uint64_t version) {
     messages_sent_->Increment();
+    worker.ss_messages.fetch_add(1, std::memory_order_relaxed);
     const WorkerId dst_worker = partitioning_.WorkerOf(dst);
     if (dst_worker == worker.id) {
       // Local replica update: eager under AP (Section 4.1), hidden until
@@ -407,6 +416,7 @@ class Engine {
 
   void FlushBufferLocked(WorkerState& worker, WorkerId dst, OutBuffer& out) {
     if (out.writer.size() == 0) return;
+    SG_TRACE_SPAN("net.flush_batch");
     flushes_->Increment();
     WireMessage msg;
     msg.src = worker.id;
@@ -446,14 +456,21 @@ class Engine {
   // --- communication thread ------------------------------------------
 
   void CommLoop(WorkerState& worker) {
+    if (Tracer::enabled()) {
+      Tracer::Get().SetCurrentThreadName("comm-" + std::to_string(worker.id));
+    }
     while (std::optional<WireMessage> msg = transport_->Receive(worker.id)) {
       switch (msg->kind) {
-        case MessageKind::kDataBatch:
+        case MessageKind::kDataBatch: {
+          SG_TRACE_SPAN("net.inbox_drain");
           ApplyDataBatch(*msg);
           break;
-        case MessageKind::kControl:
+        }
+        case MessageKind::kControl: {
+          SG_TRACE_SPAN("sync.control");
           technique_->HandleControl(worker.id, *msg);
           break;
+        }
         case MessageKind::kFlushMarker: {
           WireMessage ack;
           ack.src = worker.id;
@@ -527,6 +544,7 @@ class Engine {
     if (halted_[v] && messages.empty()) return false;
 
     executions_->Increment();
+    worker.ss_executions.fetch_add(1, std::memory_order_relaxed);
     concurrency_->Add(1);
     uint64_t version = 0;
     if (recorder_ != nullptr) {
@@ -584,7 +602,12 @@ class Engine {
           skipped_partitions_->Increment();
           return;
         }
-        technique_->AcquirePartition(worker.id, p);
+        {
+          SG_TRACE_SPAN("sync.fork_acquire");
+          const int64_t t0 = Tracer::NowMicros();
+          technique_->AcquirePartition(worker.id, p);
+          RecordForkWait(worker, Tracer::NowMicros() - t0);
+        }
         for (VertexId v : vertices) {
           ExecuteVertexIfEligible(worker, store, program, v, superstep);
         }
@@ -594,7 +617,12 @@ class Engine {
       case SyncTechnique::Granularity::kVertexLock:
         for (VertexId v : vertices) {
           if (!VertexEligible(store, v)) continue;
-          technique_->AcquireVertex(worker.id, v);
+          {
+            SG_TRACE_SPAN("sync.fork_acquire");
+            const int64_t t0 = Tracer::NowMicros();
+            technique_->AcquireVertex(worker.id, v);
+            RecordForkWait(worker, Tracer::NowMicros() - t0);
+          }
           ExecuteVertexIfEligible(worker, store, program, v, superstep);
           technique_->ReleaseVertex(worker.id, v);
         }
@@ -771,6 +799,7 @@ class Engine {
   void MaybeCheckpoint(int next_superstep) {
     if (options_.checkpoint_every <= 0) return;
     if (next_superstep % options_.checkpoint_every != 0) return;
+    SG_TRACE_SPAN("engine.checkpoint");
     CheckpointFrame frame;
     frame.superstep = next_superstep;
     frame.payload = EncodeState();
@@ -896,24 +925,62 @@ class Engine {
 
   // --- worker main loop ------------------------------------------------
 
+  /// Accumulates fork-acquire wait time (request -> all forks held) into
+  /// the worker's superstep accumulator and the run-wide histogram.
+  void RecordForkWait(WorkerState& worker, int64_t wait_us) {
+    worker.ss_fork_wait_us.fetch_add(wait_us, std::memory_order_relaxed);
+    fork_wait_hist_->Record(wait_us);
+  }
+
+  /// Barrier await, timed into `*wait_us_acc` and traced.
+  bool TimedAwait(int64_t* wait_us_acc) {
+    SG_TRACE_SPAN("engine.barrier_wait");
+    const int64_t t0 = Tracer::NowMicros();
+    const bool serial = barrier_->Await();
+    *wait_us_acc += Tracer::NowMicros() - t0;
+    return serial;
+  }
+
   void WorkerLoop(WorkerState& worker, const Program& program) {
+    if (Tracer::enabled()) {
+      Tracer::Get().SetCurrentThreadName("worker-" +
+                                         std::to_string(worker.id));
+    }
     for (int superstep = start_superstep_;; ++superstep) {
+      SG_TRACE_SPAN("engine.superstep");
+      SuperstepSample sample;
+      sample.superstep = superstep;
+      sample.worker = worker.id;
       if (options_.superstep_overhead_us > 0) {
         std::this_thread::sleep_for(
             std::chrono::microseconds(options_.superstep_overhead_us));
       }
       technique_->OnSuperstepStart(worker.id, superstep);
-      if (granularity_ == SyncTechnique::Granularity::kBspVertexLock) {
-        RunSuperstepConstrainedBsp(worker, program, superstep);
-      } else {
-        RunPartitions(worker, program, superstep);
+      {
+        SG_TRACE_SPAN("engine.compute");
+        const int64_t t0 = Tracer::NowMicros();
+        if (granularity_ == SyncTechnique::Granularity::kBspVertexLock) {
+          // Sub-superstep barriers and flushes stay inside compute_us
+          // here: Proposition 1 trades compute overlap for barrier cost,
+          // which is exactly what this bucket then shows.
+          RunSuperstepConstrainedBsp(worker, program, superstep);
+        } else {
+          RunPartitions(worker, program, superstep);
+        }
+        sample.compute_us = Tracer::NowMicros() - t0;
       }
-      FlushAndAwaitAcks(worker, superstep);
-      technique_->OnSuperstepEnd(worker.id, superstep);
+      {
+        SG_TRACE_SPAN("engine.flush_acks");
+        const int64_t t0 = Tracer::NowMicros();
+        FlushAndAwaitAcks(worker, superstep);
+        technique_->OnSuperstepEnd(worker.id, superstep);
+        sample.flush_wait_us = Tracer::NowMicros() - t0;
+      }
 
-      barrier_->Await();  // B1: all superstep-s messages delivered
+      int64_t barrier_us = 0;
+      TimedAwait(&barrier_us);  // B1: all superstep-s messages delivered
       active_counts_[worker.id] = SwapAndCountActive(worker);
-      const bool serial = barrier_->Await();  // B2: counts published
+      const bool serial = TimedAwait(&barrier_us);  // B2: counts published
       if (serial) {
         ReduceAggregates();
         int64_t total = 0;
@@ -925,7 +992,16 @@ class Engine {
         if (!stop) MaybeCheckpoint(superstep + 1);
         stop_.store(stop, std::memory_order_release);
       }
-      barrier_->Await();  // B3: decision visible
+      TimedAwait(&barrier_us);  // B3: decision visible
+      sample.barrier_wait_us = barrier_us;
+      barrier_wait_hist_->Record(barrier_us);
+      sample.fork_wait_us =
+          worker.ss_fork_wait_us.exchange(0, std::memory_order_relaxed);
+      sample.vertices_executed =
+          worker.ss_executions.exchange(0, std::memory_order_relaxed);
+      sample.messages_sent =
+          worker.ss_messages.exchange(0, std::memory_order_relaxed);
+      timeline_->Append(sample);
       if (stop_.load(std::memory_order_acquire)) break;
     }
   }
@@ -967,6 +1043,9 @@ class Engine {
   Counter* skipped_partitions_ = nullptr;
   Counter* sub_supersteps_ = nullptr;
   MaxGauge* concurrency_ = nullptr;
+  Histogram* barrier_wait_hist_ = nullptr;
+  Histogram* fork_wait_hist_ = nullptr;
+  std::unique_ptr<TimelineRecorder> timeline_;
 };
 
 template <typename Program>
@@ -1001,6 +1080,13 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
   skipped_partitions_ = metrics_.GetCounter("pregel.skipped_partitions");
   sub_supersteps_ = metrics_.GetCounter("pregel.sub_supersteps");
   concurrency_ = metrics_.GetGauge("pregel.max_concurrent_executions");
+  // Latency histograms (Section 7.3's time breakdown). All three are
+  // registered up front so every run's metrics snapshot carries the
+  // name.p50/.p95/... keys, even when a technique never records into one.
+  barrier_wait_hist_ = metrics_.GetHistogram("engine.barrier_wait_us");
+  fork_wait_hist_ = metrics_.GetHistogram("sync.fork_wait_us");
+  metrics_.GetHistogram("sync.token_hold_us");
+  timeline_ = std::make_unique<TimelineRecorder>(num_workers);
 
   transport_ = std::make_unique<Transport>(num_workers, options_.network,
                                            &metrics_);
@@ -1089,6 +1175,7 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
   result.stats.computation_seconds = seconds;
   result.stats.metrics = metrics_.Snapshot();
   result.stats.metrics["pregel.supersteps"] = supersteps_done_;
+  result.stats.timeline = timeline_->Collect();
   for (int slot = 0; slot < kNumAggregatorSlots; ++slot) {
     result.stats.aggregates[slot] = global_aggregates_[slot];
   }

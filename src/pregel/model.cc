@@ -1,5 +1,7 @@
 #include "pregel/model.h"
 
+#include "obs/report.h"
+
 namespace serigraph {
 
 const char* ComputationModelName(ComputationModel model) {
@@ -10,6 +12,16 @@ const char* ComputationModelName(ComputationModel model) {
       return "AP";
   }
   return "?";
+}
+
+std::string RunStatsToJson(const RunStats& stats) {
+  RunReport report;
+  report.supersteps = stats.supersteps;
+  report.converged = stats.converged;
+  report.computation_seconds = stats.computation_seconds;
+  report.metrics = stats.metrics;
+  report.timeline = stats.timeline;
+  return RunReportToJson(report);
 }
 
 }  // namespace serigraph

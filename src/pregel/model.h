@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "net/transport.h"
+#include "obs/timeline.h"
 #include "sync/technique.h"
 
 namespace serigraph {
@@ -89,16 +91,25 @@ struct RunStats {
   /// graph loading/partitioning and result extraction — the paper's
   /// "computation time" metric (Section 7.3).
   double computation_seconds = 0.0;
-  /// Snapshot of all engine/transport/technique counters.
+  /// Snapshot of all engine/transport/technique counters and histograms
+  /// (histograms expand into name.p50/.p95/.max/.count/.sum).
   std::map<std::string, int64_t> metrics;
   /// Final global aggregator values (last superstep's reduction).
   double aggregates[kNumAggregatorSlots] = {};
+  /// Per-(superstep, worker) time/work breakdown, ordered by superstep
+  /// then worker — the Section 7.3 "where does computation time go"
+  /// series. Rendered by PrintTimeline() and exported via RunStatsToJson.
+  std::vector<SuperstepSample> timeline;
 
   int64_t Metric(const std::string& name) const {
     auto it = metrics.find(name);
     return it == metrics.end() ? 0 : it->second;
   }
 };
+
+/// Serializes `stats` (including the timeline) as a JSON object; the
+/// `serigraph_cli --metrics-json=FILE` output format.
+std::string RunStatsToJson(const RunStats& stats);
 
 }  // namespace serigraph
 

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace serigraph {
 
@@ -71,6 +72,8 @@ void ChandyMisraTable::Acquire(PhilosopherId p) {
   }
   // Wait until all forks are held. The generous timeout is a test-friendly
   // deadlock detector; the protocol itself is deadlock-free.
+  const int64_t wait_start_us =
+      (phil.missing_forks > 0 && Tracer::enabled()) ? Tracer::NowMicros() : -1;
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(300);
   while (phil.missing_forks > 0) {
@@ -78,6 +81,10 @@ void ChandyMisraTable::Acquire(PhilosopherId p) {
       SG_LOG(kFatal) << "Chandy-Misra acquire stalled for philosopher " << p
                      << " (missing " << phil.missing_forks << " forks)";
     }
+  }
+  if (wait_start_us >= 0) {
+    SG_TRACE_INTERVAL("cm.fork_wait", wait_start_us,
+                      Tracer::NowMicros() - wait_start_us);
   }
   phil.state = State::kEating;
 }
@@ -168,6 +175,7 @@ void ChandyMisraTable::SendTransferLocked(PhilosopherId p, PhilosopherId q) {
     // Write-all rule (condition C1): pending remote replica updates must
     // reach `dst` before the fork does. The transport's per-pair FIFO
     // turns this flush-then-send into delivery-before-handover.
+    SG_TRACE_SPAN("cm.handover_flush");
     handover_flushes_->Increment();
     shard.handle->FlushRemoteTo(dst);
     cross_worker_transfers_->Increment();

@@ -1,6 +1,7 @@
 #include "sync/token_passing.h"
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace serigraph {
 
@@ -11,7 +12,13 @@ Status SingleLayerTokenPassing::Init(const Context& ctx) {
   num_workers_ = ctx.partitioning->num_workers();
   handles_.assign(num_workers_, nullptr);
   token_passes_ = ctx.metrics->GetCounter("sync.global_token_passes");
+  token_hold_hist_ = ctx.metrics->GetHistogram("sync.token_hold_us");
+  hold_start_us_.assign(num_workers_, 0);
   return Status::OK();
+}
+
+void SingleLayerTokenPassing::OnSuperstepStart(WorkerId w, int superstep) {
+  if (HolderOf(superstep) == w) hold_start_us_[w] = Tracer::NowMicros();
 }
 
 void SingleLayerTokenPassing::BindWorker(WorkerId w, WorkerHandle* handle) {
@@ -26,6 +33,11 @@ bool SingleLayerTokenPassing::MayExecuteVertex(WorkerId w, int superstep,
 }
 
 void SingleLayerTokenPassing::OnSuperstepEnd(WorkerId w, int superstep) {
+  if (HolderOf(superstep) == w) {
+    const int64_t held_us = Tracer::NowMicros() - hold_start_us_[w];
+    token_hold_hist_->Record(held_us);
+    SG_TRACE_INTERVAL("token_hold", hold_start_us_[w], held_us);
+  }
   if (num_workers_ < 2) return;
   if (HolderOf(superstep) != w) return;
   // The engine has already flushed and acked all remote messages for this
@@ -60,7 +72,15 @@ Status DualLayerTokenPassing::Init(const Context& ctx) {
   handles_.assign(num_workers_, nullptr);
   global_token_passes_ = ctx.metrics->GetCounter("sync.global_token_passes");
   local_token_passes_ = ctx.metrics->GetCounter("sync.local_token_passes");
+  token_hold_hist_ = ctx.metrics->GetHistogram("sync.token_hold_us");
+  hold_start_us_.assign(num_workers_, 0);
   return Status::OK();
+}
+
+void DualLayerTokenPassing::OnSuperstepStart(WorkerId w, int superstep) {
+  if (GlobalHolderOf(superstep) == w) {
+    hold_start_us_[w] = Tracer::NowMicros();
+  }
 }
 
 void DualLayerTokenPassing::BindWorker(WorkerId w, WorkerHandle* handle) {
@@ -107,6 +127,11 @@ void DualLayerTokenPassing::OnSuperstepEnd(WorkerId w, int superstep) {
   // Local token rotation is in-worker bookkeeping (no wire traffic).
   if (partitioning_->PartitionsOfWorker(w).size() > 1) {
     local_token_passes_->Increment();
+  }
+  if (GlobalHolderOf(superstep) == w) {
+    const int64_t held_us = Tracer::NowMicros() - hold_start_us_[w];
+    token_hold_hist_->Record(held_us);
+    SG_TRACE_INTERVAL("token_hold", hold_start_us_[w], held_us);
   }
   if (num_workers_ < 2) return;
   const WorkerId holder = GlobalHolderOf(superstep);

@@ -29,6 +29,7 @@ class SingleLayerTokenPassing final : public SyncTechnique {
   bool RequiresSingleComputeThread() const override { return true; }
 
   bool MayExecuteVertex(WorkerId w, int superstep, VertexId v) override;
+  void OnSuperstepStart(WorkerId w, int superstep) override;
   void OnSuperstepEnd(WorkerId w, int superstep) override;
   void HandleControl(WorkerId w, const WireMessage& msg) override;
 
@@ -44,6 +45,10 @@ class SingleLayerTokenPassing final : public SyncTechnique {
   int num_workers_ = 0;
   std::vector<WorkerHandle*> handles_;
   Counter* token_passes_ = nullptr;
+  Histogram* token_hold_hist_ = nullptr;
+  /// Superstep start time per worker while it holds the global token;
+  /// each slot is only touched by its own worker thread.
+  std::vector<int64_t> hold_start_us_;
 };
 
 /// Dual-layer token passing (Section 5.3): a global token rotates between
@@ -66,6 +71,7 @@ class DualLayerTokenPassing final : public SyncTechnique {
   }
 
   bool MayExecuteVertex(WorkerId w, int superstep, VertexId v) override;
+  void OnSuperstepStart(WorkerId w, int superstep) override;
   void OnSuperstepEnd(WorkerId w, int superstep) override;
   void HandleControl(WorkerId w, const WireMessage& msg) override;
 
@@ -88,6 +94,11 @@ class DualLayerTokenPassing final : public SyncTechnique {
   std::vector<WorkerHandle*> handles_;
   Counter* global_token_passes_ = nullptr;
   Counter* local_token_passes_ = nullptr;
+  Histogram* token_hold_hist_ = nullptr;
+  /// Superstep start time per worker while it holds the global token;
+  /// each slot is only touched by its own worker thread. A multi-superstep
+  /// hold window is recorded as one sample per superstep held.
+  std::vector<int64_t> hold_start_us_;
 };
 
 }  // namespace serigraph

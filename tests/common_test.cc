@@ -103,6 +103,58 @@ TEST(MetricsTest, HistogramQuantilesAndMean) {
   EXPECT_LE(h.ApproxQuantile(0.0), 1);
 }
 
+TEST(MetricsTest, HistogramQuantileEdgeCases) {
+  Histogram empty;
+  EXPECT_EQ(empty.count(), 0);
+  EXPECT_EQ(empty.ApproxQuantile(0.0), 0);
+  EXPECT_EQ(empty.ApproxQuantile(0.5), 0);
+  EXPECT_EQ(empty.ApproxQuantile(1.0), 0);
+  EXPECT_EQ(empty.max(), 0);
+
+  Histogram h;
+  h.Record(7);
+  // A single sample is every quantile, and the estimate must never
+  // exceed the observed maximum (the log2 bucket upper bound is capped).
+  EXPECT_EQ(h.ApproxQuantile(0.0), 7);
+  EXPECT_EQ(h.ApproxQuantile(0.5), 7);
+  EXPECT_EQ(h.ApproxQuantile(1.0), 7);
+  EXPECT_EQ(h.max(), 7);
+
+  // Out-of-range q clamps instead of crashing.
+  EXPECT_EQ(h.ApproxQuantile(-3.0), h.ApproxQuantile(0.0));
+  EXPECT_EQ(h.ApproxQuantile(42.0), h.ApproxQuantile(1.0));
+}
+
+TEST(MetricsTest, HistogramMaxTracksLargestSample) {
+  Histogram h;
+  h.Record(3);
+  h.Record(100000);
+  h.Record(50);
+  EXPECT_EQ(h.max(), 100000);
+  EXPECT_LE(h.ApproxQuantile(1.0), 100000);
+  h.Reset();
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.count(), 0);
+}
+
+TEST(MetricsTest, RegistryHistogramSnapshotKeys) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("lat");
+  EXPECT_EQ(h, registry.GetHistogram("lat"));
+  for (int i = 1; i <= 100; ++i) h->Record(i);
+  auto snapshot = registry.Snapshot();
+  ASSERT_TRUE(snapshot.count("lat.p50"));
+  ASSERT_TRUE(snapshot.count("lat.p95"));
+  ASSERT_TRUE(snapshot.count("lat.max"));
+  ASSERT_TRUE(snapshot.count("lat.count"));
+  EXPECT_EQ(snapshot["lat.count"], 100);
+  EXPECT_EQ(snapshot["lat.max"], 100);
+  EXPECT_LE(snapshot["lat.p50"], snapshot["lat.p95"]);
+  EXPECT_LE(snapshot["lat.p95"], snapshot["lat.max"]);
+  registry.ResetAll();
+  EXPECT_EQ(registry.Snapshot()["lat.count"], 0);
+}
+
 TEST(MetricsTest, RegistryReturnsSameCounterForSameName) {
   MetricRegistry registry;
   Counter* a = registry.GetCounter("x");

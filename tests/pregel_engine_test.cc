@@ -37,6 +37,46 @@ TEST(EngineTest, SsspBspMatchesReferenceOnRing) {
   EXPECT_EQ(result->values, ReferenceSssp(g, 0));
 }
 
+TEST(EngineTest, RunStatsExposeLatencyHistogramsAndTimeline) {
+  Graph g = MakeGraph(Ring(64));
+  EngineOptions opts = BaseOptions();
+  opts.model = ComputationModel::kBsp;
+  Engine<Sssp> engine(&g, opts);
+  auto result = engine.Run(Sssp(0));
+  ASSERT_TRUE(result.ok()) << result.status();
+  const RunStats& stats = result->stats;
+
+  // Latency distributions are always registered, even when a technique
+  // never records into one (e.g. no forks here).
+  ASSERT_TRUE(stats.metrics.count("engine.barrier_wait_us.p95"));
+  ASSERT_TRUE(stats.metrics.count("engine.barrier_wait_us.p50"));
+  ASSERT_TRUE(stats.metrics.count("sync.fork_wait_us.p95"));
+  ASSERT_TRUE(stats.metrics.count("sync.token_hold_us.p95"));
+  // Every worker waited on the barrier every superstep.
+  EXPECT_EQ(stats.metrics.at("engine.barrier_wait_us.count"),
+            static_cast<int64_t>(stats.supersteps) * opts.num_workers);
+
+  // One timeline sample per (superstep, worker), ordered.
+  ASSERT_EQ(stats.timeline.size(),
+            static_cast<size_t>(stats.supersteps) * opts.num_workers);
+  for (size_t i = 0; i < stats.timeline.size(); ++i) {
+    const SuperstepSample& s = stats.timeline[i];
+    EXPECT_EQ(s.superstep, static_cast<int>(i) / opts.num_workers);
+    EXPECT_EQ(s.worker, static_cast<int>(i) % opts.num_workers);
+    EXPECT_GE(s.compute_us, 0);
+    EXPECT_GE(s.barrier_wait_us, 0);
+  }
+  // The ring is fully active in superstep 0: all vertices execute.
+  EXPECT_EQ(Total(stats.timeline, &SuperstepSample::vertices_executed) > 0,
+            true);
+
+  // The JSON report carries both.
+  const std::string json = RunStatsToJson(stats);
+  EXPECT_NE(json.find("\"engine.barrier_wait_us.p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"timeline\""), std::string::npos);
+  EXPECT_NE(json.find("\"compute_us\""), std::string::npos);
+}
+
 TEST(EngineTest, SsspAsyncMatchesReferenceOnRandomGraph) {
   Graph g = MakeGraph(ErdosRenyi(200, 800, /*seed=*/7));
   EngineOptions opts = BaseOptions(4);

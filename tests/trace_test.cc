@@ -1,0 +1,307 @@
+// Tests for the tracer: span nesting, thread safety of concurrent
+// recording, and round-tripping the exported Chrome trace-event JSON.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/report.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
+
+namespace serigraph {
+namespace {
+
+/// Enables the process-wide tracer for one test and restores the
+/// disabled, empty state afterwards (the tracer is a singleton).
+class TracerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Get().Reset();
+    Tracer::Get().Enable();
+  }
+  void TearDown() override {
+    Tracer::Get().Disable();
+    Tracer::Get().Reset();
+  }
+};
+
+using TraceTest = TracerFixture;
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  Tracer::Get().Disable();
+  { SG_TRACE_SPAN("ignored"); }
+  SG_TRACE_INTERVAL("also_ignored", 0, 5);
+  EXPECT_EQ(Tracer::Get().event_count(), 0);
+}
+
+TEST_F(TraceTest, SpansNestAndAllGetRecorded) {
+  {
+    SG_TRACE_SPAN("outer");
+    {
+      SG_TRACE_SPAN("inner");
+      { SG_TRACE_SPAN("innermost"); }
+    }
+    // Two spans with the same macro on one line must not collide
+    // (__COUNTER__ keeps the variable names unique).
+    SG_TRACE_SPAN("sibling");
+  }
+  EXPECT_EQ(Tracer::Get().event_count(), 4);
+  const std::string json = Tracer::Get().ToChromeTraceJson();
+  EXPECT_NE(json.find("\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"innermost\""), std::string::npos);
+  EXPECT_NE(json.find("\"sibling\""), std::string::npos);
+}
+
+TEST_F(TraceTest, IntervalMacroRecordsGivenTimes) {
+  SG_TRACE_INTERVAL("manual", 1234, 42);
+  EXPECT_EQ(Tracer::Get().event_count(), 1);
+  const std::string json = Tracer::Get().ToChromeTraceJson();
+  EXPECT_NE(json.find("\"ts\":1234"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":42"), std::string::npos);
+}
+
+TEST_F(TraceTest, ConcurrentRecordingLosesNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kEventsPerThread = 5000;  // forces chunk growth (4096/chunk)
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      Tracer::Get().SetCurrentThreadName("t" + std::to_string(t));
+      for (int i = 0; i < kEventsPerThread; ++i) {
+        SG_TRACE_SPAN("work");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(Tracer::Get().event_count(), kThreads * kEventsPerThread);
+  EXPECT_EQ(Tracer::Get().dropped_count(), 0);
+}
+
+TEST_F(TraceTest, ExportWhileRecordingIsSafe) {
+  std::thread writer([] {
+    for (int i = 0; i < 20000; ++i) {
+      SG_TRACE_SPAN("hot");
+    }
+  });
+  // Concurrent export must see a consistent prefix, not crash or tear.
+  for (int i = 0; i < 10; ++i) {
+    const std::string json = Tracer::Get().ToChromeTraceJson();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+  }
+  writer.join();
+  EXPECT_EQ(Tracer::Get().event_count(), 20000);
+}
+
+/// Chrome trace-event JSON must parse as an object whose "traceEvents"
+/// member is an array of objects with name/ph/pid/tid/ts/dur members.
+/// A tiny recursive-descent validator keeps the test dependency-free.
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text) : text_(text) {}
+
+  bool ValidValue() { return Value() && (Skip(), pos_ == text_.size()); }
+  int objects_seen() const { return objects_; }
+  const std::vector<std::string>& keys() const { return keys_; }
+
+ private:
+  void Skip() {
+    while (pos_ < text_.size() && std::isspace(text_[pos_])) ++pos_;
+  }
+  bool Literal(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool String() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      out.push_back(text_[pos_]);
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    last_string_ = std::move(out);
+    return true;
+  }
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(text_[pos_]) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Value() {
+    Skip();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return Object();
+    if (c == '[') return Array();
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+  bool Object() {
+    ++objects_;
+    ++pos_;  // '{'
+    Skip();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      Skip();
+      if (!String()) return false;
+      keys_.push_back(last_string_);
+      Skip();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      if (!Value()) return false;
+      Skip();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ >= text_.size() || text_[pos_] != '}') return false;
+    ++pos_;
+    return true;
+  }
+  bool Array() {
+    ++pos_;  // '['
+    Skip();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      if (!Value()) return false;
+      Skip();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ >= text_.size() || text_[pos_] != ']') return false;
+    ++pos_;
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int objects_ = 0;
+  std::string last_string_;
+  std::vector<std::string> keys_;
+};
+
+TEST_F(TraceTest, ChromeTraceJsonRoundTrips) {
+  Tracer::Get().SetCurrentThreadName("main");
+  { SG_TRACE_SPAN("alpha"); }
+  SG_TRACE_INTERVAL("beta", 10, 20);
+
+  const std::string json = Tracer::Get().ToChromeTraceJson();
+  JsonCursor cursor(json);
+  ASSERT_TRUE(cursor.ValidValue()) << json;
+
+  // Top-level object + thread_name metadata + 2 events.
+  EXPECT_GE(cursor.objects_seen(), 4);
+  const auto& keys = cursor.keys();
+  auto has = [&](const char* k) {
+    return std::find(keys.begin(), keys.end(), k) != keys.end();
+  };
+  EXPECT_TRUE(has("traceEvents"));
+  EXPECT_TRUE(has("name"));
+  EXPECT_TRUE(has("ph"));
+  EXPECT_TRUE(has("pid"));
+  EXPECT_TRUE(has("tid"));
+  EXPECT_TRUE(has("ts"));
+  EXPECT_TRUE(has("dur"));
+}
+
+TEST_F(TraceTest, ResetClearsEventsAndReusesThreads) {
+  { SG_TRACE_SPAN("before"); }
+  EXPECT_EQ(Tracer::Get().event_count(), 1);
+  Tracer::Get().Reset();
+  EXPECT_EQ(Tracer::Get().event_count(), 0);
+  // The recording thread must re-register after Reset (its cached
+  // buffer pointer is invalidated by the epoch bump).
+  { SG_TRACE_SPAN("after"); }
+  EXPECT_EQ(Tracer::Get().event_count(), 1);
+  const std::string json = Tracer::Get().ToChromeTraceJson();
+  EXPECT_EQ(json.find("\"before\""), std::string::npos);
+  EXPECT_NE(json.find("\"after\""), std::string::npos);
+}
+
+TEST(TimelineTest, CollectOrdersBySuperstepThenWorker) {
+  TimelineRecorder recorder(2);
+  SuperstepSample s;
+  s.superstep = 1;
+  s.worker = 1;
+  s.compute_us = 10;
+  recorder.Append(s);
+  s.superstep = 0;
+  s.compute_us = 5;
+  recorder.Append(s);
+  s.worker = 0;
+  s.superstep = 0;
+  s.compute_us = 7;
+  recorder.Append(s);
+
+  const auto all = recorder.Collect();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].superstep, 0);
+  EXPECT_EQ(all[0].worker, 0);
+  EXPECT_EQ(all[1].superstep, 0);
+  EXPECT_EQ(all[1].worker, 1);
+  EXPECT_EQ(all[2].superstep, 1);
+  EXPECT_EQ(all[2].worker, 1);
+  EXPECT_EQ(Total(all, &SuperstepSample::compute_us), 22);
+}
+
+TEST(ReportTest, RunReportJsonContainsMetricsAndTimeline) {
+  RunReport report;
+  report.supersteps = 3;
+  report.converged = true;
+  report.computation_seconds = 0.25;
+  report.metrics["engine.barrier_wait_us.p95"] = 120;
+  SuperstepSample s;
+  s.superstep = 0;
+  s.worker = 1;
+  s.compute_us = 99;
+  report.timeline.push_back(s);
+
+  const std::string json = RunReportToJson(report);
+  JsonCursor cursor(json);
+  ASSERT_TRUE(cursor.ValidValue()) << json;
+  EXPECT_NE(json.find("\"supersteps\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"converged\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"engine.barrier_wait_us.p95\":120"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"compute_us\":99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace serigraph
