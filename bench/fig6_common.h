@@ -19,6 +19,7 @@
 #include "harness/datasets.h"
 #include "harness/runner.h"
 #include "harness/table.h"
+#include "obs/introspect.h"
 #include "obs/timeline.h"
 
 namespace serigraph {
@@ -59,11 +60,16 @@ inline void RunFig6Grid(
     for (int workers : {16, 32}) {
       double partition_time = 0.0;
       std::vector<Fig6Cell> cells;
+      std::vector<ContentionEntry> last_contention;
+      std::string last_contention_kind;
       for (SyncMode sync : kModes) {
         RunConfig config;
         config.sync_mode = sync;
         config.num_workers = workers;
         config.network = BenchNetwork();
+        // Introspection on for every cell (uniform overhead: enabling it
+        // only for some techniques would bias the comparison).
+        config.introspect = true;
         auto [stats, valid] = run(graph, config);
         Fig6Cell cell;
         cell.dataset = spec.name;
@@ -78,7 +84,23 @@ inline void RunFig6Grid(
           last_timeline_label = spec.name + ", " +
                                 std::to_string(workers) + " workers, " +
                                 SyncModeName(sync);
+          last_contention = stats.contention;
+          last_contention_kind = stats.resource_kind;
         }
+      }
+      // Contention top-K for the contribution technique: which resources
+      // the fork waits concentrated on in this configuration.
+      if (!last_contention.empty()) {
+        std::printf("hottest %ss (%s, %d workers, %s):",
+                    last_contention_kind.c_str(), spec.name.c_str(), workers,
+                    SyncModeName(SyncMode::kPartitionLocking));
+        int shown = 0;
+        for (const auto& e : last_contention) {
+          if (++shown > 5) break;
+          std::printf("  %lld(%lldus/%lld)", (long long)e.resource,
+                      (long long)e.total_wait_us, (long long)e.count);
+        }
+        std::printf("\n");
       }
       for (const Fig6Cell& cell : cells) {
         // Where did the time go? Fork-wait share approximates the

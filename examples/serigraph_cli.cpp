@@ -54,6 +54,11 @@ struct CliOptions {
   bool help = false;
   std::string trace_out;
   std::string metrics_json;
+  bool introspect = false;
+  std::string introspect_out;
+  int64_t watchdog_ms = 0;
+  int64_t stall_abort_ms = 0;
+  std::string prom_out;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -104,6 +109,20 @@ CliOptions Parse(int argc, char** argv) {
     }
     if (ParseFlag(arg, "trace-out", &opts.trace_out)) continue;
     if (ParseFlag(arg, "metrics-json", &opts.metrics_json)) continue;
+    if (ParseFlag(arg, "introspect-out", &opts.introspect_out)) continue;
+    if (ParseFlag(arg, "prom-out", &opts.prom_out)) continue;
+    if (ParseFlag(arg, "watchdog-ms", &value)) {
+      opts.watchdog_ms = std::atoll(value.c_str());
+      continue;
+    }
+    if (ParseFlag(arg, "stall-abort-ms", &value)) {
+      opts.stall_abort_ms = std::atoll(value.c_str());
+      continue;
+    }
+    if (std::strcmp(arg, "--introspect") == 0) {
+      opts.introspect = true;
+      continue;
+    }
     if (std::strcmp(arg, "--verify") == 0) {
       opts.verify = true;
       continue;
@@ -137,7 +156,19 @@ void PrintHelp() {
       "  --trace-out=FILE                 write a Chrome trace-event JSON\n"
       "                                   (open in Perfetto / chrome://tracing)\n"
       "  --metrics-json=FILE              write run stats + per-superstep\n"
-      "                                   timeline as JSON\n");
+      "                                   timeline as JSON\n"
+      "  --introspect                     enable sync-layer introspection\n"
+      "                                   (beacons, watchdog, contention)\n"
+      "  --introspect-out=FILE            stream watchdog wait-for-graph\n"
+      "                                   snapshots as JSONL (implies\n"
+      "                                   --introspect)\n"
+      "  --watchdog-ms=N                  watchdog sampling period (implies\n"
+      "                                   --introspect; default 25)\n"
+      "  --stall-abort-ms=N               abort cleanly when no global\n"
+      "                                   progress for N ms (implies\n"
+      "                                   --introspect)\n"
+      "  --prom-out=FILE                  write final metrics in Prometheus\n"
+      "                                   text exposition format\n");
 }
 
 StatusOr<SyncMode> ParseSync(const std::string& name) {
@@ -188,7 +219,9 @@ int RunAndReport(const Graph& graph, const CliOptions& cli,
   if (!result.ok()) {
     std::fprintf(stderr, "engine error: %s\n",
                  result.status().ToString().c_str());
-    return 1;
+    // A watchdog-triggered abort (--stall-abort-ms) is a diagnosed stall,
+    // not a crash: distinguish it for scripts.
+    return result.status().code() == StatusCode::kAborted ? 3 : 1;
   }
   std::printf("%s in %d supersteps, %.1f ms computation time\n",
               result->stats.converged ? "converged" : "CUT OFF",
@@ -202,6 +235,35 @@ int RunAndReport(const Graph& graph, const CliOptions& cli,
               (long long)result->stats.Metric("net.control_messages"),
               (long long)result->stats.Metric("sync.fork_transfers"));
   if (!result_note.empty()) std::printf("%s\n", result_note.c_str());
+  if (options.introspect) {
+    const RunStats& stats = result->stats;
+    std::printf("introspection: %lld snapshots, %lld stalls, "
+                "%lld deadlocks\n",
+                (long long)stats.introspect_snapshots,
+                (long long)stats.introspect_stalls,
+                (long long)stats.introspect_deadlocks);
+    for (const auto& incident : stats.introspect_incidents) {
+      std::printf("  incident: %s\n", incident.c_str());
+    }
+    if (!stats.contention.empty()) {
+      std::printf("hottest %ss by attributed fork-wait time:\n",
+                  stats.resource_kind.c_str());
+      for (const auto& e : stats.contention) {
+        std::printf("  %-10lld %6lld waits  %10lld us total  %8lld us max\n",
+                    (long long)e.resource, (long long)e.count,
+                    (long long)e.total_wait_us, (long long)e.max_wait_us);
+      }
+    }
+    if (!stats.contention_edges.empty()) {
+      std::printf("hottest wait-for edges (%s waiter -> blocker):\n",
+                  stats.resource_kind.c_str());
+      for (const auto& e : stats.contention_edges) {
+        std::printf("  %-10lld -> %-10lld  %6lld waits  %10lld us\n",
+                    (long long)e.waiter, (long long)e.blocker,
+                    (long long)e.count, (long long)e.total_wait_us);
+      }
+    }
+  }
   if (!cli.metrics_json.empty()) {
     Status s = WriteTextFile(cli.metrics_json, RunStatsToJson(result->stats));
     if (!s.ok()) {
@@ -209,6 +271,15 @@ int RunAndReport(const Graph& graph, const CliOptions& cli,
       return 1;
     }
     std::printf("metrics written to %s\n", cli.metrics_json.c_str());
+  }
+  if (!cli.prom_out.empty()) {
+    Status s = WriteTextFile(cli.prom_out,
+                             MetricsToPrometheusText(result->stats.metrics));
+    if (!s.ok()) {
+      std::fprintf(stderr, "prom-out: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("prometheus metrics written to %s\n", cli.prom_out.c_str());
   }
   if (!cli.trace_out.empty()) {
     Status s = Tracer::Get().WriteChromeTrace(cli.trace_out);
@@ -274,6 +345,16 @@ int main(int argc, char** argv) {
   options.num_workers = cli.workers;
   options.compute_threads_per_worker = cli.threads;
   options.network.one_way_latency_us = cli.latency_us;
+  options.introspect = cli.introspect || !cli.introspect_out.empty() ||
+                       cli.watchdog_ms > 0 || cli.stall_abort_ms > 0;
+  if (options.introspect) {
+    options.watchdog.jsonl_path = cli.introspect_out;
+    if (cli.watchdog_ms > 0) options.watchdog.period_ms = cli.watchdog_ms;
+    if (cli.stall_abort_ms > 0) {
+      options.watchdog.stall_ms = cli.stall_abort_ms;
+      options.watchdog.abort_on_stall = true;
+    }
+  }
   std::printf("running %s: model=%s sync=%s workers=%d\n",
               cli.algorithm.c_str(), ComputationModelName(options.model),
               SyncModeName(options.sync_mode), options.num_workers);

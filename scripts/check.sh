@@ -1,13 +1,25 @@
 #!/usr/bin/env bash
 # Builds the full tree under ThreadSanitizer and runs the test suite.
-# The tracer's lock-free recording path and the engine's per-superstep
-# accounting are only as good as this check: any data race in them shows
-# up here, not in a flaky bench.
+# The tracer's and introspector's lock-free recording paths and the
+# engine's per-superstep accounting are only as good as this check: any
+# data race in them shows up here, not in a flaky bench.
 #
-# Usage: scripts/check.sh [build-dir]   (default: build-tsan)
+# Usage: scripts/check.sh [--introspect] [build-dir]
+#   (default build-dir: build-tsan)
+#
+# --introspect additionally runs a smoke of the watchdog wiring: a small
+# fig6a-shaped CLI run (coloring, partition-locking) with JSONL snapshot
+# streaming, then validates that the stream parses as JSON and contains
+# at least one snapshot and no deadlock reports.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+INTROSPECT_SMOKE=0
+if [[ "${1:-}" == "--introspect" ]]; then
+  INTROSPECT_SMOKE=1
+  shift
+fi
 BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DSERIGRAPH_SANITIZE=thread
@@ -19,3 +31,56 @@ TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 echo "check.sh: all tests passed under ThreadSanitizer"
+
+if [[ "$INTROSPECT_SMOKE" == "1" ]]; then
+  SMOKE_DIR="$(mktemp -d)"
+  trap 'rm -rf "$SMOKE_DIR"' EXIT
+  JSONL="$SMOKE_DIR/introspect.jsonl"
+  METRICS="$SMOKE_DIR/metrics.json"
+
+  TSAN_OPTIONS="halt_on_error=1" \
+    "$BUILD_DIR/examples/serigraph_cli" \
+      --algorithm=coloring --generator=powerlaw --vertices=2000 \
+      --degree=8 --sync=partition-locking --workers=8 --latency-us=100 \
+      --introspect-out="$JSONL" --watchdog-ms=10 \
+      --metrics-json="$METRICS"
+
+  python3 - "$JSONL" "$METRICS" <<'EOF'
+import json, sys
+
+jsonl_path, metrics_path = sys.argv[1], sys.argv[2]
+snapshots = deadlocks = 0
+with open(jsonl_path) as f:
+    for i, line in enumerate(f, 1):
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            sys.exit(f"introspect smoke: line {i} is not valid JSON: {e}")
+        kind = rec.get("type")
+        if kind == "snapshot":
+            snapshots += 1
+            if not isinstance(rec.get("workers"), list) or not rec["workers"]:
+                sys.exit(f"introspect smoke: snapshot {i} has no workers")
+            if "wait_for" not in rec:
+                sys.exit(f"introspect smoke: snapshot {i} has no wait_for")
+        elif kind == "deadlock":
+            deadlocks += 1
+if snapshots < 1:
+    sys.exit("introspect smoke: no snapshots in the JSONL stream")
+if deadlocks:
+    sys.exit(f"introspect smoke: {deadlocks} false-positive deadlock report(s)")
+
+report = json.load(open(metrics_path))
+intro = report.get("introspection")
+if not intro:
+    sys.exit("introspect smoke: run report has no introspection section")
+if intro.get("snapshots", 0) < 1:
+    sys.exit("introspect smoke: run report records zero snapshots")
+if intro.get("deadlocks", 0) != 0:
+    sys.exit("introspect smoke: run report records a deadlock")
+print(f"introspect smoke: OK ({snapshots} snapshots, "
+      f"{len(intro.get('contention_top', []))} contention rows)")
+EOF
+
+  echo "check.sh: introspection smoke passed"
+fi

@@ -13,6 +13,7 @@
 #include "common/logging.h"
 #include "common/status.h"
 #include "graph/graph.h"
+#include "obs/introspect.h"
 #include "obs/trace.h"
 
 namespace serigraph {
@@ -44,6 +45,9 @@ struct GasOptions {
   /// the livelock bound that makes non-terminating executions observable.
   int64_t max_supersteps = 1000;
   int64_t max_updates = 1000000;
+  /// Feed per-thread neighborhood-lock wait times into the Introspector's
+  /// contention profile (async modes). Off by default.
+  bool introspect = false;
 };
 
 template <typename V>
@@ -222,8 +226,13 @@ class GasEngine {
     }
     std::atomic<int64_t> updates{0};
     const bool serializable = options_.mode == GasMode::kAsyncSerializable;
+    if (options_.introspect) {
+      Introspector::Get().Configure(std::max(1, options_.num_threads),
+                                    "vertex");
+      Introspector::Get().Enable();
+    }
 
-    auto worker = [&] {
+    auto worker = [&](int thread_idx) {
       for (;;) {
         VertexId v = PopTask();
         if (v == kInvalidVertex) return;
@@ -242,7 +251,15 @@ class GasEngine {
           // One critical section across all three phases: no neighboring
           // computation can interleave (condition C2).
           SG_TRACE_SPAN("gas.update");
-          LockHood(hood);
+          if (Introspector::enabled()) {
+            const int64_t t0 = Tracer::NowMicros();
+            LockHood(hood);
+            Introspector& in = Introspector::Get();
+            in.RecordWait(thread_idx, v, Tracer::NowMicros() - t0);
+            in.OnProgress(thread_idx);
+          } else {
+            LockHood(hood);
+          }
           Gather acc = program.GatherInit();
           for (VertexId u : graph_->InNeighbors(v)) {
             acc = program.GatherEdge(std::move(acc), v, u, values_[u]);
@@ -281,8 +298,9 @@ class GasEngine {
     std::vector<std::thread> threads;
     const int num_threads = std::max(1, options_.num_threads);
     threads.reserve(num_threads);
-    for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+    for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
     for (auto& t : threads) t.join();
+    if (options_.introspect) Introspector::Get().Disable();
 
     result->updates = updates.load();
     result->converged = result->updates < options_.max_updates;

@@ -23,6 +23,9 @@ struct RunConfig {
   int64_t superstep_overhead_us = 0;
   uint64_t partition_seed = 0;
   bool record_history = false;
+  /// Runtime introspection (beacons + watchdog + contention profile).
+  bool introspect = false;
+  WatchdogOptions watchdog;
 };
 
 inline EngineOptions ToEngineOptions(const RunConfig& config) {
@@ -38,6 +41,8 @@ inline EngineOptions ToEngineOptions(const RunConfig& config) {
   opts.superstep_overhead_us = config.superstep_overhead_us;
   opts.partition_seed = config.partition_seed;
   opts.record_history = config.record_history;
+  opts.introspect = config.introspect;
+  opts.watchdog = config.watchdog;
   return opts;
 }
 

@@ -33,6 +33,11 @@ struct WireMessage {
   int64_t a = 0;
   int64_t b = 0;
   int64_t c = 0;
+  /// Causality tag: nonzero ids pair the send with the receive as a flow
+  /// arrow in the Chrome trace ("ph":"s"/"f"), so a fork request/grant or
+  /// vertex batch can be followed across workers. Assigned by the
+  /// transport when tracing is enabled; 0 means untagged.
+  uint64_t span = 0;
   std::vector<uint8_t> payload;
 
   /// Approximate wire size: fixed header plus payload.

@@ -1,8 +1,19 @@
 #include "net/transport.h"
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace serigraph {
+
+namespace {
+
+/// Flow-arrow name for a tagged message kind; both the send ('s') and the
+/// receive ('f') must pick the same literal for the viewer to pair them.
+const char* FlowName(MessageKind kind) {
+  return kind == MessageKind::kControl ? "sync.ctrl_flow" : "net.batch_flow";
+}
+
+}  // namespace
 
 Transport::Transport(int num_workers, NetworkOptions options,
                      MetricRegistry* metrics)
@@ -42,6 +53,15 @@ void Transport::Send(WireMessage msg) {
     batch_bytes_hist_->Record(bytes);
   }
 
+  // Causality tag: pair cross-worker fork/token and data-batch traffic
+  // with its receive as a Chrome-trace flow arrow.
+  if (!local && msg.span == 0 && Tracer::enabled() &&
+      (msg.kind == MessageKind::kControl ||
+       msg.kind == MessageKind::kDataBatch)) {
+    msg.span = Tracer::NextFlowId();
+    Tracer::Get().RecordFlow(FlowName(msg.kind), 's', msg.span);
+  }
+
   Inbox& inbox = *inboxes_[msg.dst];
   Item item;
   item.seq = seq_.fetch_add(1, std::memory_order_relaxed);
@@ -75,6 +95,9 @@ std::optional<WireMessage> Transport::Receive(WorkerId worker) {
       if (top.ready <= now) {
         WireMessage msg = std::move(const_cast<Item&>(top).msg);
         inbox.queue.pop();
+        if (msg.span != 0 && Tracer::enabled()) {
+          Tracer::Get().RecordFlow(FlowName(msg.kind), 'f', msg.span);
+        }
         return msg;
       }
       inbox.cv.wait_until(lock, top.ready);
@@ -92,6 +115,9 @@ std::optional<WireMessage> Transport::TryReceive(WorkerId worker) {
   if (top.ready > Clock::now()) return std::nullopt;
   WireMessage msg = std::move(const_cast<Item&>(top).msg);
   inbox.queue.pop();
+  if (msg.span != 0 && Tracer::enabled()) {
+    Tracer::Get().RecordFlow(FlowName(msg.kind), 'f', msg.span);
+  }
   return msg;
 }
 
@@ -99,6 +125,12 @@ bool Transport::InboxEmpty(WorkerId worker) const {
   const Inbox& inbox = *inboxes_[worker];
   std::lock_guard<std::mutex> lock(inbox.mu);
   return inbox.queue.empty();
+}
+
+int64_t Transport::InboxDepth(WorkerId worker) const {
+  const Inbox& inbox = *inboxes_[worker];
+  std::lock_guard<std::mutex> lock(inbox.mu);
+  return static_cast<int64_t>(inbox.queue.size());
 }
 
 void Transport::Shutdown() {

@@ -65,6 +65,10 @@ class Transport {
   /// delivery time has not yet arrived).
   bool InboxEmpty(WorkerId worker) const;
 
+  /// Number of messages currently queued for `worker` (delivered or not);
+  /// the watchdog's queue-depth probe.
+  int64_t InboxDepth(WorkerId worker) const;
+
   /// Unblocks all receivers permanently.
   void Shutdown();
 

@@ -110,6 +110,12 @@ JsonWriter& JsonWriter::Value(const std::string& value) {
   return *this;
 }
 
+JsonWriter& JsonWriter::Raw(const std::string& json) {
+  MaybeComma();
+  out_ += json;
+  return *this;
+}
+
 std::string RunReportToJson(const RunReport& report) {
   JsonWriter json;
   json.BeginObject();
@@ -135,8 +141,61 @@ std::string RunReportToJson(const RunReport& report) {
     json.EndObject();
   }
   json.EndArray();
+  const bool has_introspection =
+      report.introspect_snapshots > 0 || !report.contention.empty();
+  if (has_introspection) {
+    json.Key("introspection").BeginObject();
+    json.Key("resource_kind").Value(report.resource_kind);
+    json.Key("snapshots").Value(report.introspect_snapshots);
+    json.Key("stalls").Value(report.introspect_stalls);
+    json.Key("deadlocks").Value(report.introspect_deadlocks);
+    json.Key("incidents").BeginArray();
+    for (const std::string& incident : report.introspect_incidents) {
+      json.Value(incident);
+    }
+    json.EndArray();
+    json.Key("contention_top").BeginArray();
+    for (const ContentionEntry& e : report.contention) {
+      json.BeginObject();
+      json.Key("resource").Value(e.resource);
+      json.Key("count").Value(e.count);
+      json.Key("total_wait_us").Value(e.total_wait_us);
+      json.Key("max_wait_us").Value(e.max_wait_us);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("contention_edges_top").BeginArray();
+    for (const EdgeContentionEntry& e : report.contention_edges) {
+      json.BeginObject();
+      json.Key("waiter").Value(e.waiter);
+      json.Key("blocker").Value(e.blocker);
+      json.Key("count").Value(e.count);
+      json.Key("total_wait_us").Value(e.total_wait_us);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
   json.EndObject();
   return json.str();
+}
+
+std::string MetricsToPrometheusText(
+    const std::map<std::string, int64_t>& metrics) {
+  std::string out;
+  for (const auto& [name, value] : metrics) {
+    std::string sanitized = "serigraph_";
+    for (char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      sanitized += ok ? c : '_';
+    }
+    out += sanitized;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  return out;
 }
 
 Status WriteTextFile(const std::string& path, const std::string& content) {

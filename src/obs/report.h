@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/introspect.h"
 #include "obs/timeline.h"
 
 namespace serigraph {
@@ -27,6 +28,12 @@ class JsonWriter {
   JsonWriter& Value(double value);
   JsonWriter& Value(bool value);
   JsonWriter& Value(const std::string& value);
+  /// Without this overload a string literal would take the pointer->bool
+  /// standard conversion and serialize as `true`.
+  JsonWriter& Value(const char* value) { return Value(std::string(value)); }
+  /// Splices pre-serialized JSON (e.g. WaitForEdgesJson output) in value
+  /// position; the caller guarantees it is well-formed.
+  JsonWriter& Raw(const std::string& json);
 
   const std::string& str() const { return out_; }
 
@@ -48,13 +55,28 @@ struct RunReport {
   double computation_seconds = 0.0;
   std::map<std::string, int64_t> metrics;
   std::vector<SuperstepSample> timeline;
+  /// Introspection digest (empty when the run had introspection off).
+  std::string resource_kind;
+  std::vector<ContentionEntry> contention;
+  std::vector<EdgeContentionEntry> contention_edges;
+  int64_t introspect_snapshots = 0;
+  int64_t introspect_stalls = 0;
+  int64_t introspect_deadlocks = 0;
+  std::vector<std::string> introspect_incidents;
 };
 
 /// Serializes `report` as a JSON object:
 ///   {"supersteps":N,"converged":true,"computation_seconds":S,
 ///    "metrics":{"name":value,...},
-///    "timeline":[{"superstep":0,"worker":0,"compute_us":...,...},...]}
+///    "timeline":[{"superstep":0,"worker":0,"compute_us":...,...},...],
+///    "introspection":{...}}            // only when the run recorded any
 std::string RunReportToJson(const RunReport& report);
+
+/// Renders `metrics` in the Prometheus text exposition format, one
+/// `serigraph_<name> <value>` line per entry with metric names sanitized
+/// (dots and other invalid characters become underscores).
+std::string MetricsToPrometheusText(
+    const std::map<std::string, int64_t>& metrics);
 
 /// Writes `content` to `path` (overwrite).
 Status WriteTextFile(const std::string& path, const std::string& content);

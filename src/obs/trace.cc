@@ -85,6 +85,40 @@ Tracer::ThreadBuffer* Tracer::CurrentThreadBuffer() {
   return raw;
 }
 
+void Tracer::RecordFlow(const char* name, char ph, uint64_t id) {
+  ThreadBuffer* buffer = CurrentThreadBuffer();
+  Chunk* chunk = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    if (!buffer->chunks.empty()) {
+      Chunk* last = buffer->chunks.back().get();
+      if (last->count.load(std::memory_order_relaxed) < kChunkCapacity) {
+        chunk = last;
+      }
+    }
+    if (chunk == nullptr) {
+      if (buffer->chunks.size() >= kMaxChunksPerThread) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      buffer->chunks.push_back(std::make_unique<Chunk>());
+      chunk = buffer->chunks.back().get();
+    }
+  }
+  const size_t slot = chunk->count.load(std::memory_order_relaxed);
+  chunk->events[slot].name = name;
+  chunk->events[slot].ts_us = NowMicros();
+  chunk->events[slot].dur_us = 0;
+  chunk->events[slot].ph = ph;
+  chunk->events[slot].id = id;
+  chunk->count.store(slot + 1, std::memory_order_release);
+}
+
+uint64_t Tracer::NextFlowId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 void Tracer::RecordComplete(const char* name, int64_t ts_us, int64_t dur_us) {
   ThreadBuffer* buffer = CurrentThreadBuffer();
   Chunk* chunk = nullptr;
@@ -112,6 +146,8 @@ void Tracer::RecordComplete(const char* name, int64_t ts_us, int64_t dur_us) {
   chunk->events[slot].name = name;
   chunk->events[slot].ts_us = ts_us;
   chunk->events[slot].dur_us = dur_us;
+  chunk->events[slot].ph = 'X';
+  chunk->events[slot].id = 0;
   // Publish: the exporter's acquire load of `count` makes the event fields
   // written above visible before it reads them.
   chunk->count.store(slot + 1, std::memory_order_release);
@@ -155,13 +191,28 @@ std::string Tracer::ToChromeTraceJson() const {
         first = false;
         out += "{\"name\":\"";
         AppendJsonEscaped(out, event.name);
-        out += "\",\"ph\":\"X\",\"pid\":0,\"tid\":";
-        out += std::to_string(buffer->tid);
-        out += ",\"ts\":";
-        out += std::to_string(event.ts_us);
-        out += ",\"dur\":";
-        out += std::to_string(event.dur_us);
-        out += "}";
+        if (event.ph == 's' || event.ph == 'f') {
+          // Flow arrow endpoint: "s" at the sender, "f" (binding to the
+          // enclosing slice, "bp":"e") at the receiver.
+          out += "\",\"ph\":\"";
+          out += event.ph;
+          out += "\",\"cat\":\"flow\",\"pid\":0,\"tid\":";
+          out += std::to_string(buffer->tid);
+          out += ",\"ts\":";
+          out += std::to_string(event.ts_us);
+          out += ",\"id\":";
+          out += std::to_string(event.id);
+          if (event.ph == 'f') out += ",\"bp\":\"e\"";
+          out += "}";
+        } else {
+          out += "\",\"ph\":\"X\",\"pid\":0,\"tid\":";
+          out += std::to_string(buffer->tid);
+          out += ",\"ts\":";
+          out += std::to_string(event.ts_us);
+          out += ",\"dur\":";
+          out += std::to_string(event.dur_us);
+          out += "}";
+        }
       }
     }
   }

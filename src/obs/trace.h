@@ -13,13 +13,17 @@
 
 namespace serigraph {
 
-/// One completed span ("X" phase in the Chrome trace-event format).
+/// One recorded event: a completed span ("X" phase in the Chrome
+/// trace-event format) or one end of a flow arrow ('s' = start at the
+/// sender, 'f' = finish at the receiver) binding cross-thread causality.
 /// `name` must point at a string with static storage duration — span
 /// macros pass literals, so recording never copies or allocates.
 struct TraceEvent {
   const char* name = nullptr;
   int64_t ts_us = 0;   ///< start, microseconds since the trace epoch
-  int64_t dur_us = 0;  ///< duration in microseconds
+  int64_t dur_us = 0;  ///< duration in microseconds (spans only)
+  char ph = 'X';       ///< 'X' complete span, 's'/'f' flow start/finish
+  uint64_t id = 0;     ///< flow id pairing 's' with 'f' (flows only)
 };
 
 /// Process-wide tracer with per-thread event buffers.
@@ -58,6 +62,14 @@ class Tracer {
 
   /// Appends a completed span to the calling thread's buffer.
   void RecordComplete(const char* name, int64_t ts_us, int64_t dur_us);
+
+  /// Appends one end of a flow arrow at the current time. `ph` is 's'
+  /// (start, at the sender) or 'f' (finish, at the receiver); both ends
+  /// must use the same `name` and `id` to be connected by the viewer.
+  void RecordFlow(const char* name, char ph, uint64_t id);
+
+  /// Allocates a process-unique nonzero flow id (for WireMessage::span).
+  static uint64_t NextFlowId();
 
   /// Names the calling thread in the exported trace ("worker-3"). Safe to
   /// call at any time; the last name wins.

@@ -1,0 +1,87 @@
+#include "obs/waitfor.h"
+
+#include <algorithm>
+
+#include "obs/report.h"
+
+namespace serigraph {
+
+std::vector<int> FindWorkerCycle(const WaitForGraph& graph) {
+  if (graph.num_workers <= 0) return {};
+  // Worker-level adjacency, self-loops dropped.
+  std::vector<std::vector<int>> adj(graph.num_workers);
+  for (const WaitForEdge& e : graph.edges) {
+    if (e.from < 0 || e.to < 0 || e.from >= graph.num_workers ||
+        e.to >= graph.num_workers || e.from == e.to) {
+      continue;
+    }
+    adj[e.from].push_back(e.to);
+  }
+  // Iterative DFS with the classic white/grey/black coloring; a grey->grey
+  // edge closes a cycle, which we read back off the DFS stack.
+  enum : uint8_t { kWhite = 0, kGrey = 1, kBlack = 2 };
+  std::vector<uint8_t> color(graph.num_workers, kWhite);
+  std::vector<int> stack;       // current DFS path (grey vertices in order)
+  struct Frame {
+    int node;
+    size_t next_edge;
+  };
+  std::vector<Frame> frames;
+  for (int start = 0; start < graph.num_workers; ++start) {
+    if (color[start] != kWhite) continue;
+    frames.push_back({start, 0});
+    color[start] = kGrey;
+    stack.push_back(start);
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      if (frame.next_edge < adj[frame.node].size()) {
+        const int next = adj[frame.node][frame.next_edge++];
+        if (color[next] == kGrey) {
+          // Cycle: the suffix of the DFS path from `next` onward.
+          auto it = std::find(stack.begin(), stack.end(), next);
+          return std::vector<int>(it, stack.end());
+        }
+        if (color[next] == kWhite) {
+          color[next] = kGrey;
+          stack.push_back(next);
+          frames.push_back({next, 0});
+        }
+      } else {
+        color[frame.node] = kBlack;
+        stack.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+std::string WaitForEdgesJson(const WaitForGraph& graph) {
+  JsonWriter json;
+  json.BeginArray();
+  for (const WaitForEdge& e : graph.edges) {
+    json.BeginObject();
+    json.Key("from").Value(static_cast<int64_t>(e.from));
+    json.Key("to").Value(static_cast<int64_t>(e.to));
+    json.Key("waiter").Value(e.waiter);
+    json.Key("resource").Value(e.resource);
+    json.Key("waited_us").Value(e.waited_us);
+    json.EndObject();
+  }
+  json.EndArray();
+  return json.str();
+}
+
+std::string WaitForGraphSummary(const WaitForGraph& graph) {
+  std::string out = "wait-for graph (" +
+                    std::to_string(graph.edges.size()) + " edges):";
+  for (const WaitForEdge& e : graph.edges) {
+    out += " w" + std::to_string(e.from) + "[" + std::to_string(e.waiter) +
+           "]->w" + std::to_string(e.to) + "[" + std::to_string(e.resource) +
+           "](" + std::to_string(e.waited_us) + "us)";
+  }
+  if (graph.edges.empty()) out += " (empty)";
+  return out;
+}
+
+}  // namespace serigraph

@@ -1,0 +1,49 @@
+#ifndef SERIGRAPH_OBS_WAITFOR_H_
+#define SERIGRAPH_OBS_WAITFOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace serigraph {
+
+/// One edge of a wait-for graph: worker `from` is blocked acquiring
+/// philosopher `waiter` and is missing the fork shared with philosopher
+/// `resource`, which is owned by worker `to`. `waited_us` is how long
+/// `from` has been blocked at sampling time.
+struct WaitForEdge {
+  int from = -1;
+  int to = -1;
+  int64_t waiter = -1;
+  int64_t resource = -1;
+  int64_t waited_us = 0;
+};
+
+/// Instantaneous worker-level wait-for graph, assembled by the watchdog
+/// from the per-worker state beacons (obs/introspect.h). A cycle that
+/// persists across samples with no progress is a deadlock — which the
+/// Chandy-Misra protocol guarantees cannot happen, so a confirmed cycle
+/// is a bug report, not an operational condition.
+struct WaitForGraph {
+  int num_workers = 0;
+  std::vector<WaitForEdge> edges;
+};
+
+/// Finds a directed cycle among workers, returned as the worker ids along
+/// the cycle (first == the entry point, not repeated at the end); empty if
+/// the graph is acyclic. Self-loops (from == to) are ignored: two compute
+/// threads of one worker waiting on each other's philosophers is
+/// indistinguishable from a benign in-worker handoff at this granularity.
+std::vector<int> FindWorkerCycle(const WaitForGraph& graph);
+
+/// Serializes the edge list as a JSON array (used in watchdog snapshots
+/// and stall reports): [{"from":0,"to":1,"waiter":5,"resource":7,
+/// "waited_us":120},...]
+std::string WaitForEdgesJson(const WaitForGraph& graph);
+
+/// One-line human-readable rendering for logs and abort messages.
+std::string WaitForGraphSummary(const WaitForGraph& graph);
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_OBS_WAITFOR_H_

@@ -1,0 +1,117 @@
+#ifndef SERIGRAPH_OBS_WATCHDOG_H_
+#define SERIGRAPH_OBS_WATCHDOG_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/introspect.h"
+#include "obs/waitfor.h"
+
+namespace serigraph {
+
+struct WatchdogOptions {
+  /// Sampling period. Each tick reads all beacons, assembles the wait-for
+  /// graph, and appends one JSONL snapshot (if jsonl_path is set).
+  int period_ms = 25;
+  /// A worker blocked longer than this with no global progress is a stall.
+  int stall_ms = 2000;
+  /// Convert a confirmed stall or deadlock into Introspector::RequestAbort
+  /// so the engine fails the run cleanly instead of hanging.
+  bool abort_on_stall = false;
+  /// Rows kept in the end-of-run contention tables.
+  int top_k = 10;
+  /// JSONL event-log destination; empty disables streaming (snapshots are
+  /// still taken for stall/deadlock detection and the final summary).
+  std::string jsonl_path;
+};
+
+/// End-of-run digest of what the watchdog saw, merged into the run report.
+struct WatchdogSummary {
+  int64_t snapshots = 0;
+  int64_t stalls_flagged = 0;
+  int64_t deadlocks_detected = 0;
+  /// Human-readable stall/deadlock reports, in detection order.
+  std::vector<std::string> incidents;
+  /// Wait-for graph of the last sample taken (the Stop() sample).
+  WaitForGraph last_graph;
+  std::vector<ContentionEntry> top_contention;
+  std::vector<EdgeContentionEntry> top_edges;
+};
+
+/// Background sampler over the Introspector's beacons.
+///
+/// Deadlock policy: Chandy-Misra's hygienic protocol is deadlock-free, so
+/// a wait-for cycle observed in one sample is expected (forks are in
+/// flight); a cycle is only *confirmed* — and reported loudly — when the
+/// same worker cycle shows up in two consecutive samples with none of the
+/// involved workers advancing their progress epoch in between. Stalls use
+/// the same progress evidence: a worker blocked > stall_ms while the sum
+/// of all progress epochs is frozen.
+///
+/// Start()/Stop() bracket an engine run; Stop() always takes a final
+/// sample so even sub-period runs produce at least one snapshot.
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogOptions options) : options_(std::move(options)) {}
+  ~Watchdog() { Stop(); }
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Starts the sampler thread. The Introspector must already be
+  /// Configure()d and Enable()d. No-op if already running.
+  void Start();
+
+  /// Stops the sampler, takes the final sample, and freezes summary().
+  /// Idempotent.
+  void Stop();
+
+  bool running() const { return running_; }
+
+  /// Valid after Stop().
+  const WatchdogSummary& summary() const { return summary_; }
+
+  const WatchdogOptions& options() const { return options_; }
+
+ private:
+  void Loop();
+  /// One sampling tick; `final_sample` marks the Stop() sample in the log.
+  void Sample(bool final_sample);
+  void WriteSnapshotJson(const std::vector<BeaconSnapshot>& beacons,
+                         const WaitForGraph& graph,
+                         const std::vector<int>& cycle, int64_t t_us,
+                         bool final_sample);
+  void WriteIncidentJson(const std::string& type, const std::string& detail,
+                         const WaitForGraph& graph, int64_t t_us);
+  void ReportIncident(const std::string& type, const std::string& detail,
+                      const WaitForGraph& graph, int64_t t_us);
+
+  WatchdogOptions options_;
+
+  std::thread thread_;
+  bool running_ = false;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+
+  std::ofstream jsonl_;
+
+  // Detection state (sampler thread only).
+  std::vector<int> prev_cycle_;
+  std::vector<uint64_t> prev_cycle_epochs_;
+  uint64_t last_progress_sum_ = 0;
+  int64_t last_progress_change_us_ = 0;
+  bool stall_active_ = false;
+  bool deadlock_reported_ = false;
+
+  WatchdogSummary summary_;
+};
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_OBS_WATCHDOG_H_

@@ -20,8 +20,10 @@
 #include "graph/graph.h"
 #include "graph/partitioning.h"
 #include "net/transport.h"
+#include "obs/introspect.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "pregel/checkpoint.h"
 #include "pregel/message_codec.h"
 #include "pregel/model.h"
@@ -531,6 +533,7 @@ class Engine {
   bool ExecuteVertexIfEligible(WorkerState& worker, PartitionStore& store,
                                const Program& program, VertexId v,
                                int superstep) {
+    if (Introspector::enabled()) Introspector::Get().OnProgress(worker.id);
     std::vector<Message> messages;
     {
       std::lock_guard<std::mutex> lock(store.mu);
@@ -605,8 +608,9 @@ class Engine {
         {
           SG_TRACE_SPAN("sync.fork_acquire");
           const int64_t t0 = Tracer::NowMicros();
-          technique_->AcquirePartition(worker.id, p);
+          const bool acquired = technique_->AcquirePartition(worker.id, p);
           RecordForkWait(worker, Tracer::NowMicros() - t0);
+          if (!acquired) return;  // watchdog abort: lock NOT held
         }
         for (VertexId v : vertices) {
           ExecuteVertexIfEligible(worker, store, program, v, superstep);
@@ -620,8 +624,9 @@ class Engine {
           {
             SG_TRACE_SPAN("sync.fork_acquire");
             const int64_t t0 = Tracer::NowMicros();
-            technique_->AcquireVertex(worker.id, v);
+            const bool acquired = technique_->AcquireVertex(worker.id, v);
             RecordForkWait(worker, Tracer::NowMicros() - t0);
+            if (!acquired) return;  // watchdog abort: lock NOT held
           }
           ExecuteVertexIfEligible(worker, store, program, v, superstep);
           technique_->ReleaseVertex(worker.id, v);
@@ -873,6 +878,11 @@ class Engine {
         int64_t total = 0;
         for (int64_t count : active_counts_) total += count;
         sub_stop_ = total == 0;
+        if (Introspector::enabled() &&
+            Introspector::Get().abort_requested()) {
+          aborted_ = true;
+          sub_stop_ = true;
+        }
         sub_executed_any_ = false;  // reset; workers OR into it below
       }
       barrier_->Await();
@@ -956,6 +966,10 @@ class Engine {
             std::chrono::microseconds(options_.superstep_overhead_us));
       }
       technique_->OnSuperstepStart(worker.id, superstep);
+      if (Introspector::enabled()) {
+        Introspector::Get().SetPhase(worker.id, WorkerPhase::kCompute,
+                                     superstep);
+      }
       {
         SG_TRACE_SPAN("engine.compute");
         const int64_t t0 = Tracer::NowMicros();
@@ -972,11 +986,19 @@ class Engine {
       {
         SG_TRACE_SPAN("engine.flush_acks");
         const int64_t t0 = Tracer::NowMicros();
+        if (Introspector::enabled()) {
+          Introspector::Get().SetPhase(worker.id, WorkerPhase::kFlushWait,
+                                       superstep);
+        }
         FlushAndAwaitAcks(worker, superstep);
         technique_->OnSuperstepEnd(worker.id, superstep);
         sample.flush_wait_us = Tracer::NowMicros() - t0;
       }
 
+      if (Introspector::enabled()) {
+        Introspector::Get().SetPhase(worker.id, WorkerPhase::kBarrierWait,
+                                     superstep);
+      }
       int64_t barrier_us = 0;
       TimedAwait(&barrier_us);  // B1: all superstep-s messages delivered
       active_counts_[worker.id] = SwapAndCountActive(worker);
@@ -987,12 +1009,21 @@ class Engine {
         for (int64_t count : active_counts_) total += count;
         supersteps_done_ = superstep + 1;
         converged_ = total == 0;
-        const bool stop =
-            converged_ || superstep + 1 >= options_.max_supersteps;
+        bool stop = converged_ || superstep + 1 >= options_.max_supersteps;
+        if (Introspector::enabled() &&
+            Introspector::Get().abort_requested()) {
+          aborted_ = true;
+          converged_ = false;
+          stop = true;
+        }
         if (!stop) MaybeCheckpoint(superstep + 1);
         stop_.store(stop, std::memory_order_release);
       }
       TimedAwait(&barrier_us);  // B3: decision visible
+      if (Introspector::enabled()) {
+        // Superstep completion is global progress even if no vertex ran.
+        Introspector::Get().OnProgress(worker.id);
+      }
       sample.barrier_wait_us = barrier_us;
       barrier_wait_hist_->Record(barrier_us);
       sample.fork_wait_us =
@@ -1034,6 +1065,10 @@ class Engine {
   int supersteps_done_ = 0;
   int start_superstep_ = 0;
   bool converged_ = false;
+  /// Set (only inside barrier serial sections) when the watchdog's abort
+  /// request was honored; Run() then returns Status::Aborted.
+  bool aborted_ = false;
+  std::unique_ptr<Watchdog> watchdog_;
   std::string last_checkpoint_path_;
 
   Counter* messages_sent_ = nullptr;
@@ -1148,6 +1183,31 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
     ws->comm_thread = std::thread([this, ws] { CommLoop(*ws); });
   }
 
+  if (options_.introspect) {
+    Introspector& in = Introspector::Get();
+    const char* kind =
+        granularity_ == SyncTechnique::Granularity::kPartitionLock
+            ? "partition"
+            : (granularity_ == SyncTechnique::Granularity::kVertexLock ||
+               granularity_ == SyncTechnique::Granularity::kBspVertexLock)
+                  ? "vertex"
+                  : "worker";
+    in.Configure(num_workers, kind);
+    in.SetQueueProbe([this](WorkerId w, int64_t* inbox_depth,
+                            int64_t* outbox_bytes) {
+      *inbox_depth = transport_->InboxDepth(w);
+      int64_t bytes = 0;
+      for (const auto& out : workers_[w]->out) {
+        std::lock_guard<std::mutex> lock(out->mu);
+        bytes += static_cast<int64_t>(out->writer.size());
+      }
+      *outbox_bytes = bytes;
+    });
+    in.Enable();
+    watchdog_ = std::make_unique<Watchdog>(options_.watchdog);
+    watchdog_->Start();
+  }
+
   // --- computation phase ----------------------------------------------
   WallTimer timer;
   {
@@ -1163,10 +1223,26 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
   const double seconds = timer.ElapsedSeconds();
 
   // --- teardown ---------------------------------------------------------
+  // Stop the watchdog before the transport dies: its final sample probes
+  // the transport's inbox depths via the queue probe.
+  std::string abort_reason;
+  if (watchdog_ != nullptr) {
+    watchdog_->Stop();
+    Introspector& in = Introspector::Get();
+    abort_reason = in.abort_reason();
+    in.ClearQueueProbe();
+    in.Disable();
+  }
   transport_->Shutdown();
   for (auto& worker : workers_) {
     if (worker->comm_thread.joinable()) worker->comm_thread.join();
     if (worker->pool != nullptr) worker->pool->Shutdown();
+  }
+
+  if (aborted_) {
+    return Status::Aborted(
+        abort_reason.empty() ? "run aborted by introspection watchdog"
+                             : abort_reason);
   }
 
   Result result;
@@ -1176,6 +1252,16 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
   result.stats.metrics = metrics_.Snapshot();
   result.stats.metrics["pregel.supersteps"] = supersteps_done_;
   result.stats.timeline = timeline_->Collect();
+  if (watchdog_ != nullptr) {
+    const WatchdogSummary& wd = watchdog_->summary();
+    result.stats.resource_kind = Introspector::Get().resource_kind();
+    result.stats.contention = wd.top_contention;
+    result.stats.contention_edges = wd.top_edges;
+    result.stats.introspect_snapshots = wd.snapshots;
+    result.stats.introspect_stalls = wd.stalls_flagged;
+    result.stats.introspect_deadlocks = wd.deadlocks_detected;
+    result.stats.introspect_incidents = wd.incidents;
+  }
   for (int slot = 0; slot < kNumAggregatorSlots; ++slot) {
     result.stats.aggregates[slot] = global_aggregates_[slot];
   }

@@ -21,6 +21,13 @@ std::string RunStatsToJson(const RunStats& stats) {
   report.computation_seconds = stats.computation_seconds;
   report.metrics = stats.metrics;
   report.timeline = stats.timeline;
+  report.resource_kind = stats.resource_kind;
+  report.contention = stats.contention;
+  report.contention_edges = stats.contention_edges;
+  report.introspect_snapshots = stats.introspect_snapshots;
+  report.introspect_stalls = stats.introspect_stalls;
+  report.introspect_deadlocks = stats.introspect_deadlocks;
+  report.introspect_incidents = stats.introspect_incidents;
   return RunReportToJson(report);
 }
 

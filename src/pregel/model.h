@@ -8,6 +8,7 @@
 
 #include "net/transport.h"
 #include "obs/timeline.h"
+#include "obs/watchdog.h"
 #include "sync/technique.h"
 
 namespace serigraph {
@@ -77,6 +78,15 @@ struct EngineOptions {
   /// Record a transaction history for serializability checking
   /// (Section 3). Adds overhead; meant for tests and audits.
   bool record_history = false;
+
+  /// Runtime introspection (obs/introspect.h): per-worker state beacons,
+  /// a background watchdog sampling wait-for-graph snapshots, and a
+  /// fork-contention profile in RunStats. Off by default; when off the
+  /// hooks cost one relaxed atomic load each.
+  bool introspect = false;
+  /// Watchdog configuration (sampling period, stall threshold, JSONL
+  /// event-log path, opt-in stall abort). Used only when `introspect`.
+  WatchdogOptions watchdog;
 };
 
 /// Outcome statistics of a run.
@@ -100,6 +110,18 @@ struct RunStats {
   /// then worker — the Section 7.3 "where does computation time go"
   /// series. Rendered by PrintTimeline() and exported via RunStatsToJson.
   std::vector<SuperstepSample> timeline;
+
+  /// Introspection digest (populated only when options.introspect):
+  /// what the philosopher ids in `contention` name ("partition"/"vertex"),
+  /// the hottest resources and wait-for edges by attributed wait time,
+  /// and the watchdog's counters + incident reports.
+  std::string resource_kind;
+  std::vector<ContentionEntry> contention;
+  std::vector<EdgeContentionEntry> contention_edges;
+  int64_t introspect_snapshots = 0;
+  int64_t introspect_stalls = 0;
+  int64_t introspect_deadlocks = 0;
+  std::vector<std::string> introspect_incidents;
 
   int64_t Metric(const std::string& name) const {
     auto it = metrics.find(name);

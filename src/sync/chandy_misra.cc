@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "obs/introspect.h"
 #include "obs/trace.h"
 
 namespace serigraph {
@@ -53,16 +54,24 @@ void ChandyMisraTable::BindWorker(WorkerId w, WorkerHandle* handle) {
   shards_[w]->handle = handle;
 }
 
-void ChandyMisraTable::Acquire(PhilosopherId p) {
+bool ChandyMisraTable::Acquire(PhilosopherId p) {
   WorkerShard& shard = ShardOf(p);
   std::unique_lock<std::mutex> lock(shard.mu);
   Philosopher& phil = shard.philosophers[p];
   SG_CHECK(phil.state == State::kThinking);
   phil.state = State::kHungry;
   phil.missing_forks = 0;
+  const bool introspect = Introspector::enabled();
+  Introspector::WaitTarget targets[Introspector::kMaxWaitTargets];
+  int num_targets = 0;
   for (auto& [q, bits] : phil.edges) {
     if ((bits & kHasFork) != 0) continue;
     ++phil.missing_forks;
+    if (introspect && num_targets < Introspector::kMaxWaitTargets) {
+      targets[num_targets].resource = q;
+      targets[num_targets].owner = config_.worker_of(q);
+      ++num_targets;
+    }
     if ((bits & kHasToken) != 0) {
       bits &= ~kHasToken;
       SendRequestLocked(p, q);
@@ -70,23 +79,59 @@ void ChandyMisraTable::Acquire(PhilosopherId p) {
     // Without the token, the request is already outstanding: we sent the
     // token away earlier and the fork will arrive eventually.
   }
+  const WorkerId self = config_.worker_of(p);
+  if (introspect && phil.missing_forks == 0) {
+    Introspector::Get().OnProgress(self);
+  }
   // Wait until all forks are held. The generous timeout is a test-friendly
   // deadlock detector; the protocol itself is deadlock-free.
-  const int64_t wait_start_us =
-      (phil.missing_forks > 0 && Tracer::enabled()) ? Tracer::NowMicros() : -1;
+  const bool timed = phil.missing_forks > 0 && (introspect || Tracer::enabled());
+  const int64_t wait_start_us = timed ? Tracer::NowMicros() : -1;
+  if (introspect && phil.missing_forks > 0) {
+    Introspector::Get().BeginAcquire(self, p, targets, num_targets,
+                                     phil.missing_forks);
+  }
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(300);
   while (phil.missing_forks > 0) {
-    if (shard.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+    if (introspect) {
+      // Short slices so a watchdog-requested abort unblocks us promptly;
+      // the fatal backstop still fires at the long deadline.
+      shard.cv.wait_for(lock, std::chrono::milliseconds(100));
+      if (phil.missing_forks == 0) break;
+      Introspector& in = Introspector::Get();
+      if (in.abort_requested()) {
+        // Abandon the acquisition: back to thinking, forks not held.
+        // Outstanding requested forks may still arrive; OnTransfer only
+        // decrements missing_forks for hungry philosophers, so the late
+        // arrivals are absorbed safely.
+        phil.state = State::kThinking;
+        phil.missing_forks = 0;
+        in.EndAcquire(self, p, Tracer::NowMicros() - wait_start_us,
+                      /*acquired=*/false);
+        return false;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        SG_LOG(kFatal) << "Chandy-Misra acquire stalled for philosopher " << p
+                       << " (missing " << phil.missing_forks << " forks)";
+      }
+    } else if (shard.cv.wait_until(lock, deadline) ==
+               std::cv_status::timeout) {
       SG_LOG(kFatal) << "Chandy-Misra acquire stalled for philosopher " << p
                      << " (missing " << phil.missing_forks << " forks)";
     }
   }
   if (wait_start_us >= 0) {
-    SG_TRACE_INTERVAL("cm.fork_wait", wait_start_us,
-                      Tracer::NowMicros() - wait_start_us);
+    const int64_t waited = Tracer::NowMicros() - wait_start_us;
+    if (Tracer::enabled()) {
+      SG_TRACE_INTERVAL("cm.fork_wait", wait_start_us, waited);
+    }
+    if (introspect) {
+      Introspector::Get().EndAcquire(self, p, waited, /*acquired=*/true);
+    }
   }
   phil.state = State::kEating;
+  return true;
 }
 
 void ChandyMisraTable::Release(PhilosopherId p) {

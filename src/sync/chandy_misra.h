@@ -59,9 +59,13 @@ class ChandyMisraTable {
   void BindWorker(WorkerId w, WorkerHandle* handle);
 
   /// Blocks the calling (compute) thread until `p` holds all its forks;
-  /// marks `p` eating. Fatal after a long stall (deadlock detector for
-  /// tests; the protocol itself cannot deadlock).
-  void Acquire(PhilosopherId p);
+  /// marks `p` eating and returns true. Fatal after a long stall
+  /// (deadlock detector for tests; the protocol itself cannot deadlock).
+  /// When introspection is enabled, publishes the missing forks as
+  /// wait-for edges while blocked and returns false — with `p` back in
+  /// the thinking state, forks NOT held — if an Introspector abort is
+  /// requested mid-wait.
+  bool Acquire(PhilosopherId p);
 
   /// Marks `p` thinking, dirties its forks, and serves deferred requests.
   void Release(PhilosopherId p);

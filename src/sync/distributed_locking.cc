@@ -34,9 +34,9 @@ void PartitionBasedLocking::BindWorker(WorkerId w, WorkerHandle* handle) {
   table_->BindWorker(w, handle);
 }
 
-void PartitionBasedLocking::AcquirePartition(WorkerId w, PartitionId p) {
+bool PartitionBasedLocking::AcquirePartition(WorkerId w, PartitionId p) {
   (void)w;
-  table_->Acquire(p);
+  return table_->Acquire(p);
 }
 
 void PartitionBasedLocking::ReleasePartition(WorkerId w, PartitionId p) {
@@ -85,9 +85,9 @@ void VertexBasedLocking::BindWorker(WorkerId w, WorkerHandle* handle) {
   table_->BindWorker(w, handle);
 }
 
-void VertexBasedLocking::AcquireVertex(WorkerId w, VertexId v) {
+bool VertexBasedLocking::AcquireVertex(WorkerId w, VertexId v) {
   (void)w;
-  table_->Acquire(v);
+  return table_->Acquire(v);
 }
 
 void VertexBasedLocking::ReleaseVertex(WorkerId w, VertexId v) {

@@ -24,7 +24,7 @@ class PartitionBasedLocking final : public SyncTechnique {
     return Granularity::kPartitionLock;
   }
 
-  void AcquirePartition(WorkerId w, PartitionId p) override;
+  bool AcquirePartition(WorkerId w, PartitionId p) override;
   void ReleasePartition(WorkerId w, PartitionId p) override;
   void HandleControl(WorkerId w, const WireMessage& msg) override;
 
@@ -53,7 +53,7 @@ class VertexBasedLocking final : public SyncTechnique {
     return Granularity::kVertexLock;
   }
 
-  void AcquireVertex(WorkerId w, VertexId v) override;
+  bool AcquireVertex(WorkerId w, VertexId v) override;
   void ReleaseVertex(WorkerId w, VertexId v) override;
   void HandleControl(WorkerId w, const WireMessage& msg) override;
 

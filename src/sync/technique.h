@@ -106,20 +106,26 @@ class SyncTechnique {
     return true;
   }
 
-  /// kPartitionLock only: blocks until partition `p` may execute.
-  virtual void AcquirePartition(WorkerId w, PartitionId p) {
+  /// kPartitionLock only: blocks until partition `p` may execute and
+  /// returns true. Returns false — with the lock NOT held — only when an
+  /// Introspector abort interrupted the wait; the caller must skip the
+  /// execution and must not call ReleasePartition.
+  virtual bool AcquirePartition(WorkerId w, PartitionId p) {
     (void)w;
     (void)p;
+    return true;
   }
   virtual void ReleasePartition(WorkerId w, PartitionId p) {
     (void)w;
     (void)p;
   }
 
-  /// kVertexLock only: blocks until vertex `v` may execute.
-  virtual void AcquireVertex(WorkerId w, VertexId v) {
+  /// kVertexLock only: blocks until vertex `v` may execute and returns
+  /// true; false under the same abort contract as AcquirePartition.
+  virtual bool AcquireVertex(WorkerId w, VertexId v) {
     (void)w;
     (void)v;
+    return true;
   }
   virtual void ReleaseVertex(WorkerId w, VertexId v) {
     (void)w;

@@ -1,6 +1,7 @@
 #include "sync/token_passing.h"
 
 #include "common/logging.h"
+#include "obs/introspect.h"
 #include "obs/trace.h"
 
 namespace serigraph {
@@ -19,6 +20,9 @@ Status SingleLayerTokenPassing::Init(const Context& ctx) {
 
 void SingleLayerTokenPassing::OnSuperstepStart(WorkerId w, int superstep) {
   if (HolderOf(superstep) == w) hold_start_us_[w] = Tracer::NowMicros();
+  if (Introspector::enabled()) {
+    Introspector::Get().SetTokenHolder(w, HolderOf(superstep));
+  }
 }
 
 void SingleLayerTokenPassing::BindWorker(WorkerId w, WorkerHandle* handle) {
@@ -43,6 +47,9 @@ void SingleLayerTokenPassing::OnSuperstepEnd(WorkerId w, int superstep) {
   // The engine has already flushed and acked all remote messages for this
   // superstep (write-all, C1), so the token may move.
   token_passes_->Increment();
+  if (Introspector::enabled()) {
+    Introspector::Get().SetTokenHolder(w, HolderOf(superstep + 1));
+  }
   handles_[w]->SendControl(HolderOf(superstep + 1), kTokenTag, superstep, 0,
                            0);
 }
@@ -80,6 +87,9 @@ Status DualLayerTokenPassing::Init(const Context& ctx) {
 void DualLayerTokenPassing::OnSuperstepStart(WorkerId w, int superstep) {
   if (GlobalHolderOf(superstep) == w) {
     hold_start_us_[w] = Tracer::NowMicros();
+  }
+  if (Introspector::enabled()) {
+    Introspector::Get().SetTokenHolder(w, GlobalHolderOf(superstep));
   }
 }
 

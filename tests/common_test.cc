@@ -155,6 +155,38 @@ TEST(MetricsTest, RegistryHistogramSnapshotKeys) {
   EXPECT_EQ(registry.Snapshot()["lat.count"], 0);
 }
 
+// Back-to-back runs over one registry (the bench harness pattern): the
+// second run's quantiles must reflect only the second run's samples, not
+// a mixture with stale buckets from the first.
+TEST(MetricsTest, HistogramResetBetweenBackToBackRuns) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("fork_wait_us");
+
+  // Run 1: large samples dominate the upper quantiles.
+  for (int i = 0; i < 100; ++i) h->Record(1 << 20);
+  EXPECT_GE(h->ApproxQuantile(0.5), 1 << 20);
+  registry.ResetAll();
+  EXPECT_EQ(h->count(), 0);
+  EXPECT_EQ(h->sum(), 0);
+  EXPECT_EQ(h->max(), 0);
+  EXPECT_EQ(h->ApproxQuantile(0.5), 0);
+
+  // Run 2: small samples only; any surviving run-1 bucket would pull the
+  // p95 up by orders of magnitude.
+  for (int i = 0; i < 100; ++i) h->Record(8);
+  EXPECT_EQ(h->count(), 100);
+  EXPECT_EQ(h->sum(), 800);
+  EXPECT_EQ(h->max(), 8);
+  EXPECT_LT(h->ApproxQuantile(0.95), 1 << 20);
+  EXPECT_LE(h->ApproxQuantile(1.0), 8);
+
+  // The same pointer stays registered after the reset.
+  EXPECT_EQ(h, registry.GetHistogram("fork_wait_us"));
+  auto snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot["fork_wait_us.count"], 100);
+  EXPECT_EQ(snapshot["fork_wait_us.max"], 8);
+}
+
 TEST(MetricsTest, RegistryReturnsSameCounterForSameName) {
   MetricRegistry registry;
   Counter* a = registry.GetCounter("x");

@@ -301,6 +301,94 @@ TEST(ReportTest, RunReportJsonContainsMetricsAndTimeline) {
   EXPECT_NE(json.find("\"engine.barrier_wait_us.p95\":120"),
             std::string::npos);
   EXPECT_NE(json.find("\"compute_us\":99"), std::string::npos);
+  // No introspection fields set: the section is omitted entirely.
+  EXPECT_EQ(json.find("\"introspection\""), std::string::npos);
+}
+
+TEST_F(TraceTest, FlowEventsPairSendAndReceiveByIdInExport) {
+  const uint64_t id = Tracer::NextFlowId();
+  EXPECT_GT(id, 0u);
+  Tracer::Get().RecordFlow("net.batch_flow", 's', id);
+  Tracer::Get().RecordFlow("net.batch_flow", 'f', id);
+  EXPECT_EQ(Tracer::Get().event_count(), 2);
+  const std::string json = Tracer::Get().ToChromeTraceJson();
+  const std::string idstr = "\"id\":" + std::to_string(id);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cat\":\"flow\""), std::string::npos) << json;
+  // Binding point "e" makes the arrow terminate at the enclosing slice.
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos) << json;
+  // Both ends carry the same id.
+  const size_t first = json.find(idstr);
+  ASSERT_NE(first, std::string::npos) << json;
+  EXPECT_NE(json.find(idstr, first + 1), std::string::npos) << json;
+}
+
+TEST(FlowIdTest, IdsAreUniqueAcrossThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::vector<uint64_t>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ids, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ids[t].push_back(Tracer::NextFlowId());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<uint64_t> all;
+  for (const auto& v : ids) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+}
+
+TEST(ReportTest, IntrospectionSectionRendersWhenPopulated) {
+  RunReport report;
+  report.supersteps = 1;
+  report.resource_kind = "partition";
+  report.introspect_snapshots = 4;
+  report.introspect_stalls = 1;
+  report.introspect_deadlocks = 0;
+  report.introspect_incidents.push_back("stall: no progress for 2000ms");
+  ContentionEntry c;
+  c.resource = 12;
+  c.count = 3;
+  c.total_wait_us = 4500;
+  c.max_wait_us = 2000;
+  report.contention.push_back(c);
+  EdgeContentionEntry e;
+  e.waiter = 12;
+  e.blocker = 13;
+  e.count = 3;
+  e.total_wait_us = 4500;
+  report.contention_edges.push_back(e);
+
+  const std::string json = RunReportToJson(report);
+  JsonCursor cursor(json);
+  ASSERT_TRUE(cursor.ValidValue()) << json;
+  EXPECT_NE(json.find("\"introspection\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"resource_kind\":\"partition\""), std::string::npos);
+  EXPECT_NE(json.find("\"snapshots\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"stalls\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"resource\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"blocker\":13"), std::string::npos);
+  EXPECT_NE(json.find("stall: no progress"), std::string::npos);
+}
+
+TEST(ReportTest, PrometheusTextSanitizesNamesAndPrefixes) {
+  std::map<std::string, int64_t> metrics;
+  metrics["net.wire_bytes"] = 4096;
+  metrics["sync.fork_wait_us.p95"] = 120;
+  const std::string text = MetricsToPrometheusText(metrics);
+  // One "name value\n" line per metric, serigraph_-prefixed, with all
+  // chars outside the Prometheus charset mapped to underscores.
+  EXPECT_NE(text.find("serigraph_net_wire_bytes 4096\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("serigraph_sync_fork_wait_us_p95 120\n"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(text.find('.'), std::string::npos);
 }
 
 }  // namespace
