@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
-# Builds the full tree under ThreadSanitizer and runs the test suite.
+# Builds the full tree under a sanitizer and runs the test suite.
 # The tracer's and introspector's lock-free recording paths and the
 # engine's per-superstep accounting are only as good as this check: any
 # data race in them shows up here, not in a flaky bench.
 #
-# Usage: scripts/check.sh [--introspect] [build-dir]
-#   (default build-dir: build-tsan)
+# Usage: scripts/check.sh [--sanitizer=thread|address,undefined]
+#                         [--introspect] [build-dir]
+#   (default sanitizer: thread; default build-dir: build-<sanitizer>)
+#
+# --sanitizer=address,undefined runs the combined ASan+UBSan pass
+# instead of TSan — the two passes are complementary (TSan cannot run
+# with ASan in the same binary), so CI runs both.
 #
 # --introspect additionally runs a smoke of the watchdog wiring: a small
 # fig6a-shaped CLI run (coloring, partition-locking) with JSONL snapshot
@@ -15,22 +20,29 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+SANITIZER=thread
 INTROSPECT_SMOKE=0
-if [[ "${1:-}" == "--introspect" ]]; then
-  INTROSPECT_SMOKE=1
+while [[ "${1:-}" == --* ]]; do
+  case "$1" in
+    --sanitizer=*) SANITIZER="${1#--sanitizer=}" ;;
+    --introspect)  INTROSPECT_SMOKE=1 ;;
+    *) echo "check.sh: unknown flag $1" >&2; exit 2 ;;
+  esac
   shift
-fi
-BUILD_DIR="${1:-build-tsan}"
+done
+BUILD_DIR="${1:-build-$(echo "$SANITIZER" | tr ',' '-')}"
 
-cmake -B "$BUILD_DIR" -S . -DSERIGRAPH_SANITIZE=thread
+cmake -B "$BUILD_DIR" -S . -DSERIGRAPH_SANITIZE="$SANITIZER"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
-# Second-guess TSan's default: halt_on_error keeps the first race report
-# readable instead of burying it under cascading failures.
+# Second-guess the sanitizers' defaults: halt_on_error keeps the first
+# report readable instead of burying it under cascading failures.
 TSAN_OPTIONS="halt_on_error=1" \
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
-echo "check.sh: all tests passed under ThreadSanitizer"
+echo "check.sh: all tests passed under sanitizer '$SANITIZER'"
 
 if [[ "$INTROSPECT_SMOKE" == "1" ]]; then
   SMOKE_DIR="$(mktemp -d)"
@@ -38,11 +50,16 @@ if [[ "$INTROSPECT_SMOKE" == "1" ]]; then
   JSONL="$SMOKE_DIR/introspect.jsonl"
   METRICS="$SMOKE_DIR/metrics.json"
 
+  # watchdog-ms=50: deadlock confirmation needs frozen progress across
+  # two consecutive samples, and under a sanitizer's ~10x slowdown on a
+  # small machine the workers routinely freeze for >20ms without being
+  # deadlocked — 10ms periods false-positived deterministically on a
+  # 1-CPU TSan box.
   TSAN_OPTIONS="halt_on_error=1" \
     "$BUILD_DIR/examples/serigraph_cli" \
       --algorithm=coloring --generator=powerlaw --vertices=2000 \
       --degree=8 --sync=partition-locking --workers=8 --latency-us=100 \
-      --introspect-out="$JSONL" --watchdog-ms=10 \
+      --introspect-out="$JSONL" --watchdog-ms=50 \
       --metrics-json="$METRICS"
 
   python3 - "$JSONL" "$METRICS" <<'EOF'

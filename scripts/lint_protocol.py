@@ -1,0 +1,412 @@
+#!/usr/bin/env python3
+"""Locking-protocol linter for serigraph.
+
+A regex/AST hybrid: comments and strings are stripped with a real
+scanner, lock scopes are tracked through brace depth, and the rules are
+driven by the machine-readable blocks in docs/LOCK_ORDER.md and the
+metric table in docs/METRICS.md. It complements Clang's -Wthread-safety
+(SERIGRAPH_TSA=ON) with the repo-specific invariants the compiler cannot
+express:
+
+  R1 naked-mutex            no std:: lock primitives outside common/mutex.h
+  R2 acquire-without-release every manual X.Lock() has a matching
+                             X.Unlock() (per file, normalized indexes)
+  R3 lock-order             syntactic lock nestings must follow the DAG
+                             declared in docs/LOCK_ORDER.md
+  R4 blocking-under-leaf    no blocking call inside a leaf-tier critical
+                             section (tracer/beacon/metrics/logging)
+  R5 metric-name            Get{Counter,Gauge,Histogram} literals in src/
+                             must match docs/METRICS.md exactly
+
+Escape hatch: append `// lint:allow <rule-tag>` to the offending line.
+Exit status is nonzero iff any diagnostic was emitted.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+RULE_TAGS = {
+    "naked-mutex",
+    "acquire-without-release",
+    "lock-order",
+    "blocking-under-leaf",
+    "metric-name",
+}
+
+NAKED_RE = re.compile(
+    r"std::(?:recursive_|shared_|timed_)*mutex\b"
+    r"|std::condition_variable(?:_any)?\b"
+    r"|std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+)
+
+MUTEXLOCK_RE = re.compile(
+    r"\b(?:sy::)?MutexLock\s+\w+\s*\(\s*&\s*(.+?)\s*\)\s*;"
+)
+MANUAL_LOCK_RE = re.compile(r"([\w\.\->\[\]\(\)\*&]+?)(?:\.|->)Lock\s*\(\s*\)")
+MANUAL_UNLOCK_RE = re.compile(
+    r"([\w\.\->\[\]\(\)\*&]+?)(?:\.|->)Unlock\s*\(\s*\)")
+
+BLOCKING_RE = re.compile(
+    r"\.Wait(?:For|Until)?\s*\(|->Wait(?:For|Until)?\s*\("
+    r"|\bReceive\s*\(|\bsleep_for\s*\(|\.join\s*\(|\bAwait\s*\("
+)
+
+METRIC_CALL_RE = re.compile(r"Get(?:Counter|Gauge|Histogram)\(\s*\"([^\"]+)\"")
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\s+([\w\-]+)")
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments and string/char literals, preserving newlines and
+    columns, and returns (code, allow_map) where allow_map maps a line
+    number to the set of lint:allow tags found in its comments."""
+    out = []
+    allows = {}
+    i, n = 0, len(text)
+    line = 1
+    state = "code"  # code | line_comment | block_comment | string | char
+    comment_start = 0
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                comment_start = i
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                m = ALLOW_RE.search(text[comment_start:i])
+                if m:
+                    allows.setdefault(line, set()).add(m.group(1))
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+                out.append('"')
+            else:
+                out.append(" ")
+        elif state == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+                out.append("'")
+            else:
+                out.append(" ")
+        if c == "\n":
+            line += 1
+        i += 1
+    return "".join(out), allows
+
+
+def normalize_expr(expr):
+    """Collapses index/arg subexpressions so `locks_[u]` and
+    `locks_[*it]` (or `shards_[w]`) compare equal."""
+    expr = re.sub(r"\[[^\]]*\]", "[]", expr)
+    expr = re.sub(r"\s+", "", expr)
+    return expr
+
+
+class Hierarchy:
+    def __init__(self, edges, tiers, leaves):
+        self.tiers = tiers  # list of (name, path_substr, compiled_regex)
+        self.leaves = leaves
+        # Transitive closure of the declared DAG.
+        allowed = set(edges)
+        changed = True
+        while changed:
+            changed = False
+            for a, b in list(allowed):
+                for c, d in list(allowed):
+                    if b == c and (a, d) not in allowed:
+                        allowed.add((a, d))
+                        changed = True
+        self.allowed = allowed
+
+    def classify(self, path, expr):
+        for name, path_sub, rx in self.tiers:
+            if path_sub and path_sub not in path:
+                continue
+            if rx.search(expr):
+                return name
+        return None
+
+
+def parse_lock_order(doc_path):
+    try:
+        text = open(doc_path, encoding="utf-8").read()
+    except OSError as e:
+        print(f"lint_protocol: cannot read {doc_path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    def block(tag):
+        m = re.search(r"```" + tag + r"\n(.*?)```", text, re.DOTALL)
+        return m.group(1).splitlines() if m else []
+
+    edges = set()
+    for ln in block("lock-order"):
+        ln = ln.strip()
+        if not ln or ln.startswith("#"):
+            continue
+        a, _, b = ln.partition("->")
+        edges.add((a.strip(), b.strip()))
+    tiers = []
+    for ln in block("lock-tiers"):
+        ln = ln.strip()
+        if not ln or ln.startswith("#"):
+            continue
+        name, _, rest = ln.partition(":")
+        path_sub, _, rx = rest.partition("::")
+        tiers.append((name.strip(), path_sub.strip(), re.compile(rx.strip())))
+    leaves = {ln.strip() for ln in block("lock-leaves") if ln.strip()}
+    return Hierarchy(edges, tiers, leaves)
+
+
+def parse_metrics_doc(doc_path):
+    names = set()
+    try:
+        for ln in open(doc_path, encoding="utf-8"):
+            m = re.match(r"\|\s*`([^`]+)`\s*\|", ln)
+            if m:
+                names.add(m.group(1))
+    except OSError as e:
+        print(f"lint_protocol: cannot read {doc_path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    return names
+
+
+class Linter:
+    def __init__(self, hierarchy, metric_names, repo_root):
+        self.h = hierarchy
+        self.metric_names = metric_names
+        self.repo_root = repo_root
+        self.errors = []
+        self.metrics_used = {}  # name -> first (path, line)
+
+    def error(self, path, line, rule, msg):
+        rel = os.path.relpath(path, self.repo_root)
+        self.errors.append(f"{rel}:{line}: [{rule}] {msg}")
+
+    def lint_file(self, path):
+        rel = os.path.relpath(path, self.repo_root).replace(os.sep, "/")
+        raw = open(path, encoding="utf-8").read()
+        code, allows = strip_comments_and_strings(raw)
+        lines = code.split("\n")
+
+        def allowed(line_no, tag):
+            return tag in allows.get(line_no, set())
+
+        in_src = rel.startswith("src/")
+        is_wrapper = rel in (
+            "src/common/mutex.h",
+            "src/common/thread_annotations.h",
+        )
+
+        # R5: metric literals (src/ only; scan the raw text so the name
+        # inside the string literal survives).
+        if in_src:
+            for idx, raw_ln in enumerate(raw.split("\n"), start=1):
+                for m in METRIC_CALL_RE.finditer(raw_ln):
+                    name = m.group(1)
+                    self.metrics_used.setdefault(name, (path, idx))
+
+        # R1: naked std lock primitives.
+        if not is_wrapper:
+            for idx, ln in enumerate(lines, start=1):
+                m = NAKED_RE.search(ln)
+                if m and not allowed(idx, "naked-mutex"):
+                    self.error(
+                        path, idx, "naked-mutex",
+                        f"'{m.group(0)}' is forbidden outside "
+                        "src/common/mutex.h; use sy::Mutex / sy::MutexLock "
+                        "/ sy::CondVar",
+                    )
+
+        # R2: per-file Lock/Unlock balance (normalized expressions).
+        locks, unlocks = {}, {}
+        for idx, ln in enumerate(lines, start=1):
+            for m in MANUAL_LOCK_RE.finditer(ln):
+                expr = normalize_expr(m.group(1))
+                if expr.endswith(("mu", "mu_", "]")) or "mutex" in expr.lower():
+                    if not allowed(idx, "acquire-without-release"):
+                        locks.setdefault(expr, idx)
+            for m in MANUAL_UNLOCK_RE.finditer(ln):
+                unlocks.setdefault(normalize_expr(m.group(1)), idx)
+        for expr, idx in locks.items():
+            if expr not in unlocks:
+                self.error(
+                    path, idx, "acquire-without-release",
+                    f"manual {expr}.Lock() has no matching Unlock() in this "
+                    "file; use sy::MutexLock or annotate the protocol with "
+                    "SY_ACQUIRE/SY_RELEASE and `// lint:allow "
+                    "acquire-without-release`",
+                )
+
+        # R3 + R4: brace-depth lock-scope tracking.
+        depth = 0
+        held = []  # (norm_expr, tier, depth_at_acquire, line)
+        for idx, ln in enumerate(lines, start=1):
+            # Acquisitions on this line (MutexLock decls + manual Locks).
+            acquired = [m.group(1) for m in MUTEXLOCK_RE.finditer(ln)]
+            acquired += [
+                m.group(1)
+                for m in MANUAL_LOCK_RE.finditer(ln)
+                if normalize_expr(m.group(1)).endswith(("mu", "mu_", "]"))
+            ]
+            for expr_raw in acquired:
+                expr = normalize_expr(expr_raw)
+                tier = self.h.classify(rel, expr_raw)
+                if held and not allowed(idx, "lock-order"):
+                    holder_expr, holder_tier, _, holder_line = held[-1]
+                    if holder_tier is None or tier is None:
+                        unknown = expr_raw if tier is None else holder_expr
+                        self.error(
+                            path, idx, "lock-order",
+                            f"nested acquisition of '{expr_raw}' while "
+                            f"holding '{holder_expr}' (line {holder_line}), "
+                            f"but '{unknown}' has no tier in "
+                            "docs/LOCK_ORDER.md; add it to the lock-tiers "
+                            "block",
+                        )
+                    elif (holder_tier, tier) not in self.h.allowed:
+                        self.error(
+                            path, idx, "lock-order",
+                            f"lock-order violation: acquiring tier '{tier}' "
+                            f"('{expr_raw}') while holding tier "
+                            f"'{holder_tier}' ('{holder_expr}', line "
+                            f"{holder_line}); no '{holder_tier} -> {tier}' "
+                            "edge in docs/LOCK_ORDER.md",
+                        )
+                held.append((expr, tier, depth, idx))
+
+            # R4: blocking call while any held lock is a leaf tier.
+            if held and BLOCKING_RE.search(ln) and not acquired:
+                for expr, tier, _, lline in held:
+                    if tier in self.h.leaves and not allowed(
+                            idx, "blocking-under-leaf"):
+                        m = BLOCKING_RE.search(ln)
+                        self.error(
+                            path, idx, "blocking-under-leaf",
+                            f"blocking call '{m.group(0).strip()}...' while "
+                            f"holding leaf-tier '{tier}' lock '{expr}' "
+                            f"(acquired line {lline}); leaf locks must not "
+                            "be held across waits/receives/joins",
+                        )
+
+            # Manual unlocks release the matching held entry.
+            for m in MANUAL_UNLOCK_RE.finditer(ln):
+                expr = normalize_expr(m.group(1))
+                for k in range(len(held) - 1, -1, -1):
+                    if held[k][0] == expr:
+                        held.pop(k)
+                        break
+
+            # Depth bookkeeping; scope-bound locks die with their scope.
+            for c in ln:
+                if c == "{":
+                    depth += 1
+                elif c == "}":
+                    depth -= 1
+                    held = [h for h in held if h[2] < depth]
+            if depth <= 0:
+                held = []
+
+    def finish_metrics(self):
+        for name, (path, line) in sorted(self.metrics_used.items()):
+            if name not in self.metric_names:
+                self.error(
+                    path, line, "metric-name",
+                    f"metric '{name}' is not registered in docs/METRICS.md",
+                )
+        used = set(self.metrics_used)
+        for name in sorted(self.metric_names - used):
+            self.errors.append(
+                f"docs/METRICS.md:1: [metric-name] metric '{name}' is "
+                "registered but never used in src/",
+            )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files or directories to lint (default: src/)")
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: parent of this script)")
+    ap.add_argument("--no-metrics", action="store_true",
+                    help="skip the metric-registry cross-check (R5)")
+    args = ap.parse_args()
+
+    root = os.path.abspath(
+        args.root or os.path.join(os.path.dirname(__file__), os.pardir))
+    paths = args.paths or [os.path.join(root, "src")]
+
+    hierarchy = parse_lock_order(os.path.join(root, "docs", "LOCK_ORDER.md"))
+    metric_names = parse_metrics_doc(os.path.join(root, "docs", "METRICS.md"))
+
+    files = []
+    for p in paths:
+        p = os.path.abspath(p)
+        if os.path.isdir(p):
+            for dirpath, _, names in sorted(os.walk(p)):
+                for n in sorted(names):
+                    if n.endswith((".h", ".cc", ".cpp", ".hpp")):
+                        files.append(os.path.join(dirpath, n))
+        else:
+            files.append(p)
+
+    linter = Linter(hierarchy, metric_names, root)
+    for f in files:
+        linter.lint_file(f)
+    if not args.no_metrics and any(
+            os.path.relpath(f, root).startswith("src") for f in files):
+        linter.finish_metrics()
+
+    for e in linter.errors:
+        print(e)
+    if linter.errors:
+        print(f"lint_protocol: {len(linter.errors)} error(s)",
+              file=sys.stderr)
+        return 1
+    print(f"lint_protocol: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,8 +3,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 #include <thread>
+
+#include "common/mutex.h"
 
 namespace serigraph {
 
@@ -28,8 +29,8 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
-std::mutex& SinkMutex() {
-  static std::mutex* m = new std::mutex;
+sy::Mutex& SinkMutex() {
+  static sy::Mutex* m = new sy::Mutex;  // leaked: outlives static dtors
   return *m;
 }
 
@@ -58,7 +59,7 @@ LogMessage::~LogMessage() {
   const bool emit =
       static_cast<int>(level_) >= g_min_level.load(std::memory_order_relaxed);
   if (emit || level_ == LogLevel::kFatal) {
-    std::lock_guard<std::mutex> lock(SinkMutex());
+    sy::MutexLock lock(&SinkMutex());
     std::fprintf(stderr, "%s\n", stream_.str().c_str());
     std::fflush(stderr);
   }

@@ -63,28 +63,28 @@ void Histogram::Reset() {
 }
 
 Counter* MetricRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sy::MutexLock lock(&mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 MaxGauge* MetricRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sy::MutexLock lock(&mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<MaxGauge>();
   return slot.get();
 }
 
 Histogram* MetricRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sy::MutexLock lock(&mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 std::map<std::string, int64_t> MetricRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sy::MutexLock lock(&mu_);
   std::map<std::string, int64_t> out;
   for (const auto& [name, counter] : counters_) out[name] = counter->value();
   for (const auto& [name, gauge] : gauges_) out[name] = gauge->max();
@@ -99,7 +99,7 @@ std::map<std::string, int64_t> MetricRegistry::Snapshot() const {
 }
 
 void MetricRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sy::MutexLock lock(&mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();

@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace serigraph {
 
@@ -106,10 +108,11 @@ class MetricRegistry {
   void ResetAll();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<MaxGauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable sy::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ SY_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<MaxGauge>> gauges_ SY_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      SY_GUARDED_BY(mu_);
 };
 
 }  // namespace serigraph

@@ -1,0 +1,109 @@
+#ifndef SERIGRAPH_COMMON_MUTEX_H_
+#define SERIGRAPH_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+// Annotated locking primitives for the whole tree. Everything outside
+// src/common/ must use sy::Mutex / sy::MutexLock / sy::CondVar instead of
+// the raw std:: types (enforced by scripts/lint_protocol.py), so that
+// Clang's -Wthread-safety analysis sees every critical section and every
+// SY_GUARDED_BY field access (SERIGRAPH_TSA=ON turns violations into
+// build failures). The wrappers are zero-overhead forwarding shims over
+// std::mutex / std::condition_variable.
+namespace sy {
+
+/// Annotated std::mutex. Prefer sy::MutexLock over manual Lock()/Unlock().
+class SY_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SY_ACQUIRE() { mu_.lock(); }
+  void Unlock() SY_RELEASE() { mu_.unlock(); }
+  bool TryLock() SY_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped handle, for interop (CondVar's adopt/release dance).
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII critical section over a sy::Mutex (the std::lock_guard /
+/// std::unique_lock replacement). Holds the lock for its whole lifetime;
+/// sy::CondVar::Wait* atomically releases and reacquires it while
+/// blocked, which the analysis models as "held throughout".
+class SY_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) SY_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  ~MutexLock() SY_RELEASE() { mu_->Unlock(); }
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable bound to sy::Mutex critical sections. All waits
+/// require the mutex held (enforced by SY_REQUIRES) and return with it
+/// held again, exactly like std::condition_variable with a unique_lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  /// Blocks until notified. Spurious wakeups possible; loop on the
+  /// predicate like with std::condition_variable.
+  void Wait(Mutex& mu) SY_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  /// Blocks until notified or `timeout` elapsed; returns
+  /// std::cv_status::timeout on expiry.
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& timeout)
+      SY_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status;
+  }
+
+  /// Blocks until notified or `deadline` reached; returns
+  /// std::cv_status::timeout on expiry.
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      SY_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status;
+  }
+
+  // No predicate overloads on purpose: a predicate lambda is analyzed as
+  // its own unannotated function, so reads of SY_GUARDED_BY fields inside
+  // it defeat the analysis. Write the `while (!cond) cv.Wait(mu);` loop
+  // in the annotated caller instead.
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace sy
+
+#endif  // SERIGRAPH_COMMON_MUTEX_H_

@@ -1,0 +1,85 @@
+#ifndef SERIGRAPH_COMMON_THREAD_ANNOTATIONS_H_
+#define SERIGRAPH_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis annotations (Abseil-style, SY_ prefix).
+//
+// These macros let the compiler prove the repo's guard discipline: every
+// shared field names the lock that guards it (SY_GUARDED_BY), every
+// function that needs a lock held declares it (SY_REQUIRES), and the
+// sy::Mutex/sy::MutexLock wrappers (common/mutex.h) carry the acquire/
+// release semantics the analysis tracks. Build with
+//   cmake -DSERIGRAPH_TSA=ON   (Clang only)
+// to turn violations into -Wthread-safety -Werror build failures; see
+// docs/STATIC_ANALYSIS.md for how to read the diagnostics.
+//
+// On compilers without the attribute (GCC) every macro degrades to a
+// no-op, so the annotations are pure documentation there.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define SY_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define SY_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+/// Declares a class to be a lockable capability ("mutex").
+#define SY_CAPABILITY(x) SY_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII class whose lifetime equals a critical section.
+#define SY_SCOPED_CAPABILITY SY_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// The annotated field/variable may only be accessed while holding `x`.
+#define SY_GUARDED_BY(x) SY_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// The data pointed to by the annotated pointer is guarded by `x` (the
+/// pointer itself is not).
+#define SY_PT_GUARDED_BY(x) SY_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Lock-ordering declarations: this capability must be acquired before /
+/// after the listed ones (see docs/LOCK_ORDER.md for the hierarchy).
+#define SY_ACQUIRED_BEFORE(...) \
+  SY_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define SY_ACQUIRED_AFTER(...) \
+  SY_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// The caller must hold the listed capabilities (exclusively / shared).
+#define SY_REQUIRES(...) \
+  SY_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define SY_REQUIRES_SHARED(...) \
+  SY_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities and holds them on return.
+#define SY_ACQUIRE(...) \
+  SY_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define SY_ACQUIRE_SHARED(...) \
+  SY_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (held on entry).
+#define SY_RELEASE(...) \
+  SY_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define SY_RELEASE_SHARED(...) \
+  SY_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `b`.
+#define SY_TRY_ACQUIRE(b, ...) \
+  SY_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(b, __VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities (anti-deadlock: the
+/// function acquires them itself).
+#define SY_EXCLUDES(...) \
+  SY_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the capability is held (teaches the analysis a
+/// fact it cannot derive).
+#define SY_ASSERT_CAPABILITY(x) \
+  SY_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// The function returns a reference to the named capability.
+#define SY_RETURN_CAPABILITY(x) SY_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: disables analysis for one function. Every use must carry
+/// a comment explaining why the invariant holds anyway (the protocol
+/// linter counts these; see scripts/lint_protocol.py).
+#define SY_NO_THREAD_SAFETY_ANALYSIS \
+  SY_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // SERIGRAPH_COMMON_THREAD_ANNOTATIONS_H_

@@ -9,26 +9,26 @@ CyclicBarrier::CyclicBarrier(int parties) : parties_(parties) {
 }
 
 bool CyclicBarrier::Await() {
-  std::unique_lock<std::mutex> lock(mu_);
+  sy::MutexLock lock(&mu_);
   uint64_t gen = generation_;
   if (++waiting_ == parties_) {
     waiting_ = 0;
     ++generation_;
-    cv_.notify_all();
+    cv_.NotifyAll();
     return true;
   }
-  cv_.wait(lock, [&] { return generation_ != gen; });
+  while (generation_ == gen) cv_.Wait(mu_);
   return false;
 }
 
 void CountDownLatch::CountDown() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (count_ > 0 && --count_ == 0) cv_.notify_all();
+  sy::MutexLock lock(&mu_);
+  if (count_ > 0 && --count_ == 0) cv_.NotifyAll();
 }
 
 void CountDownLatch::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return count_ == 0; });
+  sy::MutexLock lock(&mu_);
+  while (count_ != 0) cv_.Wait(mu_);
 }
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -43,25 +43,25 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sy::MutexLock lock(&mu_);
     SG_CHECK(!shutdown_);
     queue_.push_back(std::move(task));
   }
-  cv_task_.notify_one();
+  cv_task_.NotifyOne();
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_idle_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+  sy::MutexLock lock(&mu_);
+  while (!queue_.empty() || active_ != 0) cv_idle_.Wait(mu_);
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sy::MutexLock lock(&mu_);
     if (shutdown_) return;
     shutdown_ = true;
   }
-  cv_task_.notify_all();
+  cv_task_.NotifyAll();
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }
@@ -71,8 +71,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_task_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      sy::MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) cv_task_.Wait(mu_);
       if (queue_.empty()) {
         if (shutdown_) return;
         continue;
@@ -83,9 +83,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      sy::MutexLock lock(&mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+      if (queue_.empty() && active_ == 0) cv_idle_.NotifyAll();
     }
   }
 }

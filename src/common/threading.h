@@ -1,13 +1,14 @@
 #ifndef SERIGRAPH_COMMON_THREADING_H_
 #define SERIGRAPH_COMMON_THREADING_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace serigraph {
 
@@ -30,10 +31,10 @@ class CyclicBarrier {
 
  private:
   const int parties_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int waiting_ = 0;
-  uint64_t generation_ = 0;
+  sy::Mutex mu_;
+  sy::CondVar cv_;
+  int waiting_ SY_GUARDED_BY(mu_) = 0;
+  uint64_t generation_ SY_GUARDED_BY(mu_) = 0;
 };
 
 /// One-shot latch: Wait() blocks until CountDown() has been called `count`
@@ -46,9 +47,9 @@ class CountDownLatch {
   void Wait();
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int count_;
+  sy::Mutex mu_;
+  sy::CondVar cv_;
+  int count_ SY_GUARDED_BY(mu_);
 };
 
 /// Fixed-size pool of worker threads consuming a FIFO task queue.
@@ -75,12 +76,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::deque<std::function<void()>> queue_;
-  int active_ = 0;
-  bool shutdown_ = false;
+  sy::Mutex mu_;
+  sy::CondVar cv_task_;
+  sy::CondVar cv_idle_;
+  std::deque<std::function<void()>> queue_ SY_GUARDED_BY(mu_);
+  int active_ SY_GUARDED_BY(mu_) = 0;
+  bool shutdown_ SY_GUARDED_BY(mu_) = false;
+  /// Joined by Shutdown(); only touched by the constructing thread.
   std::vector<std::thread> threads_;
 };
 

@@ -3,13 +3,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/logging.h"
 #include "common/status.h"
 #include "graph/graph.h"
@@ -162,12 +162,20 @@ class GasEngine {
     return hood;
   }
 
-  void LockHood(const std::vector<VertexId>& hood) {
-    for (VertexId u : hood) locks_[u].lock();
+  // Dynamic per-vertex lock sets are outside what the static analysis
+  // can model (the capability set depends on runtime adjacency), so both
+  // helpers opt out. Safety argument: `hood` is sorted ascending and
+  // deduplicated, every thread acquires in that global id order and
+  // releases in reverse, and no other lock is taken while a hood is held
+  // (docs/LOCK_ORDER.md, "gas.vertex" tier).
+  void LockHood(const std::vector<VertexId>& hood)
+      SY_NO_THREAD_SAFETY_ANALYSIS {
+    for (VertexId u : hood) locks_[u].Lock();
   }
-  void UnlockHood(const std::vector<VertexId>& hood) {
+  void UnlockHood(const std::vector<VertexId>& hood)
+      SY_NO_THREAD_SAFETY_ANALYSIS {
     for (auto it = hood.rbegin(); it != hood.rend(); ++it) {
-      locks_[*it].unlock();
+      locks_[*it].Unlock();
     }
   }
 
@@ -175,7 +183,7 @@ class GasEngine {
   /// the computation is finished (queue drained, nothing running) or the
   /// update budget is exhausted.
   VertexId PopTask() {
-    std::unique_lock<std::mutex> lock(queue_mu_);
+    sy::MutexLock lock(&queue_mu_);
     for (;;) {
       if (stopped_) return kInvalidVertex;
       if (!queue_.empty()) {
@@ -187,42 +195,48 @@ class GasEngine {
       }
       if (running_ == 0) {
         stopped_ = true;
-        queue_cv_.notify_all();
+        queue_cv_.NotifyAll();
         return kInvalidVertex;
       }
-      queue_cv_.wait(lock);
+      queue_cv_.Wait(queue_mu_);
     }
   }
 
   void PushTask(VertexId v) {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    sy::MutexLock lock(&queue_mu_);
     if (stopped_ || queued_[v]) return;
     queued_[v] = 1;
     queue_.push_back(v);
-    queue_cv_.notify_one();
+    queue_cv_.NotifyOne();
   }
 
   void TaskDone() {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    sy::MutexLock lock(&queue_mu_);
     --running_;
     if (queue_.empty() && running_ == 0) {
       stopped_ = true;
-      queue_cv_.notify_all();
+      queue_cv_.NotifyAll();
     } else {
-      queue_cv_.notify_one();
+      queue_cv_.NotifyOne();
     }
   }
 
   void RunAsync(const Program& program, GasResult<VertexValue>* result) {
     const VertexId n = graph_->num_vertices();
-    locks_ = std::vector<std::mutex>(n);
-    queued_.assign(n, 0);
-    queue_.clear();
-    stopped_ = false;
-    running_ = 0;
-    for (VertexId v = 0; v < n; ++v) {
-      queued_[v] = 1;
-      queue_.push_back(v);
+    locks_ = std::vector<sy::Mutex>(n);
+    {
+      // Seeding happens before the worker threads exist, but the queue
+      // fields are guarded: take the (uncontended) lock rather than
+      // leaving the one unguarded initialization path in the engine.
+      sy::MutexLock lock(&queue_mu_);
+      queued_.assign(n, 0);
+      queue_.clear();
+      stopped_ = false;
+      running_ = 0;
+      for (VertexId v = 0; v < n; ++v) {
+        queued_[v] = 1;
+        queue_.push_back(v);
+      }
     }
     std::atomic<int64_t> updates{0};
     const bool serializable = options_.mode == GasMode::kAsyncSerializable;
@@ -239,9 +253,9 @@ class GasEngine {
         if (updates.fetch_add(1, std::memory_order_relaxed) >=
             options_.max_updates) {
           // Livelock bound hit: stop everything (non-converged).
-          std::lock_guard<std::mutex> lock(queue_mu_);
+          sy::MutexLock lock(&queue_mu_);
           stopped_ = true;
-          queue_cv_.notify_all();
+          queue_cv_.NotifyAll();
           return;
         }
         const std::vector<VertexId> hood = Neighborhood(v);
@@ -310,13 +324,15 @@ class GasEngine {
   GasOptions options_;
   std::vector<VertexValue> values_;
 
-  std::vector<std::mutex> locks_;
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<VertexId> queue_;
-  std::vector<uint8_t> queued_;
-  int64_t running_ = 0;
-  bool stopped_ = false;
+  /// One lock per vertex; acquired only via LockHood (ascending id
+  /// order). Tier "gas.vertex" in docs/LOCK_ORDER.md.
+  std::vector<sy::Mutex> locks_;
+  sy::Mutex queue_mu_;
+  sy::CondVar queue_cv_;
+  std::deque<VertexId> queue_ SY_GUARDED_BY(queue_mu_);
+  std::vector<uint8_t> queued_ SY_GUARDED_BY(queue_mu_);
+  int64_t running_ SY_GUARDED_BY(queue_mu_) = 0;
+  bool stopped_ SY_GUARDED_BY(queue_mu_) = false;
 };
 
 }  // namespace serigraph

@@ -70,7 +70,7 @@ void Transport::Send(WireMessage msg) {
                      : now + std::chrono::microseconds(
                                  options_.DelayMicros(bytes));
   {
-    std::lock_guard<std::mutex> lock(inbox.mu);
+    sy::MutexLock lock(&inbox.mu);
     // Preserve per-(src,dst) FIFO: never deliver before an earlier message
     // from the same sender (a large batch must not be overtaken by the
     // flush marker that follows it).
@@ -81,63 +81,81 @@ void Transport::Send(WireMessage msg) {
     item.msg = std::move(msg);
     inbox.queue.push(std::move(item));
   }
-  inbox.cv.notify_all();
+  inbox.cv.NotifyAll();
 }
 
 std::optional<WireMessage> Transport::Receive(WorkerId worker) {
   Inbox& inbox = *inboxes_[worker];
-  std::unique_lock<std::mutex> lock(inbox.mu);
-  for (;;) {
-    if (shutdown_.load(std::memory_order_acquire)) return std::nullopt;
-    if (!inbox.queue.empty()) {
-      const auto now = Clock::now();
-      const Item& top = inbox.queue.top();
-      if (top.ready <= now) {
-        WireMessage msg = std::move(const_cast<Item&>(top).msg);
-        inbox.queue.pop();
-        if (msg.span != 0 && Tracer::enabled()) {
-          Tracer::Get().RecordFlow(FlowName(msg.kind), 'f', msg.span);
+  std::optional<WireMessage> msg;
+  {
+    sy::MutexLock lock(&inbox.mu);
+    for (;;) {
+      if (shutdown_.load(std::memory_order_acquire)) return std::nullopt;
+      if (!inbox.queue.empty()) {
+        const auto now = Clock::now();
+        const Item& top = inbox.queue.top();
+        if (top.ready <= now) {
+          msg = std::move(const_cast<Item&>(top).msg);
+          inbox.queue.pop();
+          break;
         }
-        return msg;
+        // Copy the deadline out of the queue node: WaitUntil releases
+        // inbox.mu, so a concurrent Send() can reallocate the queue's
+        // storage and leave a reference into it dangling (the cv re-reads
+        // the deadline on spurious wakeup — ASan caught this as a
+        // use-after-free).
+        const Clock::time_point ready = top.ready;
+        inbox.cv.WaitUntil(inbox.mu, ready);
+      } else {
+        inbox.cv.Wait(inbox.mu);
       }
-      inbox.cv.wait_until(lock, top.ready);
-    } else {
-      inbox.cv.wait(lock);
     }
   }
+  // Flow arrows are recorded outside the inbox critical section: the
+  // tracer takes its thread-registry lock on a thread's first event,
+  // which must never nest under inbox.mu (lock-order fix surfaced by the
+  // annotation pass; docs/LOCK_ORDER.md keeps tracer locks leaf-only).
+  if (msg->span != 0 && Tracer::enabled()) {
+    Tracer::Get().RecordFlow(FlowName(msg->kind), 'f', msg->span);
+  }
+  return msg;
 }
 
 std::optional<WireMessage> Transport::TryReceive(WorkerId worker) {
   Inbox& inbox = *inboxes_[worker];
-  std::lock_guard<std::mutex> lock(inbox.mu);
-  if (inbox.queue.empty()) return std::nullopt;
-  const Item& top = inbox.queue.top();
-  if (top.ready > Clock::now()) return std::nullopt;
-  WireMessage msg = std::move(const_cast<Item&>(top).msg);
-  inbox.queue.pop();
-  if (msg.span != 0 && Tracer::enabled()) {
-    Tracer::Get().RecordFlow(FlowName(msg.kind), 'f', msg.span);
+  std::optional<WireMessage> msg;
+  {
+    sy::MutexLock lock(&inbox.mu);
+    if (inbox.queue.empty()) return std::nullopt;
+    const Item& top = inbox.queue.top();
+    if (top.ready > Clock::now()) return std::nullopt;
+    msg = std::move(const_cast<Item&>(top).msg);
+    inbox.queue.pop();
+  }
+  // As in Receive: flow recording stays outside the inbox lock.
+  if (msg->span != 0 && Tracer::enabled()) {
+    Tracer::Get().RecordFlow(FlowName(msg->kind), 'f', msg->span);
   }
   return msg;
 }
 
 bool Transport::InboxEmpty(WorkerId worker) const {
   const Inbox& inbox = *inboxes_[worker];
-  std::lock_guard<std::mutex> lock(inbox.mu);
+  sy::MutexLock lock(&inbox.mu);
   return inbox.queue.empty();
 }
 
 int64_t Transport::InboxDepth(WorkerId worker) const {
   const Inbox& inbox = *inboxes_[worker];
-  std::lock_guard<std::mutex> lock(inbox.mu);
+  sy::MutexLock lock(&inbox.mu);
   return static_cast<int64_t>(inbox.queue.size());
 }
 
 void Transport::Shutdown() {
   shutdown_.store(true, std::memory_order_release);
   for (auto& inbox : inboxes_) {
-    std::lock_guard<std::mutex> lock(inbox->mu);
-    inbox->cv.notify_all();
+    sy::MutexLock lock(&inbox->mu);
+    inbox->cv.NotifyAll();
   }
 }
 

@@ -1,17 +1,17 @@
 #ifndef SERIGRAPH_NET_TRANSPORT_H_
 #define SERIGRAPH_NET_TRANSPORT_H_
 
-#include <chrono>
 #include <atomic>
-#include <condition_variable>
+#include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "net/message.h"
 
 namespace serigraph {
@@ -89,11 +89,12 @@ class Transport {
   };
 
   struct Inbox {
-    mutable std::mutex mu;
-    std::condition_variable cv;
-    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue;
+    mutable sy::Mutex mu;
+    sy::CondVar cv;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue
+        SY_GUARDED_BY(mu);
     /// Last assigned delivery time per sender, to preserve per-pair FIFO.
-    std::vector<Clock::time_point> last_ready_from;
+    std::vector<Clock::time_point> last_ready_from SY_GUARDED_BY(mu);
   };
 
   NetworkOptions options_;

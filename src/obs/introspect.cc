@@ -42,7 +42,7 @@ void Introspector::Configure(int num_workers, std::string resource_kind) {
   }
   abort_requested_.store(false, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(abort_mu_);
+    sy::MutexLock lock(&abort_mu_);
     abort_reason_.clear();
   }
 }
@@ -103,7 +103,7 @@ void Introspector::EndAcquire(WorkerId w, int64_t resource, int64_t wait_us,
   }
   if (wait_us > 0) {
     ContentionShard& shard = *contention_[w];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    sy::MutexLock lock(&shard.mu);
     ContentionCell& cell = shard.by_resource[resource];
     cell.count += 1;
     cell.total_wait_us += wait_us;
@@ -134,7 +134,7 @@ void Introspector::RecordWait(WorkerId w, int64_t resource, int64_t wait_us) {
   if (w < 0 || w >= static_cast<WorkerId>(contention_.size())) return;
   if (wait_us <= 0) return;
   ContentionShard& shard = *contention_[w];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  sy::MutexLock lock(&shard.mu);
   ContentionCell& cell = shard.by_resource[resource];
   cell.count += 1;
   cell.total_wait_us += wait_us;
@@ -193,7 +193,7 @@ WaitForGraph Introspector::BuildWaitForGraph() const {
 std::vector<ContentionEntry> Introspector::ContentionTopK(int k) const {
   std::unordered_map<int64_t, ContentionCell> merged;
   for (const auto& shard_ptr : contention_) {
-    std::lock_guard<std::mutex> lock(shard_ptr->mu);
+    sy::MutexLock lock(&shard_ptr->mu);
     for (const auto& [resource, cell] : shard_ptr->by_resource) {
       ContentionCell& out = merged[resource];
       out.count += cell.count;
@@ -220,7 +220,7 @@ std::vector<ContentionEntry> Introspector::ContentionTopK(int k) const {
 std::vector<EdgeContentionEntry> Introspector::EdgeContentionTopK(int k) const {
   std::map<std::pair<int64_t, int64_t>, ContentionCell> merged;
   for (const auto& shard_ptr : contention_) {
-    std::lock_guard<std::mutex> lock(shard_ptr->mu);
+    sy::MutexLock lock(&shard_ptr->mu);
     for (const auto& [edge, cell] : shard_ptr->by_edge) {
       ContentionCell& out = merged[edge];
       out.count += cell.count;
@@ -245,24 +245,24 @@ std::vector<EdgeContentionEntry> Introspector::EdgeContentionTopK(int k) const {
 }
 
 void Introspector::SetQueueProbe(QueueProbe probe) {
-  std::lock_guard<std::mutex> lock(probe_mu_);
+  sy::MutexLock lock(&probe_mu_);
   queue_probe_ = std::move(probe);
 }
 
 void Introspector::ClearQueueProbe() {
-  std::lock_guard<std::mutex> lock(probe_mu_);
+  sy::MutexLock lock(&probe_mu_);
   queue_probe_ = nullptr;
 }
 
 void Introspector::ProbeQueues(WorkerId w, int64_t* inbox_depth,
                                int64_t* outbox_bytes) const {
-  std::lock_guard<std::mutex> lock(probe_mu_);
+  sy::MutexLock lock(&probe_mu_);
   if (queue_probe_) queue_probe_(w, inbox_depth, outbox_bytes);
 }
 
 void Introspector::RequestAbort(const std::string& reason) {
   {
-    std::lock_guard<std::mutex> lock(abort_mu_);
+    sy::MutexLock lock(&abort_mu_);
     if (abort_requested_.load(std::memory_order_relaxed)) return;
     abort_reason_ = reason;
   }
@@ -270,7 +270,7 @@ void Introspector::RequestAbort(const std::string& reason) {
 }
 
 std::string Introspector::abort_reason() const {
-  std::lock_guard<std::mutex> lock(abort_mu_);
+  sy::MutexLock lock(&abort_mu_);
   return abort_reason_;
 }
 

@@ -6,12 +6,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "graph/types.h"
 #include "obs/waitfor.h"
 
@@ -213,9 +214,10 @@ class Introspector {
   /// threads, so the mutex is effectively uncontended (the watchdog takes
   /// it briefly to merge).
   struct ContentionShard {
-    mutable std::mutex mu;
-    std::unordered_map<int64_t, ContentionCell> by_resource;
-    std::map<std::pair<int64_t, int64_t>, ContentionCell> by_edge;
+    mutable sy::Mutex mu;
+    std::unordered_map<int64_t, ContentionCell> by_resource SY_GUARDED_BY(mu);
+    std::map<std::pair<int64_t, int64_t>, ContentionCell> by_edge
+        SY_GUARDED_BY(mu);
   };
 
   Introspector() = default;
@@ -227,12 +229,12 @@ class Introspector {
   std::vector<std::unique_ptr<Beacon>> beacons_;
   std::vector<std::unique_ptr<ContentionShard>> contention_;
 
-  mutable std::mutex probe_mu_;
-  QueueProbe queue_probe_;
+  mutable sy::Mutex probe_mu_;
+  QueueProbe queue_probe_ SY_GUARDED_BY(probe_mu_);
 
   std::atomic<bool> abort_requested_{false};
-  mutable std::mutex abort_mu_;
-  std::string abort_reason_;
+  mutable sy::Mutex abort_mu_;
+  std::string abort_reason_ SY_GUARDED_BY(abort_mu_);
 };
 
 }  // namespace serigraph

@@ -76,7 +76,7 @@ Tracer::ThreadBuffer* Tracer::CurrentThreadBuffer() {
   auto buffer = std::make_unique<ThreadBuffer>();
   ThreadBuffer* raw = buffer.get();
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    sy::MutexLock lock(&registry_mu_);
     raw->tid = next_tid_++;
     buffers_.push_back(std::move(buffer));
   }
@@ -89,7 +89,7 @@ void Tracer::RecordFlow(const char* name, char ph, uint64_t id) {
   ThreadBuffer* buffer = CurrentThreadBuffer();
   Chunk* chunk = nullptr;
   {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    sy::MutexLock lock(&buffer->mu);
     if (!buffer->chunks.empty()) {
       Chunk* last = buffer->chunks.back().get();
       if (last->count.load(std::memory_order_relaxed) < kChunkCapacity) {
@@ -126,7 +126,7 @@ void Tracer::RecordComplete(const char* name, int64_t ts_us, int64_t dur_us) {
     // The chunk-list mutex is uncontended in steady state: only the owning
     // thread grows the list, and the exporter takes it briefly to snapshot
     // chunk pointers. Event writes below happen outside the lock.
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    sy::MutexLock lock(&buffer->mu);
     if (!buffer->chunks.empty()) {
       Chunk* last = buffer->chunks.back().get();
       if (last->count.load(std::memory_order_relaxed) < kChunkCapacity) {
@@ -155,7 +155,7 @@ void Tracer::RecordComplete(const char* name, int64_t ts_us, int64_t dur_us) {
 
 void Tracer::SetCurrentThreadName(const std::string& name) {
   ThreadBuffer* buffer = CurrentThreadBuffer();
-  std::lock_guard<std::mutex> lock(buffer->mu);
+  sy::MutexLock lock(&buffer->mu);
   buffer->name = name;
 }
 
@@ -164,12 +164,12 @@ std::string Tracer::ToChromeTraceJson() const {
   out.reserve(1 << 16);
   out += "{\"traceEvents\":[";
   bool first = true;
-  std::lock_guard<std::mutex> registry_lock(registry_mu_);
+  sy::MutexLock registry_lock(&registry_mu_);
   for (const auto& buffer : buffers_) {
     std::vector<Chunk*> chunks;
     std::string thread_name;
     {
-      std::lock_guard<std::mutex> lock(buffer->mu);
+      sy::MutexLock lock(&buffer->mu);
       chunks.reserve(buffer->chunks.size());
       for (const auto& chunk : buffer->chunks) chunks.push_back(chunk.get());
       thread_name = buffer->name;
@@ -236,9 +236,9 @@ Status Tracer::WriteChromeTrace(const std::string& path) const {
 
 int64_t Tracer::event_count() const {
   int64_t total = 0;
-  std::lock_guard<std::mutex> registry_lock(registry_mu_);
+  sy::MutexLock registry_lock(&registry_mu_);
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    sy::MutexLock lock(&buffer->mu);
     for (const auto& chunk : buffer->chunks) {
       total +=
           static_cast<int64_t>(chunk->count.load(std::memory_order_acquire));
@@ -248,7 +248,7 @@ int64_t Tracer::event_count() const {
 }
 
 void Tracer::Reset() {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  sy::MutexLock lock(&registry_mu_);
   buffers_.clear();
   next_tid_ = 1;
   dropped_.store(0, std::memory_order_relaxed);

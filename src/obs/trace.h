@@ -5,11 +5,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace serigraph {
 
@@ -106,11 +107,12 @@ class Tracer {
 
   struct ThreadBuffer {
     uint64_t tid = 0;
-    std::string name;
+    std::string name SY_GUARDED_BY(mu);
     /// Guards the chunk list structure (growth + export snapshot), never
-    /// held while writing events.
-    mutable std::mutex mu;
-    std::vector<std::unique_ptr<Chunk>> chunks;
+    /// held while writing events. Leaf lock: no other lock may be
+    /// acquired while holding it (docs/LOCK_ORDER.md).
+    mutable sy::Mutex mu;
+    std::vector<std::unique_ptr<Chunk>> chunks SY_GUARDED_BY(mu);
   };
 
   Tracer() = default;
@@ -119,9 +121,10 @@ class Tracer {
 
   static std::atomic<bool> enabled_;
 
-  mutable std::mutex registry_mu_;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
-  uint64_t next_tid_ = 1;
+  mutable sy::Mutex registry_mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+      SY_GUARDED_BY(registry_mu_);
+  uint64_t next_tid_ SY_GUARDED_BY(registry_mu_) = 1;
   std::atomic<uint64_t> epoch_{0};  ///< bumped by Reset to invalidate TLS
   std::atomic<int64_t> dropped_{0};
 };

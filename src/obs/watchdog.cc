@@ -10,7 +10,7 @@
 namespace serigraph {
 
 void Watchdog::Start() {
-  if (running_) return;
+  if (running_.load(std::memory_order_acquire)) return;
   if (!options_.jsonl_path.empty()) {
     jsonl_.open(options_.jsonl_path, std::ios::out | std::ios::trunc);
     if (!jsonl_.is_open()) {
@@ -25,18 +25,21 @@ void Watchdog::Start() {
   last_progress_change_us_ = Tracer::NowMicros();
   stall_active_ = false;
   deadlock_reported_ = false;
-  stop_requested_ = false;
-  running_ = true;
+  {
+    sy::MutexLock lock(&stop_mu_);
+    stop_requested_ = false;
+  }
+  running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { Loop(); });
 }
 
 void Watchdog::Stop() {
-  if (!running_) return;
+  if (!running_.load(std::memory_order_acquire)) return;
   {
-    std::lock_guard<std::mutex> lock(stop_mu_);
+    sy::MutexLock lock(&stop_mu_);
     stop_requested_ = true;
   }
-  stop_cv_.notify_all();
+  stop_cv_.NotifyAll();
   thread_.join();
   // The final sample guarantees >= 1 snapshot even for runs shorter than
   // one period, and freezes the contention tables into the summary.
@@ -45,21 +48,26 @@ void Watchdog::Stop() {
   summary_.top_contention = in.ContentionTopK(options_.top_k);
   summary_.top_edges = in.EdgeContentionTopK(options_.top_k);
   if (jsonl_.is_open()) jsonl_.close();
-  running_ = false;
+  running_.store(false, std::memory_order_release);
 }
 
 void Watchdog::Loop() {
-  std::unique_lock<std::mutex> lock(stop_mu_);
-  while (!stop_requested_) {
+  for (;;) {
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::milliseconds(options_.period_ms);
-    if (stop_cv_.wait_until(lock, deadline,
-                            [this] { return stop_requested_; })) {
-      break;
+    {
+      sy::MutexLock lock(&stop_mu_);
+      while (!stop_requested_ &&
+             std::chrono::steady_clock::now() < deadline) {
+        stop_cv_.WaitUntil(stop_mu_, deadline);
+      }
+      if (stop_requested_) return;
     }
-    lock.unlock();
+    // Sample() runs with no watchdog lock held: it reads beacons and
+    // merges contention shards (ContentionShard::mu) and must stay a
+    // leaf-lock consumer (was an unlock/relock dance on stop_mu_; the
+    // scoped form makes the no-lock window explicit to the analysis).
     Sample(/*final_sample=*/false);
-    lock.lock();
   }
 }
 

@@ -1,14 +1,15 @@
 #ifndef SERIGRAPH_OBS_WATCHDOG_H_
 #define SERIGRAPH_OBS_WATCHDOG_H_
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/introspect.h"
 #include "obs/waitfor.h"
 
@@ -71,7 +72,7 @@ class Watchdog {
   /// Idempotent.
   void Stop();
 
-  bool running() const { return running_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
 
   /// Valid after Stop().
   const WatchdogSummary& summary() const { return summary_; }
@@ -94,10 +95,12 @@ class Watchdog {
   WatchdogOptions options_;
 
   std::thread thread_;
-  bool running_ = false;
-  std::mutex stop_mu_;
-  std::condition_variable stop_cv_;
-  bool stop_requested_ = false;
+  /// Atomic: running() may be polled from any thread while Start()/Stop()
+  /// write it (was a plain bool; flagged by the annotation pass).
+  std::atomic<bool> running_{false};
+  sy::Mutex stop_mu_;
+  sy::CondVar stop_cv_;
+  bool stop_requested_ SY_GUARDED_BY(stop_mu_) = false;
 
   std::ofstream jsonl_;
 

@@ -3,9 +3,7 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
@@ -14,7 +12,9 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/threading.h"
 #include "common/timer.h"
 #include "graph/graph.h"
@@ -119,12 +119,12 @@ class Engine {
 
   /// Per-worker aggregator accumulation for the current superstep.
   struct WorkerAggregates {
-    std::mutex mu;
-    AggOp op[kNumAggregatorSlots] = {};
-    double value[kNumAggregatorSlots] = {};
+    sy::Mutex mu;
+    AggOp op[kNumAggregatorSlots] SY_GUARDED_BY(mu) = {};
+    double value[kNumAggregatorSlots] SY_GUARDED_BY(mu) = {};
 
     void Fold(int slot, AggOp new_op, double v) {
-      std::lock_guard<std::mutex> lock(mu);
+      sy::MutexLock lock(&mu);
       if (op[slot] == AggOp::kUnused) {
         op[slot] = new_op;
         value[slot] = v;
@@ -158,24 +158,26 @@ class Engine {
   // Under AP both local and remote arrivals go straight to `current`.
   // ------------------------------------------------------------------
   struct PartitionStore {
-    std::mutex mu;
-    std::vector<std::vector<Message>> current;
-    std::vector<std::vector<Message>> incoming;
+    sy::Mutex mu;
+    std::vector<std::vector<Message>> current SY_GUARDED_BY(mu);
+    std::vector<std::vector<Message>> incoming SY_GUARDED_BY(mu);
     /// Vertices (local indexes) with non-empty `current`.
-    int64_t pending = 0;
-    /// Vertices not halted; only the executing thread mutates it.
-    int64_t active = 0;
+    int64_t pending SY_GUARDED_BY(mu) = 0;
+    /// Vertices not halted. Written at execution/restore time, read by
+    /// PartitionEligible from any worker thread — always under `mu`.
+    int64_t active SY_GUARDED_BY(mu) = 0;
     /// Deferred recorder notifications for BSP (delivery becomes visible
     /// only at the swap): (src, dst, version).
-    std::vector<std::tuple<VertexId, VertexId, uint64_t>> pending_notify;
+    std::vector<std::tuple<VertexId, VertexId, uint64_t>> pending_notify
+        SY_GUARDED_BY(mu);
   };
 
   // ------------------------------------------------------------------
   // Per-worker state; implements the WorkerHandle the techniques use.
   // ------------------------------------------------------------------
   struct OutBuffer {
-    std::mutex mu;
-    BufferWriter writer;
+    sy::Mutex mu;
+    BufferWriter writer SY_GUARDED_BY(mu);
   };
 
   struct WorkerState final : public WorkerHandle {
@@ -193,9 +195,9 @@ class Engine {
     std::atomic<int64_t> ss_messages{0};
     std::atomic<int64_t> ss_fork_wait_us{0};
 
-    std::mutex ack_mu;
-    std::condition_variable ack_cv;
-    int acks_pending = 0;
+    sy::Mutex ack_mu;
+    sy::CondVar ack_cv;
+    int acks_pending SY_GUARDED_BY(ack_mu) = 0;
     /// Peers this worker has sent data to since the last superstep-end
     /// flush; only those need a delivery confirmation (marker/ack).
     std::vector<std::atomic<uint8_t>> touched;
@@ -360,7 +362,7 @@ class Engine {
 
   void AppendToStore(PartitionStore& store,
                      std::vector<std::vector<Message>>& slots, VertexId dst,
-                     const Message& message) {
+                     const Message& message) SY_REQUIRES(store.mu) {
     auto& vec = slots[local_index_[dst]];
     const bool was_empty = vec.empty();
     if constexpr (kHasCombiner) {
@@ -377,7 +379,7 @@ class Engine {
                     uint64_t version) {
     PartitionStore& store = *stores_[partitioning_.PartitionOf(dst)];
     const bool bsp = options_.model == ComputationModel::kBsp;
-    std::lock_guard<std::mutex> lock(store.mu);
+    sy::MutexLock lock(&store.mu);
     AppendToStore(store, bsp ? store.incoming : store.current, dst, message);
     if (recorder_ != nullptr) {
       if (bsp) {
@@ -402,7 +404,7 @@ class Engine {
     }
     worker.touched[dst_worker].store(1, std::memory_order_relaxed);
     OutBuffer& out = *worker.out[dst_worker];
-    std::lock_guard<std::mutex> lock(out.mu);
+    sy::MutexLock lock(&out.mu);
     EncodeRecord(out.writer, src, dst, version, message);
     if (static_cast<int64_t>(out.writer.size()) >=
         options_.message_batch_bytes) {
@@ -412,11 +414,12 @@ class Engine {
 
   void FlushBuffer(WorkerState& worker, WorkerId dst) {
     OutBuffer& out = *worker.out[dst];
-    std::lock_guard<std::mutex> lock(out.mu);
+    sy::MutexLock lock(&out.mu);
     FlushBufferLocked(worker, dst, out);
   }
 
-  void FlushBufferLocked(WorkerState& worker, WorkerId dst, OutBuffer& out) {
+  void FlushBufferLocked(WorkerState& worker, WorkerId dst, OutBuffer& out)
+      SY_REQUIRES(out.mu) {
     if (out.writer.size() == 0) return;
     SG_TRACE_SPAN("net.flush_batch");
     flushes_->Increment();
@@ -442,7 +445,7 @@ class Engine {
       const VertexId dst = static_cast<VertexId>(dst_raw);
       const VertexId src = static_cast<VertexId>(src_raw);
       PartitionStore& store = *stores_[partitioning_.PartitionOf(dst)];
-      std::lock_guard<std::mutex> lock(store.mu);
+      sy::MutexLock lock(&store.mu);
       AppendToStore(store, bsp ? store.incoming : store.current, dst,
                     message);
       if (recorder_ != nullptr) {
@@ -483,8 +486,8 @@ class Engine {
           break;
         }
         case MessageKind::kAck: {
-          std::lock_guard<std::mutex> lock(worker.ack_mu);
-          if (--worker.acks_pending == 0) worker.ack_cv.notify_all();
+          sy::MutexLock lock(&worker.ack_mu);
+          if (--worker.acks_pending == 0) worker.ack_cv.NotifyAll();
           break;
         }
         default:
@@ -509,7 +512,7 @@ class Engine {
     }
     if (targets.empty()) return;
     {
-      std::lock_guard<std::mutex> lock(worker.ack_mu);
+      sy::MutexLock lock(&worker.ack_mu);
       worker.acks_pending = static_cast<int>(targets.size());
     }
     for (WorkerId dst : targets) {
@@ -521,8 +524,8 @@ class Engine {
       marker.a = superstep;
       transport_->Send(std::move(marker));
     }
-    std::unique_lock<std::mutex> lock(worker.ack_mu);
-    worker.ack_cv.wait(lock, [&] { return worker.acks_pending == 0; });
+    sy::MutexLock lock(&worker.ack_mu);
+    while (worker.acks_pending != 0) worker.ack_cv.Wait(worker.ack_mu);
   }
 
   // --- vertex execution ----------------------------------------------
@@ -536,7 +539,7 @@ class Engine {
     if (Introspector::enabled()) Introspector::Get().OnProgress(worker.id);
     std::vector<Message> messages;
     {
-      std::lock_guard<std::mutex> lock(store.mu);
+      sy::MutexLock lock(&store.mu);
       auto& vec = store.current[local_index_[v]];
       if (!vec.empty()) {
         messages = std::move(vec);
@@ -558,8 +561,14 @@ class Engine {
     const bool was_halted = halted_[v] != 0;
     const bool now_halted = ctx.voted_halt();
     halted_[v] = now_halted ? 1 : 0;
-    if (was_halted && !now_halted) ++store.active;
-    if (!was_halted && now_halted) --store.active;
+    if (was_halted != now_halted) {
+      // store.active is read under store.mu by PartitionEligible (the
+      // Section 5.4 halted-partition skip) from other worker threads, so
+      // this update must hold the lock too — it was the one unguarded
+      // write the annotation pass flagged in the execution path.
+      sy::MutexLock lock(&store.mu);
+      store.active += now_halted ? -1 : 1;
+    }
     if (recorder_ != nullptr) {
       recorder_->OnTxnEnd(worker.id, v, ctx.sent_any());
     }
@@ -571,13 +580,13 @@ class Engine {
   /// for the Section 5.4 optimization of skipping halted partitions.
   bool PartitionEligible(PartitionId p) {
     PartitionStore& store = *stores_[p];
-    std::lock_guard<std::mutex> lock(store.mu);
+    sy::MutexLock lock(&store.mu);
     return store.active > 0 || store.pending > 0;
   }
 
   bool VertexEligible(PartitionStore& store, VertexId v) {
     if (!halted_[v]) return true;
-    std::lock_guard<std::mutex> lock(store.mu);
+    sy::MutexLock lock(&store.mu);
     return !store.current[local_index_[v]].empty();
   }
 
@@ -658,7 +667,7 @@ class Engine {
     int64_t active = 0;
     for (PartitionId p : partitioning_.PartitionsOfWorker(worker.id)) {
       PartitionStore& store = *stores_[p];
-      std::lock_guard<std::mutex> lock(store.mu);
+      sy::MutexLock lock(&store.mu);
       if (options_.model == ComputationModel::kBsp) {
         const auto& vertices = partitioning_.VerticesOfPartition(p);
         for (size_t i = 0; i < vertices.size(); ++i) {
@@ -714,7 +723,7 @@ class Engine {
       writer.WriteVarint(stores_.size());
       for (int p = 0; p < partitioning_.num_partitions(); ++p) {
         PartitionStore& store = *stores_[p];
-        std::lock_guard<std::mutex> lock(store.mu);
+        sy::MutexLock lock(&store.mu);
         writer.WriteVarint(store.current.size());
         for (const auto& vec : store.current) {
           writer.WriteVarint(vec.size());
@@ -743,6 +752,9 @@ class Engine {
       }
       for (int p = 0; p < partitioning_.num_partitions(); ++p) {
         PartitionStore& store = *stores_[p];
+        // Restore runs single-threaded before workers start, but the
+        // fields are guarded so the lock is taken anyway (uncontended).
+        sy::MutexLock lock(&store.mu);
         uint64_t num_slots;
         if (!reader.ReadVarint(&num_slots) ||
             num_slots != store.current.size()) {
@@ -783,7 +795,7 @@ class Engine {
       double merged = 0.0;
       for (auto& worker : workers_) {
         WorkerAggregates& agg = worker->aggregates;
-        std::lock_guard<std::mutex> lock(agg.mu);
+        sy::MutexLock lock(&agg.mu);
         if (agg.op[slot] == AggOp::kUnused) continue;
         if (op == AggOp::kUnused) {
           op = agg.op[slot];
@@ -821,7 +833,7 @@ class Engine {
   /// Non-consuming eligibility check.
   bool PeekEligible(PartitionStore& store, VertexId v) {
     if (!halted_[v]) return true;
-    std::lock_guard<std::mutex> lock(store.mu);
+    sy::MutexLock lock(&store.mu);
     return !store.current[local_index_[v]].empty();
   }
 
@@ -909,7 +921,7 @@ class Engine {
   void SubSwapIncoming(WorkerState& worker) {
     for (PartitionId p : partitioning_.PartitionsOfWorker(worker.id)) {
       PartitionStore& store = *stores_[p];
-      std::lock_guard<std::mutex> lock(store.mu);
+      sy::MutexLock lock(&store.mu);
       const auto& vertices = partitioning_.VerticesOfPartition(p);
       for (size_t i = 0; i < vertices.size(); ++i) {
         auto& in = store.incoming[i];
@@ -1198,7 +1210,7 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
       *inbox_depth = transport_->InboxDepth(w);
       int64_t bytes = 0;
       for (const auto& out : workers_[w]->out) {
-        std::lock_guard<std::mutex> lock(out->mu);
+        sy::MutexLock lock(&out->mu);
         bytes += static_cast<int64_t>(out->writer.size());
       }
       *outbox_bytes = bytes;

@@ -34,6 +34,7 @@ ChandyMisraTable::ChandyMisraTable(Config config)
   // initial precedence over all larger-id neighbors.
   for (PhilosopherId p = 0; p < config_.count; ++p) {
     WorkerShard& shard = *shards_[config_.worker_of(p)];
+    sy::MutexLock lock(&shard.mu);
     Philosopher& phil = shard.philosophers[p];
     for (PhilosopherId q : config_.adjacency[p]) {
       SG_CHECK_NE(p, q);
@@ -51,12 +52,16 @@ ChandyMisraTable::ChandyMisraTable(Config config)
 
 void ChandyMisraTable::BindWorker(WorkerId w, WorkerHandle* handle) {
   SG_CHECK(handle != nullptr);
+  // Locked even though binding happens before compute threads start:
+  // comm threads read `handle` under the shard lock, and the annotation
+  // pass showed this write was the one unguarded access to it.
+  sy::MutexLock lock(&shards_[w]->mu);
   shards_[w]->handle = handle;
 }
 
 bool ChandyMisraTable::Acquire(PhilosopherId p) {
   WorkerShard& shard = ShardOf(p);
-  std::unique_lock<std::mutex> lock(shard.mu);
+  sy::MutexLock lock(&shard.mu);
   Philosopher& phil = shard.philosophers[p];
   SG_CHECK(phil.state == State::kThinking);
   phil.state = State::kHungry;
@@ -74,7 +79,7 @@ bool ChandyMisraTable::Acquire(PhilosopherId p) {
     }
     if ((bits & kHasToken) != 0) {
       bits &= ~kHasToken;
-      SendRequestLocked(p, q);
+      SendRequestLocked(shard, p, q);
     }
     // Without the token, the request is already outstanding: we sent the
     // token away earlier and the fork will arrive eventually.
@@ -97,7 +102,7 @@ bool ChandyMisraTable::Acquire(PhilosopherId p) {
     if (introspect) {
       // Short slices so a watchdog-requested abort unblocks us promptly;
       // the fatal backstop still fires at the long deadline.
-      shard.cv.wait_for(lock, std::chrono::milliseconds(100));
+      shard.cv.WaitFor(shard.mu, std::chrono::milliseconds(100));
       if (phil.missing_forks == 0) break;
       Introspector& in = Introspector::Get();
       if (in.abort_requested()) {
@@ -115,7 +120,7 @@ bool ChandyMisraTable::Acquire(PhilosopherId p) {
         SG_LOG(kFatal) << "Chandy-Misra acquire stalled for philosopher " << p
                        << " (missing " << phil.missing_forks << " forks)";
       }
-    } else if (shard.cv.wait_until(lock, deadline) ==
+    } else if (shard.cv.WaitUntil(shard.mu, deadline) ==
                std::cv_status::timeout) {
       SG_LOG(kFatal) << "Chandy-Misra acquire stalled for philosopher " << p
                      << " (missing " << phil.missing_forks << " forks)";
@@ -136,7 +141,7 @@ bool ChandyMisraTable::Acquire(PhilosopherId p) {
 
 void ChandyMisraTable::Release(PhilosopherId p) {
   WorkerShard& shard = ShardOf(p);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  sy::MutexLock lock(&shard.mu);
   Philosopher& phil = shard.philosophers[p];
   SG_CHECK(phil.state == State::kEating);
   phil.state = State::kThinking;
@@ -147,7 +152,7 @@ void ChandyMisraTable::Release(PhilosopherId p) {
         // Deferred request: the neighbor asked while we were eating.
         // Hand over the fork (cleaned); we keep the request token.
         bits &= ~(kHasFork | kDirty);
-        SendTransferLocked(p, q);
+        SendTransferLocked(shard, p, q);
       }
     }
   }
@@ -155,7 +160,7 @@ void ChandyMisraTable::Release(PhilosopherId p) {
 
 bool ChandyMisraTable::HoldsAllForks(PhilosopherId p) {
   WorkerShard& shard = ShardOf(p);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  sy::MutexLock lock(&shard.mu);
   Philosopher& phil = shard.philosophers[p];
   for (const auto& [q, bits] : phil.edges) {
     if ((bits & kHasFork) == 0) return false;
@@ -165,18 +170,18 @@ bool ChandyMisraTable::HoldsAllForks(PhilosopherId p) {
 
 void ChandyMisraTable::RequestMissingForks(PhilosopherId p) {
   WorkerShard& shard = ShardOf(p);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  sy::MutexLock lock(&shard.mu);
   Philosopher& phil = shard.philosophers[p];
   for (auto& [q, bits] : phil.edges) {
     if ((bits & kHasFork) != 0 || (bits & kHasToken) == 0) continue;
     bits &= ~kHasToken;
-    SendRequestLocked(p, q);
+    SendRequestLocked(shard, p, q);
   }
 }
 
 void ChandyMisraTable::MarkEaten(PhilosopherId p) {
   WorkerShard& shard = ShardOf(p);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  sy::MutexLock lock(&shard.mu);
   Philosopher& phil = shard.philosophers[p];
   SG_CHECK(phil.state == State::kThinking);
   for (auto& [q, bits] : phil.edges) {
@@ -184,7 +189,7 @@ void ChandyMisraTable::MarkEaten(PhilosopherId p) {
     bits |= kDirty;
     if ((bits & kHasToken) != 0) {
       bits &= ~(kHasFork | kDirty);
-      SendTransferLocked(p, q);
+      SendTransferLocked(shard, p, q);
     }
   }
 }
@@ -203,17 +208,17 @@ void ChandyMisraTable::HandleControl(WorkerId w, const WireMessage& msg) {
   }
 }
 
-void ChandyMisraTable::SendRequestLocked(PhilosopherId p, PhilosopherId q) {
+void ChandyMisraTable::SendRequestLocked(WorkerShard& shard, PhilosopherId p,
+                                         PhilosopherId q) {
   fork_requests_->Increment();
-  WorkerShard& shard = ShardOf(p);
   SG_CHECK(shard.handle != nullptr);
   shard.handle->SendControl(config_.worker_of(q), config_.request_tag, p, q,
                             0);
 }
 
-void ChandyMisraTable::SendTransferLocked(PhilosopherId p, PhilosopherId q) {
+void ChandyMisraTable::SendTransferLocked(WorkerShard& shard, PhilosopherId p,
+                                          PhilosopherId q) {
   fork_transfers_->Increment();
-  WorkerShard& shard = ShardOf(p);
   SG_CHECK(shard.handle != nullptr);
   const WorkerId dst = config_.worker_of(q);
   if (dst != shard.handle->worker_id()) {
@@ -230,7 +235,7 @@ void ChandyMisraTable::SendTransferLocked(PhilosopherId p, PhilosopherId q) {
 
 void ChandyMisraTable::OnRequest(WorkerShard& shard, PhilosopherId from,
                                  PhilosopherId to) {
-  std::lock_guard<std::mutex> lock(shard.mu);
+  sy::MutexLock lock(&shard.mu);
   Philosopher& phil = shard.philosophers[to];
   auto it = phil.edges.find(from);
   SG_CHECK(it != phil.edges.end());
@@ -249,19 +254,19 @@ void ChandyMisraTable::OnRequest(WorkerShard& shard, PhilosopherId from,
   }
   // Thinking-or-hungry with a dirty fork: we must yield it.
   bits &= ~(kHasFork | kDirty);
-  SendTransferLocked(to, from);
+  SendTransferLocked(shard, to, from);
   if (phil.state == State::kHungry) {
     // We still need the fork: spend the token we just received to ask for
     // it back. The fork will return clean and then cannot be taken again.
     ++phil.missing_forks;
     bits &= ~kHasToken;
-    SendRequestLocked(to, from);
+    SendRequestLocked(shard, to, from);
   }
 }
 
 void ChandyMisraTable::OnTransfer(WorkerShard& shard, PhilosopherId from,
                                   PhilosopherId to) {
-  std::lock_guard<std::mutex> lock(shard.mu);
+  sy::MutexLock lock(&shard.mu);
   Philosopher& phil = shard.philosophers[to];
   auto it = phil.edges.find(from);
   SG_CHECK(it != phil.edges.end());
@@ -272,7 +277,7 @@ void ChandyMisraTable::OnTransfer(WorkerShard& shard, PhilosopherId from,
   if (phil.state == State::kHungry) {
     SG_CHECK_GT(phil.missing_forks, 0);
     if (--phil.missing_forks == 0) {
-      shard.cv.notify_all();
+      shard.cv.NotifyAll();
     }
   }
 }

@@ -1,16 +1,16 @@
 #ifndef SERIGRAPH_SYNC_CHANDY_MISRA_H_
 #define SERIGRAPH_SYNC_CHANDY_MISRA_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "sync/technique.h"
 
 namespace serigraph {
@@ -121,10 +121,11 @@ class ChandyMisraTable {
   /// All philosophers of one worker share a mutex + cv; cross-worker
   /// interaction happens only via control messages.
   struct WorkerShard {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::unordered_map<PhilosopherId, Philosopher> philosophers;
-    WorkerHandle* handle = nullptr;
+    sy::Mutex mu;
+    sy::CondVar cv;
+    std::unordered_map<PhilosopherId, Philosopher> philosophers
+        SY_GUARDED_BY(mu);
+    WorkerHandle* handle SY_GUARDED_BY(mu) = nullptr;
   };
 
   WorkerShard& ShardOf(PhilosopherId p) {
@@ -132,16 +133,20 @@ class ChandyMisraTable {
   }
 
   /// Sends REQUEST(p -> q): p gives up the request token to ask q for the
-  /// shared fork. Caller holds p's shard lock.
-  void SendRequestLocked(PhilosopherId p, PhilosopherId q);
+  /// shared fork. `shard` is p's shard, locked by the caller.
+  void SendRequestLocked(WorkerShard& shard, PhilosopherId p, PhilosopherId q)
+      SY_REQUIRES(shard.mu);
 
   /// Sends TRANSFER(p -> q): p relinquishes the (cleaned) fork to q,
-  /// flushing data messages first if q lives on another worker. Caller
-  /// holds p's shard lock.
-  void SendTransferLocked(PhilosopherId p, PhilosopherId q);
+  /// flushing data messages first if q lives on another worker. `shard`
+  /// is p's shard, locked by the caller.
+  void SendTransferLocked(WorkerShard& shard, PhilosopherId p, PhilosopherId q)
+      SY_REQUIRES(shard.mu);
 
-  void OnRequest(WorkerShard& shard, PhilosopherId from, PhilosopherId to);
-  void OnTransfer(WorkerShard& shard, PhilosopherId from, PhilosopherId to);
+  void OnRequest(WorkerShard& shard, PhilosopherId from, PhilosopherId to)
+      SY_EXCLUDES(shard.mu);
+  void OnTransfer(WorkerShard& shard, PhilosopherId from, PhilosopherId to)
+      SY_EXCLUDES(shard.mu);
 
   Config config_;
   std::vector<std::unique_ptr<WorkerShard>> shards_;

@@ -165,7 +165,7 @@ void ConstrainedBspVertexLocking::OnVertexExecuted(WorkerId w, VertexId v) {
 void ConstrainedBspVertexLocking::HandleControl(WorkerId w,
                                                 const WireMessage& msg) {
   PendingControl& queue = *queues_[w];
-  std::lock_guard<std::mutex> lock(queue.mu);
+  sy::MutexLock lock(&queue.mu);
   queue.messages.push_back(msg);
 }
 
@@ -173,7 +173,7 @@ void ConstrainedBspVertexLocking::OnSubBarrier(WorkerId w) {
   PendingControl& queue = *queues_[w];
   std::vector<WireMessage> drained;
   {
-    std::lock_guard<std::mutex> lock(queue.mu);
+    sy::MutexLock lock(&queue.mu);
     drained.swap(queue.messages);
   }
   for (const WireMessage& msg : drained) {

@@ -4,6 +4,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "sync/chandy_misra.h"
 #include "sync/technique.h"
 
@@ -98,8 +100,8 @@ class ConstrainedBspVertexLocking final : public SyncTechnique {
 
  private:
   struct PendingControl {
-    std::mutex mu;
-    std::vector<WireMessage> messages;
+    sy::Mutex mu;
+    std::vector<WireMessage> messages SY_GUARDED_BY(mu);
   };
 
   std::unique_ptr<ChandyMisraTable> table_;

@@ -56,7 +56,7 @@ uint64_t HistoryRecorder::OnTxnBegin(WorkerId w, VertexId v, int superstep) {
   WorkerLog& log = *logs_[w];
   uint64_t version = rec.written_version;
   {
-    std::lock_guard<std::mutex> lock(log.mu);
+    sy::MutexLock lock(&log.mu);
     log.open.push_back(std::move(rec));
   }
   return version;
@@ -64,7 +64,7 @@ uint64_t HistoryRecorder::OnTxnBegin(WorkerId w, VertexId v, int superstep) {
 
 void HistoryRecorder::OnTxnEnd(WorkerId w, VertexId v, bool published) {
   WorkerLog& log = *logs_[w];
-  std::lock_guard<std::mutex> lock(log.mu);
+  sy::MutexLock lock(&log.mu);
   auto it = std::find_if(log.open.rbegin(), log.open.rend(),
                          [v](const TxnRecord& r) { return r.vertex == v; });
   SG_CHECK(it != log.open.rend());
@@ -92,7 +92,7 @@ void HistoryRecorder::OnDeliver(VertexId src, VertexId dst,
 std::vector<TxnRecord> HistoryRecorder::TakeRecords() {
   std::vector<TxnRecord> all;
   for (auto& log : logs_) {
-    std::lock_guard<std::mutex> lock(log->mu);
+    sy::MutexLock lock(&log->mu);
     SG_CHECK(log->open.empty());
     all.insert(all.end(), std::make_move_iterator(log->records.begin()),
                std::make_move_iterator(log->records.end()));

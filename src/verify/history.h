@@ -4,10 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "graph/graph.h"
 #include "graph/types.h"
 
@@ -87,10 +88,10 @@ class HistoryRecorder {
   std::vector<std::atomic<uint64_t>> delivered_;
 
   struct WorkerLog {
-    std::mutex mu;
-    std::vector<TxnRecord> records;
+    sy::Mutex mu;
+    std::vector<TxnRecord> records SY_GUARDED_BY(mu);
     /// Transactions currently open on this worker, keyed by vertex.
-    std::vector<TxnRecord> open;
+    std::vector<TxnRecord> open SY_GUARDED_BY(mu);
   };
   std::vector<std::unique_ptr<WorkerLog>> logs_;
 

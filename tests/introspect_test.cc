@@ -345,7 +345,12 @@ TEST(WatchdogTest, TransientCycleWithProgressIsNotADeadlock) {
   });
 
   WatchdogOptions opts;
-  opts.period_ms = 5;
+  // Deadlock confirmation needs frozen epochs across two consecutive
+  // samples, so the 1ms progress ticker above must land in every
+  // 2*period window. period_ms=5 made that window 10ms, which a loaded
+  // scheduler misses often enough to flake; 25ms gives the ticker a
+  // 50ms budget while the 150ms run still spans several samples.
+  opts.period_ms = 25;
   opts.stall_ms = 10000;
   Watchdog dog(opts);
   dog.Start();

@@ -1,0 +1,19 @@
+// Lint fixture: manual Lock() with no matching Unlock() anywhere in the
+// file. Expected diagnostic: [acquire-without-release] at the Lock line.
+#include "common/mutex.h"
+
+namespace lint_fixture {
+
+class LeakyGuard {
+ public:
+  void Begin() {
+    mu_.Lock();  // planted violation: never released
+    ++depth_;
+  }
+
+ private:
+  sy::Mutex mu_;
+  int depth_ = 0;
+};
+
+}  // namespace lint_fixture

@@ -1,0 +1,35 @@
+// Lint fixture control: idiomatic sy:: locking that must lint clean —
+// scoped critical sections, declared-order nesting (registry before
+// buffer, matching docs/LOCK_ORDER.md), balanced manual Lock/Unlock.
+#include "common/mutex.h"
+
+namespace lint_fixture {
+
+struct Buffer {
+  sy::Mutex mu;
+  int events = 0;
+};
+
+class GoodExporter {
+ public:
+  void Export(Buffer* buffer) {
+    sy::MutexLock registry_lock(&registry_mu_);
+    {
+      sy::MutexLock lock(&buffer->mu);
+      ++buffer->events;
+    }
+    ++generation_;
+  }
+
+  void ManualPair() {
+    registry_mu_.Lock();
+    ++generation_;
+    registry_mu_.Unlock();
+  }
+
+ private:
+  sy::Mutex registry_mu_;
+  int generation_ = 0;
+};
+
+}  // namespace lint_fixture

@@ -1,0 +1,31 @@
+// Lint fixture: nested acquisition inverting a declared edge. The
+// hierarchy in docs/LOCK_ORDER.md declares
+//   obs.tracer.registry -> obs.tracer.buffer
+// so taking the registry lock while holding a buffer lock is an
+// inversion. Expected diagnostic: [lock-order] at the inner MutexLock.
+#include "common/mutex.h"
+
+namespace lint_fixture {
+
+struct Buffer {
+  sy::Mutex mu;
+  int events = 0;
+};
+
+class Exporter {
+ public:
+  void Flush(Buffer* buffer) {
+    sy::MutexLock lock(&buffer->mu);
+    {
+      sy::MutexLock registry_lock(&registry_mu_);  // planted inversion
+      ++generation_;
+    }
+    ++buffer->events;
+  }
+
+ private:
+  sy::Mutex registry_mu_;
+  int generation_ = 0;
+};
+
+}  // namespace lint_fixture

@@ -1,0 +1,19 @@
+// Lint fixture: planted naked std::mutex outside src/common/mutex.h.
+// Expected diagnostic: [naked-mutex] at the std::mutex member line.
+#include <mutex>
+
+namespace lint_fixture {
+
+class BadCache {
+ public:
+  void Put(int v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    value_ = v;
+  }
+
+ private:
+  std::mutex mu_;  // planted violation: must be sy::Mutex
+  int value_ = 0;
+};
+
+}  // namespace lint_fixture

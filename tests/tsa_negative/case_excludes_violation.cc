@@ -1,0 +1,33 @@
+// TSA negative case: calling an SY_EXCLUDES function while holding the
+// excluded mutex (the self-deadlock shape SY_EXCLUDES exists to stop).
+// Must FAIL under Clang -Wthread-safety -Werror ("cannot call function
+// 'Reset' while mutex 'mu_' is held").
+#include "common/mutex.h"
+
+namespace tsa_negative {
+
+class ExcludesViolation {
+ public:
+  void Reset() SY_EXCLUDES(mu_) {
+    sy::MutexLock lock(&mu_);
+    count_ = 0;
+  }
+
+  void ResetIfLarge() {
+    sy::MutexLock lock(&mu_);
+    if (count_ > 100) {
+      Reset();  // violation: mu_ is held, Reset() acquires it again
+    }
+  }
+
+ private:
+  sy::Mutex mu_;
+  int count_ SY_GUARDED_BY(mu_) = 0;
+};
+
+void Use() {
+  ExcludesViolation e;
+  e.ResetIfLarge();
+}
+
+}  // namespace tsa_negative

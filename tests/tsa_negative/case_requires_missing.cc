@@ -1,0 +1,26 @@
+// TSA negative case: calling an SY_REQUIRES function without holding
+// the required mutex. Must FAIL under Clang -Wthread-safety -Werror
+// ("calling function 'BumpLocked' requires holding mutex 'mu_'").
+#include "common/mutex.h"
+
+namespace tsa_negative {
+
+class RequiresMissing {
+ public:
+  void Bump() {
+    BumpLocked();  // violation: caller does not hold mu_
+  }
+
+ private:
+  void BumpLocked() SY_REQUIRES(mu_) { ++count_; }
+
+  sy::Mutex mu_;
+  int count_ SY_GUARDED_BY(mu_) = 0;
+};
+
+void Use() {
+  RequiresMissing r;
+  r.Bump();
+}
+
+}  // namespace tsa_negative

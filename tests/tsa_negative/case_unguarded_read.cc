@@ -1,0 +1,32 @@
+// TSA negative case: reading a SY_GUARDED_BY field with no lock held.
+// Under Clang -Wthread-safety -Werror this must FAIL to compile
+// ("reading variable 'count_' requires holding mutex 'mu_'"). Under
+// GCC the annotations are no-ops, so it compiles — the harness then
+// registers it as a plain-compile smoke instead.
+#include "common/mutex.h"
+
+namespace tsa_negative {
+
+class Unguarded {
+ public:
+  int Peek() const {
+    return count_;  // violation: mu_ not held
+  }
+
+  void Add(int d) {
+    sy::MutexLock lock(&mu_);
+    count_ += d;
+  }
+
+ private:
+  mutable sy::Mutex mu_;
+  int count_ SY_GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Unguarded u;
+  u.Add(1);
+  return u.Peek();
+}
+
+}  // namespace tsa_negative

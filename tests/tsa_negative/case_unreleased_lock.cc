@@ -1,0 +1,30 @@
+// TSA negative case: a code path that returns while still holding a
+// manually acquired lock. Must FAIL under Clang -Wthread-safety
+// -Werror ("mutex 'mu_' is still held at the end of function").
+#include "common/mutex.h"
+
+namespace tsa_negative {
+
+class Unreleased {
+ public:
+  int TakeAndForget(bool early) {
+    mu_.Lock();
+    if (early) {
+      return -1;  // violation: returns with mu_ held
+    }
+    const int v = value_;
+    mu_.Unlock();
+    return v;
+  }
+
+ private:
+  sy::Mutex mu_;
+  int value_ SY_GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Unreleased u;
+  return u.TakeAndForget(false);
+}
+
+}  // namespace tsa_negative

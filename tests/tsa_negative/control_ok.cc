@@ -1,0 +1,46 @@
+// TSA control case: fully annotated, correctly locked code. Must
+// compile CLEAN under Clang -Wthread-safety -Werror on every compiler —
+// if this file fails, the harness itself is broken (wrong flags or a
+// wrapper regression), so the negative cases' failures prove nothing.
+#include "common/mutex.h"
+
+namespace tsa_negative {
+
+class Control {
+ public:
+  void Add(int d) {
+    sy::MutexLock lock(&mu_);
+    count_ += d;
+    if (count_ > 0) cv_.NotifyAll();
+  }
+
+  void WaitPositive() {
+    sy::MutexLock lock(&mu_);
+    while (count_ <= 0) cv_.Wait(mu_);
+  }
+
+  int Get() const {
+    sy::MutexLock lock(&mu_);
+    return count_;
+  }
+
+  void Combine(Control& other) SY_EXCLUDES(mu_) {
+    const int v = other.Get();
+    sy::MutexLock lock(&mu_);
+    count_ += v;
+  }
+
+ private:
+  mutable sy::Mutex mu_;
+  sy::CondVar cv_;
+  int count_ SY_GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Control a, b;
+  a.Add(1);
+  b.Combine(a);
+  return b.Get();
+}
+
+}  // namespace tsa_negative
