@@ -144,6 +144,32 @@ inline void RunFig6Grid(
   }
 }
 
+/// Expands the convenience flag `--json=FILE` into the Google Benchmark
+/// equivalents (`--benchmark_out=FILE --benchmark_out_format=json`),
+/// passing everything else through untouched. Pure string rewriting —
+/// this header is shared with the fig6-style benches, which do not link
+/// the benchmark library, so it must not include <benchmark/benchmark.h>.
+/// `storage` owns the rewritten strings; the returned pointers alias it.
+inline std::vector<char*> ExpandJsonFlag(int argc, char** argv,
+                                         std::vector<std::string>* storage) {
+  storage->clear();
+  storage->reserve(static_cast<size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      storage->push_back("--benchmark_out=" + arg.substr(7));
+      storage->push_back("--benchmark_out_format=json");
+    } else {
+      storage->push_back(arg);
+    }
+  }
+  std::vector<char*> out;
+  out.reserve(storage->size() + 1);
+  for (std::string& s : *storage) out.push_back(s.data());
+  out.push_back(nullptr);
+  return out;
+}
+
 }  // namespace serigraph
 
 #endif  // SERIGRAPH_BENCH_FIG6_COMMON_H_

@@ -103,3 +103,5 @@ BENCHMARK(BM_ChandyMisraClique)->Arg(8)->Arg(32)->Arg(128);
 
 }  // namespace
 }  // namespace serigraph
+
+#include "micro_main.h"

@@ -1,0 +1,31 @@
+#ifndef SERIGRAPH_BENCH_MICRO_MAIN_H_
+#define SERIGRAPH_BENCH_MICRO_MAIN_H_
+
+// Shared main() for the Google Benchmark micro benches. Identical to the
+// stock benchmark_main except that it accepts the repo's `--json=FILE`
+// shorthand (expanded by ExpandJsonFlag in fig6_common.h) so every bench
+// writes machine-readable snapshots the same way:
+//
+//   build/bench/micro_message_store --json=results/BENCH_pr4.json
+//
+// Include this header exactly once, at the end of a bench's .cc file.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "fig6_common.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> storage;
+  std::vector<char*> args = serigraph::ExpandJsonFlag(argc, argv, &storage);
+  int ac = static_cast<int>(args.size()) - 1;  // exclude trailing nullptr
+  benchmark::Initialize(&ac, args.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+#endif  // SERIGRAPH_BENCH_MICRO_MAIN_H_

@@ -84,3 +84,5 @@ BENCHMARK(BM_BatchEncodeDecode)->Arg(100)->Arg(10000);
 
 }  // namespace
 }  // namespace serigraph
+
+#include "micro_main.h"

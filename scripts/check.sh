@@ -5,7 +5,7 @@
 # data race in them shows up here, not in a flaky bench.
 #
 # Usage: scripts/check.sh [--sanitizer=thread|address,undefined]
-#                         [--introspect] [build-dir]
+#                         [--introspect] [--bench-smoke] [build-dir]
 #   (default sanitizer: thread; default build-dir: build-<sanitizer>)
 #
 # --sanitizer=address,undefined runs the combined ASan+UBSan pass
@@ -16,20 +16,49 @@
 # fig6a-shaped CLI run (coloring, partition-locking) with JSONL snapshot
 # streaming, then validates that the stream parses as JSON and contains
 # at least one snapshot and no deadlock reports.
+#
+# --bench-smoke skips the sanitizer suite entirely: it builds the micro
+# benches in Release and runs each with tiny iteration counts plus a
+# --json round-trip — a crash/regression smoke, no timing assertions.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SANITIZER=thread
 INTROSPECT_SMOKE=0
+BENCH_SMOKE=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
     --sanitizer=*) SANITIZER="${1#--sanitizer=}" ;;
     --introspect)  INTROSPECT_SMOKE=1 ;;
+    --bench-smoke) BENCH_SMOKE=1 ;;
     *) echo "check.sh: unknown flag $1" >&2; exit 2 ;;
   esac
   shift
 done
+
+if [[ "$BENCH_SMOKE" == "1" ]]; then
+  BUILD_DIR="${1:-build-bench-smoke}"
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_DIR" -j "$(nproc)" \
+    --target micro_message_store micro_transport micro_chandy_misra
+  SMOKE_DIR="$(mktemp -d)"
+  trap 'rm -rf "$SMOKE_DIR"' EXIT
+  for bench in micro_message_store micro_transport micro_chandy_misra; do
+    out="$SMOKE_DIR/$bench.json"
+    "$BUILD_DIR/bench/$bench" --benchmark_min_time=0.01 --json="$out"
+    python3 -c "
+import json, sys
+d = json.load(open('$out'))
+if not d.get('benchmarks'):
+    sys.exit('$bench: empty benchmark list in --json output')
+print('$bench: %d benchmarks, json ok' % len(d['benchmarks']))
+"
+  done
+  echo "check.sh: bench smoke passed"
+  exit 0
+fi
+
 BUILD_DIR="${1:-build-$(echo "$SANITIZER" | tr ',' '-')}"
 
 cmake -B "$BUILD_DIR" -S . -DSERIGRAPH_SANITIZE="$SANITIZER"

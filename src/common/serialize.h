@@ -55,6 +55,11 @@ class BufferWriter {
   std::vector<uint8_t> Release() { return std::move(buf_); }
   void Clear() { buf_.clear(); }
 
+  /// Takes ownership of `buf` and continues appending after its current
+  /// contents — lets a flusher encode more records onto an already-built
+  /// payload without copying it.
+  void Adopt(std::vector<uint8_t> buf) { buf_ = std::move(buf); }
+
  private:
   std::vector<uint8_t> buf_;
 };

@@ -46,6 +46,45 @@ struct WireMessage {
   }
 };
 
+/// Growable power-of-two ring buffer of WireMessages: the transport's
+/// zero-delay fast-path inbox. Plain FIFO — total per-inbox arrival
+/// order, which subsumes the per-(src,dst) ordering guarantee — with no
+/// per-message heap node (the priority-queue path pays one) and memory
+/// reused across pushes. Not thread-safe; the owner locks around it.
+class MessageRing {
+ public:
+  bool empty() const { return count_ == 0; }
+  size_t size() const { return count_; }
+
+  void Push(WireMessage msg) {
+    if (count_ == buf_.size()) Grow();
+    buf_[(head_ + count_) & (buf_.size() - 1)] = std::move(msg);
+    ++count_;
+  }
+
+  WireMessage Pop() {
+    WireMessage msg = std::move(buf_[head_]);
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --count_;
+    return msg;
+  }
+
+ private:
+  void Grow() {
+    const size_t cap = buf_.empty() ? 16 : buf_.size() * 2;
+    std::vector<WireMessage> grown(cap);
+    for (size_t i = 0; i < count_; ++i) {
+      grown[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+    }
+    buf_.swap(grown);
+    head_ = 0;
+  }
+
+  std::vector<WireMessage> buf_;
+  size_t head_ = 0;
+  size_t count_ = 0;
+};
+
 }  // namespace serigraph
 
 #endif  // SERIGRAPH_NET_MESSAGE_H_

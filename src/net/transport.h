@@ -95,9 +95,16 @@ class Transport {
         SY_GUARDED_BY(mu);
     /// Last assigned delivery time per sender, to preserve per-pair FIFO.
     std::vector<Clock::time_point> last_ready_from SY_GUARDED_BY(mu);
+    /// Zero-delay fast path (fast_path_ only): every message is
+    /// immediately deliverable, so a plain FIFO ring replaces the
+    /// priority queue and the per-sender deadline bookkeeping.
+    MessageRing fifo SY_GUARDED_BY(mu);
   };
 
   NetworkOptions options_;
+  /// True when the configured delay is identically zero (no base
+  /// latency, no bandwidth term) — the common test/bench configuration.
+  const bool fast_path_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;
   std::atomic<uint64_t> seq_{0};
   std::atomic<bool> shutdown_{false};
@@ -108,6 +115,7 @@ class Transport {
   Counter* control_messages_;
   Counter* data_batches_;
   Counter* local_messages_;
+  Counter* fastpath_messages_;
   // Per-batch distributions: simulated wire delay and batch size of
   // cross-worker data batches.
   Histogram* batch_delay_hist_;

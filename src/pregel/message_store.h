@@ -1,0 +1,431 @@
+#ifndef SERIGRAPH_PREGEL_MESSAGE_STORE_H_
+#define SERIGRAPH_PREGEL_MESSAGE_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "graph/types.h"
+
+namespace serigraph {
+
+/// Shard count for a partition of `num_slots` vertices: a power of two,
+/// sized so a shard covers a few dozen vertices but never exceeding 16
+/// shards (the per-shard mutexes are the footprint, and batch delivery
+/// pays one lock acquisition per shard touched).
+int PickMessageStoreShards(int64_t num_slots);
+
+/// Sharded flat message store for one partition (GPOP-style message
+/// bins instead of one heap vector per vertex).
+///
+/// Arrivals go into per-shard chunked arenas: shard `li & mask` holds
+/// vertex `li`'s chain of fixed-size nodes, so concurrent senders to
+/// one partition contend only per stripe, and the arena's chunks are
+/// reused across supersteps (no steady-state allocation). When the
+/// store has a combiner, arrival folds into the chain head and every
+/// chain stays at most one node long.
+///
+/// Two consumption modes:
+///  - double-buffered (BSP): arrivals are invisible until Swap(), which
+///    drains every chain (merged with any unconsumed leftovers) into a
+///    single contiguous `flat_` buffer with per-vertex [off,len) slots.
+///    Consume() then returns a zero-copy span and takes NO lock — the
+///    flat side is written only inside Swap() (barrier serial phase,
+///    one thread per partition) and each slot is consumed by exactly
+///    one executing thread, which is the engine's existing per-vertex
+///    execution exclusivity. That phase-ownership argument is why
+///    `flat_`/`slots_` carry no mutex.
+///  - direct (AP): chains are the visible store; Consume() detaches the
+///    chain under its shard lock and copies into a caller-provided
+///    scratch vector.
+///
+/// `pending()` (vertices with visible messages) is an atomic so
+/// eligibility checks never touch a lock.
+template <typename M>
+class MessageStore {
+ public:
+  using CombineFn = M (*)(const M&, const M&);
+
+  MessageStore() = default;
+  MessageStore(const MessageStore&) = delete;
+  MessageStore& operator=(const MessageStore&) = delete;
+
+  /// Sizes the store for `num_slots` local vertices. `double_buffered`
+  /// selects BSP semantics (arrivals visible only after Swap()).
+  /// `combine` may be null; `shard_hint` (power of two, <= 64) overrides
+  /// the default shard count — tests and benches use it.
+  void Init(int32_t num_slots, bool double_buffered, CombineFn combine,
+            int shard_hint = 0) {
+    num_slots_ = num_slots;
+    double_buffered_ = double_buffered;
+    combine_ = combine;
+    int want = shard_hint > 0 ? shard_hint : PickMessageStoreShards(num_slots);
+    shard_bits_ = 0;
+    while ((1 << shard_bits_) < want) ++shard_bits_;
+    shard_mask_ = (1 << shard_bits_) - 1;
+    shards_.clear();
+    for (int s = 0; s < (1 << shard_bits_); ++s) {
+      auto shard = std::make_unique<Shard>();
+      const int32_t dense =
+          num_slots > s ? ((num_slots - 1 - s) >> shard_bits_) + 1 : 0;
+      {
+        // Init runs before the store is shared; the lock is uncontended
+        // and keeps the annotations honest.
+        sy::MutexLock lock(&shard->mu);
+        shard->chains.assign(dense, Chain{});
+      }
+      shards_.push_back(std::move(shard));
+    }
+    if (double_buffered_) {
+      slots_.assign(num_slots, Slot{});
+      slots_spare_.assign(num_slots, Slot{});
+      flat_.clear();
+      flat_spare_.clear();
+    }
+    pending_.store(0, std::memory_order_relaxed);
+  }
+
+  int num_shards() const { return 1 << shard_bits_; }
+  int32_t num_slots() const { return num_slots_; }
+
+  /// Number of vertices with visible (consumable) messages.
+  int64_t pending() const { return pending_.load(std::memory_order_relaxed); }
+
+  /// Appends one message for local vertex `li`.
+  void Append(int32_t li, const M& msg) {
+    Shard& shard = *shards_[li & shard_mask_];
+    sy::MutexLock lock(&shard.mu);
+    AppendLocked(shard, li >> shard_bits_, msg);
+  }
+
+  /// Applies a decoded remote batch: pre-grouped by shard so each shard
+  /// lock is taken at most once for the whole batch. Message payloads
+  /// are moved out of `records`.
+  void AppendBatch(std::span<std::pair<int32_t, M>> records) {
+    uint64_t present = 0;
+    for (const auto& rec : records) {
+      present |= uint64_t{1} << (rec.first & shard_mask_);
+    }
+    for (int s = 0; s <= shard_mask_; ++s) {
+      if ((present & (uint64_t{1} << s)) == 0) continue;
+      Shard& shard = *shards_[s];
+      sy::MutexLock lock(&shard.mu);
+      for (auto& rec : records) {
+        if ((rec.first & shard_mask_) != s) continue;
+        AppendLocked(shard, rec.first >> shard_bits_, std::move(rec.second));
+      }
+    }
+  }
+
+  /// True if `li` has visible messages. Lock-free when double-buffered.
+  bool HasMessages(int32_t li) {
+    if (double_buffered_) return slots_[li].len != 0;
+    Shard& shard = *shards_[li & shard_mask_];
+    sy::MutexLock lock(&shard.mu);
+    return shard.chains[li >> shard_bits_].count != 0;
+  }
+
+  /// BSP publish, run at the barrier with no concurrent append/consume
+  /// on this partition: drains every arrival chain, merges it behind any
+  /// unconsumed leftover slot content, and rebuilds the contiguous flat
+  /// buffer. Arena chunks and flat capacity are retained for reuse.
+  void Swap() {
+    SG_DCHECK(double_buffered_);
+    flat_spare_.clear();
+    slots_spare_.assign(slots_.size(), Slot{});
+    int64_t pend = 0;
+    for (int s = 0; s <= shard_mask_; ++s) {
+      Shard& shard = *shards_[s];
+      sy::MutexLock lock(&shard.mu);
+      const int32_t dense = static_cast<int32_t>(shard.chains.size());
+      for (int32_t d = 0; d < dense; ++d) {
+        Chain& chain = shard.chains[d];
+        const int32_t li = (d << shard_bits_) | s;
+        const Slot leftover = slots_[li];
+        if (leftover.len == 0 && chain.count == 0) continue;
+        const uint32_t off = static_cast<uint32_t>(flat_spare_.size());
+        for (uint32_t k = 0; k < leftover.len; ++k) {
+          flat_spare_.push_back(std::move(flat_[leftover.off + k]));
+        }
+        for (int32_t node = chain.head; node >= 0;) {
+          Node& n = shard.NodeAt(node);
+          if (combine_ != nullptr && flat_spare_.size() > off) {
+            flat_spare_[off] = combine_(flat_spare_[off], n.msg);
+          } else {
+            flat_spare_.push_back(std::move(n.msg));
+          }
+          node = n.next;
+        }
+        slots_spare_[li] =
+            Slot{off, static_cast<uint32_t>(flat_spare_.size()) - off};
+        ++pend;
+        chain = Chain{};
+      }
+      // Every chain is drained: recycle the whole arena in O(1).
+      shard.free_head = -1;
+      shard.bump = 0;
+    }
+    flat_.swap(flat_spare_);
+    slots_.swap(slots_spare_);
+    pending_.store(pend, std::memory_order_relaxed);
+  }
+
+  /// Consumes `li`'s messages. Double-buffered: returns a zero-copy span
+  /// into the flat buffer (valid until the next Swap) without locking.
+  /// Direct mode: detaches the chain under the shard lock, moves the
+  /// messages into `*scratch`, and returns a span over it.
+  std::span<const M> Consume(int32_t li, std::vector<M>* scratch) {
+    if (double_buffered_) {
+      Slot& slot = slots_[li];
+      if (slot.len == 0) return {};
+      std::span<const M> out(flat_.data() + slot.off, slot.len);
+      slot.len = 0;
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return out;
+    }
+    Shard& shard = *shards_[li & shard_mask_];
+    scratch->clear();
+    {
+      sy::MutexLock lock(&shard.mu);
+      Chain& chain = shard.chains[li >> shard_bits_];
+      if (chain.count == 0) return {};
+      for (int32_t node = chain.head; node >= 0;) {
+        Node& n = shard.NodeAt(node);
+        scratch->push_back(std::move(n.msg));
+        const int32_t next = n.next;
+        n.next = shard.free_head;
+        shard.free_head = node;
+        node = next;
+      }
+      chain = Chain{};
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return std::span<const M>(scratch->data(), scratch->size());
+  }
+
+  /// Calls `fn(li)` for every vertex with visible messages. In direct
+  /// mode `fn` runs under a shard lock and must not block or lock.
+  template <typename Fn>
+  void ForEachPendingVertex(Fn&& fn) {
+    if (double_buffered_) {
+      for (size_t li = 0; li < slots_.size(); ++li) {
+        if (slots_[li].len != 0) fn(static_cast<int32_t>(li));
+      }
+      return;
+    }
+    for (int s = 0; s <= shard_mask_; ++s) {
+      Shard& shard = *shards_[s];
+      sy::MutexLock lock(&shard.mu);
+      const int32_t dense = static_cast<int32_t>(shard.chains.size());
+      for (int32_t d = 0; d < dense; ++d) {
+        if (shard.chains[d].count != 0) fn((d << shard_bits_) | s);
+      }
+    }
+  }
+
+  /// Checkpoint support (cold path): visible message count for `li` and
+  /// in-order visitation. In direct mode the walk holds the shard lock.
+  int64_t VisibleCount(int32_t li) {
+    if (double_buffered_) return slots_[li].len;
+    Shard& shard = *shards_[li & shard_mask_];
+    sy::MutexLock lock(&shard.mu);
+    return shard.chains[li >> shard_bits_].count;
+  }
+
+  template <typename Fn>
+  void ForEachVisible(int32_t li, Fn&& fn) {
+    if (double_buffered_) {
+      const Slot slot = slots_[li];
+      for (uint32_t k = 0; k < slot.len; ++k) fn(flat_[slot.off + k]);
+      return;
+    }
+    Shard& shard = *shards_[li & shard_mask_];
+    sy::MutexLock lock(&shard.mu);
+    const Chain& chain = shard.chains[li >> shard_bits_];
+    for (int32_t node = chain.head; node >= 0;) {
+      const Node& n = shard.NodeAt(node);
+      fn(n.msg);
+      node = n.next;
+    }
+  }
+
+  /// Total arena chunks across shards (tests assert reuse: the count
+  /// must plateau across supersteps of comparable message volume).
+  int64_t arena_chunks() {
+    int64_t total = 0;
+    for (int s = 0; s <= shard_mask_; ++s) {
+      Shard& shard = *shards_[s];
+      sy::MutexLock lock(&shard.mu);
+      total += static_cast<int64_t>(shard.chunks.size());
+    }
+    return total;
+  }
+
+ private:
+  static constexpr int kChunkBits = 8;
+  static constexpr int32_t kChunkSize = 1 << kChunkBits;  // nodes per chunk
+
+  struct Node {
+    M msg{};
+    int32_t next = -1;
+  };
+  struct Chain {
+    int32_t head = -1;
+    int32_t tail = -1;
+    uint32_t count = 0;
+  };
+  struct Slot {
+    uint32_t off = 0;
+    uint32_t len = 0;
+  };
+
+  struct Shard {
+    sy::Mutex mu;
+    /// Chunked node arena: stable addresses, chunks reused forever.
+    std::vector<std::unique_ptr<Node[]>> chunks SY_GUARDED_BY(mu);
+    int32_t free_head SY_GUARDED_BY(mu) = -1;
+    /// First never-used node index (within [0, chunks*kChunkSize)).
+    int32_t bump SY_GUARDED_BY(mu) = 0;
+    /// Per dense-vertex arrival chain (dense index = li >> shard_bits).
+    std::vector<Chain> chains SY_GUARDED_BY(mu);
+
+    Node& NodeAt(int32_t idx) SY_REQUIRES(mu) {
+      return chunks[idx >> kChunkBits][idx & (kChunkSize - 1)];
+    }
+    int32_t AllocNode() SY_REQUIRES(mu) {
+      if (free_head >= 0) {
+        const int32_t idx = free_head;
+        free_head = NodeAt(idx).next;
+        return idx;
+      }
+      if (bump == static_cast<int32_t>(chunks.size()) * kChunkSize) {
+        chunks.push_back(std::make_unique<Node[]>(kChunkSize));
+      }
+      return bump++;
+    }
+  };
+
+  void AppendLocked(Shard& shard, int32_t dense, M msg) SY_REQUIRES(shard.mu) {
+    Chain& chain = shard.chains[dense];
+    if (combine_ != nullptr && chain.count > 0) {
+      M& head = shard.NodeAt(chain.head).msg;
+      head = combine_(head, msg);
+      return;
+    }
+    const int32_t idx = shard.AllocNode();
+    Node& node = shard.NodeAt(idx);
+    node.msg = std::move(msg);
+    node.next = -1;
+    if (chain.tail >= 0) {
+      shard.NodeAt(chain.tail).next = idx;
+    } else {
+      chain.head = idx;
+    }
+    chain.tail = idx;
+    if (++chain.count == 1 && !double_buffered_) {
+      pending_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  int32_t num_slots_ = 0;
+  bool double_buffered_ = false;
+  CombineFn combine_ = nullptr;
+  int shard_bits_ = 0;
+  int shard_mask_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Flat (visible) side, double-buffered mode only. Unguarded by design:
+  // written solely by Swap() in the barrier phase, read/consumed by the
+  // per-vertex executor that the engine already serializes per vertex
+  // (see the class comment's phase-ownership argument).
+  std::vector<M> flat_;
+  std::vector<M> flat_spare_;
+  std::vector<Slot> slots_;
+  std::vector<Slot> slots_spare_;
+
+  std::atomic<int64_t> pending_{0};
+};
+
+/// Open-addressing map used for sender-side combining: folds messages
+/// keyed by destination vertex, preserving first-insertion order for the
+/// drain (so encoded batches stay deterministic for a given fold order).
+/// Not thread-safe; the engine guards it with the out-buffer mutex.
+template <typename M>
+class CombiningMap {
+ public:
+  size_t size() const { return entries_.size(); }
+
+  /// Folds `msg` into the entry for `dst` (via `combine`) or inserts a
+  /// new entry. Returns true on insert — the caller uses that to grow
+  /// its pending-bytes estimate.
+  template <typename Fn>
+  bool Fold(VertexId dst, const M& msg, Fn&& combine) {
+    if (table_.empty()) {
+      table_.assign(kInitialTable, -1);
+      mask_ = kInitialTable - 1;
+    }
+    size_t idx = Hash(dst) & mask_;
+    for (;;) {
+      const int32_t e = table_[idx];
+      if (e < 0) break;
+      if (entries_[e].key == dst) {
+        entries_[e].value = combine(entries_[e].value, msg);
+        return false;
+      }
+      idx = (idx + 1) & mask_;
+    }
+    table_[idx] = static_cast<int32_t>(entries_.size());
+    entries_.push_back(Entry{dst, msg});
+    if (entries_.size() * 2 >= table_.size()) Grow();
+    return true;
+  }
+
+  /// Moves all entries into `*out` (cleared first) in insertion order
+  /// and resets the map, keeping its capacity.
+  void Drain(std::vector<std::pair<VertexId, M>>* out) {
+    out->clear();
+    out->reserve(entries_.size());
+    for (Entry& e : entries_) {
+      out->emplace_back(e.key, std::move(e.value));
+    }
+    entries_.clear();
+    table_.assign(table_.size(), -1);
+  }
+
+ private:
+  static constexpr size_t kInitialTable = 1024;
+
+  struct Entry {
+    VertexId key;
+    M value;
+  };
+
+  static size_t Hash(VertexId v) {
+    uint64_t x = static_cast<uint64_t>(v) * 0x9E3779B97F4A7C15ull;
+    return static_cast<size_t>(x >> 17);
+  }
+
+  void Grow() {
+    table_.assign(table_.size() * 2, -1);
+    mask_ = table_.size() - 1;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      size_t idx = Hash(entries_[i].key) & mask_;
+      while (table_[idx] >= 0) idx = (idx + 1) & mask_;
+      table_[idx] = static_cast<int32_t>(i);
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<int32_t> table_;
+  size_t mask_ = 0;
+};
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_PREGEL_MESSAGE_STORE_H_

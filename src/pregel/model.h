@@ -59,6 +59,13 @@ struct EngineOptions {
   /// message buffer cache, Section 6.1). Set to 1 to disable batching.
   int64_t message_batch_bytes = 64 * 1024;
 
+  /// Fold messages into a per-destination-worker combining map on the
+  /// sender (only meaningful for programs with a combiner): fewer wire
+  /// bytes and one receiver-side append per destination vertex instead
+  /// of per message. Automatically disabled when record_history is set
+  /// (combined records carry no per-message provenance).
+  bool sender_combining = true;
+
   /// Fixed extra cost charged to every worker every superstep, used by
   /// the Giraphx emulation bench to model algorithm-level technique
   /// implementations on an older, slower system.

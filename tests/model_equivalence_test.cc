@@ -7,6 +7,7 @@
 
 #include <numeric>
 
+#include "algos/pagerank.h"
 #include "algos/sssp.h"
 #include "algos/triangles.h"
 #include "algos/wcc.h"
@@ -113,6 +114,78 @@ TEST_P(ModelEquivalenceTest, TrianglesIdenticalUnderLdgPartitioning) {
   EXPECT_EQ(std::accumulate(result->values.begin(), result->values.end(),
                             int64_t{0}),
             expected);
+}
+
+// Sender-side combining is a pure wire/lock optimization: for every
+// combiner-bearing algorithm, running with it on and off must agree.
+// SSSP and WCC use min (exact in int64); PageRank's sum combiner changes
+// floating-point fold order, so it gets a tight numeric tolerance.
+TEST_P(ModelEquivalenceTest, SenderCombiningSsspAndWccIdentical) {
+  const uint64_t seed = GetParam().seed;
+  Graph g = RandomGraph(seed);
+  auto sssp_reference = ReferenceSssp(g, 0);
+  Graph gu = g.Undirected();
+  auto wcc_reference = ReferenceWcc(gu);
+  Rng rng(seed * 29 + 5);
+
+  struct Config {
+    ComputationModel model;
+    SyncMode sync;
+  };
+  const Config configs[] = {
+      {ComputationModel::kBsp, SyncMode::kNone},
+      {ComputationModel::kAsync, SyncMode::kNone},
+      {ComputationModel::kAsync, SyncMode::kPartitionLocking},
+  };
+  for (const Config& config : configs) {
+    EngineOptions opts;
+    opts.model = config.model;
+    opts.sync_mode = config.sync;
+    // Multiple workers so the out-buffer (combining) path carries real
+    // traffic; single-worker runs never exercise it.
+    opts.num_workers = 2 + static_cast<int>(rng.Uniform(3));
+    opts.partitions_per_worker = 1 + static_cast<int>(rng.Uniform(3));
+    opts.compute_threads_per_worker = 1 + static_cast<int>(rng.Uniform(3));
+    opts.partition_seed = rng.Next();
+    for (bool combining : {false, true}) {
+      opts.sender_combining = combining;
+      Engine<Sssp> sssp(&g, opts);
+      auto sssp_result = sssp.Run(Sssp(0));
+      ASSERT_TRUE(sssp_result.ok()) << sssp_result.status();
+      EXPECT_EQ(sssp_result->values, sssp_reference)
+          << "seed=" << seed << " sync=" << SyncModeName(config.sync)
+          << " combining=" << combining;
+      Engine<Wcc> wcc(&gu, opts);
+      auto wcc_result = wcc.Run(Wcc());
+      ASSERT_TRUE(wcc_result.ok()) << wcc_result.status();
+      EXPECT_EQ(wcc_result->values, wcc_reference)
+          << "seed=" << seed << " sync=" << SyncModeName(config.sync)
+          << " combining=" << combining;
+    }
+  }
+}
+
+TEST_P(ModelEquivalenceTest, SenderCombiningPageRankAgreesWithinTolerance) {
+  const uint64_t seed = GetParam().seed;
+  Graph g = RandomGraph(seed);
+  EngineOptions opts;
+  opts.model = ComputationModel::kBsp;
+  opts.num_workers = 3;
+  opts.partitions_per_worker = 2;
+  opts.partition_seed = seed;
+
+  std::vector<double> results[2];
+  for (bool combining : {false, true}) {
+    opts.sender_combining = combining;
+    Engine<PageRank> engine(&g, opts);
+    auto result = engine.Run(PageRank(1e-9));
+    ASSERT_TRUE(result.ok()) << result.status();
+    results[combining ? 1 : 0] = result->values;
+  }
+  ASSERT_EQ(results[0].size(), results[1].size());
+  for (size_t v = 0; v < results[0].size(); ++v) {
+    EXPECT_NEAR(results[0][v], results[1][v], 1e-6) << "vertex " << v;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -170,5 +170,54 @@ TEST(TransportTest, ManyThreadsManyMessages) {
   }
 }
 
+TEST(TransportTest, FastPathCounterTracksZeroDelayRouting) {
+  // Zero-delay config: every message rides the FIFO fast path.
+  MetricRegistry metrics;
+  Transport transport(2, NetworkOptions{}, &metrics);
+  for (uint32_t i = 0; i < 5; ++i) transport.Send(Control(0, 1, i));
+  EXPECT_EQ(metrics.GetCounter("net.fastpath_messages")->value(), 5);
+
+  // Any nonzero delay keeps the priority-queue path.
+  MetricRegistry slow_metrics;
+  NetworkOptions slow;
+  slow.one_way_latency_us = 1;
+  Transport delayed(2, slow, &slow_metrics);
+  delayed.Send(Control(0, 1, 0));
+  EXPECT_EQ(slow_metrics.GetCounter("net.fastpath_messages")->value(), 0);
+}
+
+TEST(TransportTest, FastPathInboxEmptyAndDepth) {
+  MetricRegistry metrics;
+  Transport transport(2, NetworkOptions{}, &metrics);
+  EXPECT_TRUE(transport.InboxEmpty(1));
+  EXPECT_EQ(transport.InboxDepth(1), 0);
+  transport.Send(Control(0, 1, 1));
+  transport.Send(Control(0, 1, 2));
+  EXPECT_FALSE(transport.InboxEmpty(1));
+  EXPECT_EQ(transport.InboxDepth(1), 2);
+  EXPECT_TRUE(transport.TryReceive(1).has_value());
+  EXPECT_EQ(transport.InboxDepth(1), 1);
+  EXPECT_TRUE(transport.TryReceive(1).has_value());
+  EXPECT_TRUE(transport.InboxEmpty(1));
+}
+
+TEST(TransportTest, FastPathRingSurvivesGrowthAndWraparound) {
+  // Interleaved send/receive walks the ring's head across several
+  // growth boundaries; order must stay FIFO throughout.
+  MetricRegistry metrics;
+  Transport transport(2, NetworkOptions{}, &metrics);
+  uint32_t next_send = 0, next_recv = 0;
+  for (int round = 0; round < 40; ++round) {
+    for (int i = 0; i < 7; ++i) transport.Send(Control(0, 1, next_send++));
+    for (int i = 0; i < 5; ++i) {
+      auto m = transport.TryReceive(1);
+      ASSERT_TRUE(m.has_value());
+      EXPECT_EQ(m->tag, next_recv++);
+    }
+  }
+  while (auto m = transport.TryReceive(1)) EXPECT_EQ(m->tag, next_recv++);
+  EXPECT_EQ(next_recv, next_send);
+}
+
 }  // namespace
 }  // namespace serigraph
