@@ -22,6 +22,7 @@
 #include "algos/sssp.h"
 #include "algos/triangles.h"
 #include "algos/wcc.h"
+#include "fault/fault.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "graph/stats.h"
@@ -59,6 +60,13 @@ struct CliOptions {
   int64_t watchdog_ms = 0;
   int64_t stall_abort_ms = 0;
   std::string prom_out;
+  std::string fault_plan;  // file path, or "random"
+  uint64_t fault_seed = 1;
+  bool recover = false;
+  int max_recovery = 3;
+  int checkpoint_every = 0;
+  std::string checkpoint_dir = ".";
+  int64_t heartbeat_timeout_ms = 0;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -119,6 +127,28 @@ CliOptions Parse(int argc, char** argv) {
       opts.stall_abort_ms = std::atoll(value.c_str());
       continue;
     }
+    if (ParseFlag(arg, "fault-plan", &opts.fault_plan)) continue;
+    if (ParseFlag(arg, "fault-seed", &value)) {
+      opts.fault_seed = std::strtoull(value.c_str(), nullptr, 10);
+      continue;
+    }
+    if (ParseFlag(arg, "max-recovery", &value)) {
+      opts.max_recovery = std::atoi(value.c_str());
+      continue;
+    }
+    if (ParseFlag(arg, "checkpoint-every", &value)) {
+      opts.checkpoint_every = std::atoi(value.c_str());
+      continue;
+    }
+    if (ParseFlag(arg, "checkpoint-dir", &opts.checkpoint_dir)) continue;
+    if (ParseFlag(arg, "heartbeat-timeout-ms", &value)) {
+      opts.heartbeat_timeout_ms = std::atoll(value.c_str());
+      continue;
+    }
+    if (std::strcmp(arg, "--recover") == 0) {
+      opts.recover = true;
+      continue;
+    }
     if (std::strcmp(arg, "--introspect") == 0) {
       opts.introspect = true;
       continue;
@@ -168,7 +198,19 @@ void PrintHelp() {
       "                                   progress for N ms (implies\n"
       "                                   --introspect)\n"
       "  --prom-out=FILE                  write final metrics in Prometheus\n"
-      "                                   text exposition format\n");
+      "                                   text exposition format\n"
+      "  --checkpoint-every=N             checkpoint after every N\n"
+      "                                   supersteps into --checkpoint-dir\n"
+      "  --checkpoint-dir=PATH            checkpoint directory (default .)\n"
+      "  --fault-plan=FILE|random         arm a fault-injection plan\n"
+      "                                   (docs/FAULT_TOLERANCE.md format),\n"
+      "                                   or generate one from --fault-seed\n"
+      "  --fault-seed=N                   seed for --fault-plan=random\n"
+      "  --recover                        detect worker failures and\n"
+      "                                   restore from the last checkpoint\n"
+      "  --max-recovery=N                 recovery attempts before giving\n"
+      "                                   up (default 3)\n"
+      "  --heartbeat-timeout-ms=N         supervisor per-worker timeout\n");
 }
 
 StatusOr<SyncMode> ParseSync(const std::string& name) {
@@ -235,6 +277,14 @@ int RunAndReport(const Graph& graph, const CliOptions& cli,
               (long long)result->stats.Metric("net.control_messages"),
               (long long)result->stats.Metric("sync.fork_transfers"));
   if (!result_note.empty()) std::printf("%s\n", result_note.c_str());
+  if (result->stats.recovery_attempts > 0 ||
+      !result->stats.recovery_events.empty()) {
+    std::printf("recovery: %d attempt%s\n", result->stats.recovery_attempts,
+                result->stats.recovery_attempts == 1 ? "" : "s");
+    for (const auto& event : result->stats.recovery_events) {
+      std::printf("  %s\n", event.c_str());
+    }
+  }
   if (options.introspect) {
     const RunStats& stats = result->stats;
     std::printf("introspection: %lld snapshots, %lld stalls, "
@@ -353,6 +403,28 @@ int main(int argc, char** argv) {
     if (cli.stall_abort_ms > 0) {
       options.watchdog.stall_ms = cli.stall_abort_ms;
       options.watchdog.abort_on_stall = true;
+    }
+  }
+  options.checkpoint_every = cli.checkpoint_every;
+  options.checkpoint_dir = cli.checkpoint_dir;
+  options.fault.recover = cli.recover;
+  options.fault.max_recovery_attempts = cli.max_recovery;
+  if (cli.heartbeat_timeout_ms > 0) {
+    options.fault.supervisor.heartbeat_timeout_ms = cli.heartbeat_timeout_ms;
+  }
+  if (!cli.fault_plan.empty()) {
+    if (cli.fault_plan == "random") {
+      options.fault.plan = FaultPlan::Random(cli.fault_seed, cli.workers);
+      std::printf("fault plan (seed %llu):\n%s",
+                  (unsigned long long)cli.fault_seed,
+                  options.fault.plan.ToString().c_str());
+    } else {
+      auto plan = FaultPlan::ParseFile(cli.fault_plan);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+        return 1;
+      }
+      options.fault.plan = std::move(*plan);
     }
   }
   std::printf("running %s: model=%s sync=%s workers=%d\n",

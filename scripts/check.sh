@@ -20,6 +20,13 @@
 # --bench-smoke skips the sanitizer suite entirely: it builds the micro
 # benches in Release and runs each with tiny iteration counts plus a
 # --json round-trip — a crash/regression smoke, no timing assertions.
+#
+# --chaos skips the sanitizer suite entirely: it builds serigraph_cli in
+# Release and drives seeded fault-injection runs end to end — a worker
+# crash mid-superstep under each synchronization technique must recover
+# to exit 0 with a fault section in the metrics JSON, the same crash
+# without --recover must abort with exit 3, and a randomized plan under
+# --verify must still pass the serializability audit.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,15 +34,79 @@ cd "$(dirname "$0")/.."
 SANITIZER=thread
 INTROSPECT_SMOKE=0
 BENCH_SMOKE=0
+CHAOS=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
     --sanitizer=*) SANITIZER="${1#--sanitizer=}" ;;
     --introspect)  INTROSPECT_SMOKE=1 ;;
     --bench-smoke) BENCH_SMOKE=1 ;;
+    --chaos)       CHAOS=1 ;;
     *) echo "check.sh: unknown flag $1" >&2; exit 2 ;;
   esac
   shift
 done
+
+if [[ "$CHAOS" == "1" ]]; then
+  BUILD_DIR="${1:-build-chaos}"
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target serigraph_cli
+  CLI="$BUILD_DIR/examples/serigraph_cli"
+  CHAOS_DIR="$(mktemp -d)"
+  trap 'rm -rf "$CHAOS_DIR"' EXIT
+
+  PLAN="$CHAOS_DIR/plan.txt"
+  printf 'crash point=engine.pre_barrier worker=1 hit=3\n' > "$PLAN"
+
+  # A worker crash mid-superstep under every technique must recover and
+  # exit 0, and the run report must carry the recovery digest.
+  for sync in single-token dual-token vertex-locking partition-locking; do
+    METRICS="$CHAOS_DIR/metrics-$sync.json"
+    "$CLI" --algorithm=sssp --generator=erdos --vertices=300 --degree=4 \
+      --seed=2 --sync="$sync" --workers=3 \
+      --fault-plan="$PLAN" --checkpoint-every=2 \
+      --checkpoint-dir="$CHAOS_DIR" --recover \
+      --metrics-json="$METRICS"
+    python3 - "$METRICS" "$sync" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+fault = report.get("fault")
+if not fault:
+    sys.exit(f"chaos smoke [{sys.argv[2]}]: run report has no fault section")
+if fault.get("recovery_attempts", 0) < 1:
+    sys.exit(f"chaos smoke [{sys.argv[2]}]: no recovery attempt recorded")
+if report["metrics"].get("fault.events_fired", 0) < 1:
+    sys.exit(f"chaos smoke [{sys.argv[2]}]: no fault event fired")
+print(f"chaos smoke [{sys.argv[2]}]: recovered in "
+      f"{fault['recovery_attempts']} attempt(s), "
+      f"{len(fault.get('events', []))} recovery events")
+EOF
+  done
+
+  # The same crash with recovery disabled must abort (exit 3), proving
+  # the failure was real and not silently tolerated.
+  if "$CLI" --algorithm=sssp --generator=erdos --vertices=300 --degree=4 \
+      --seed=2 --sync=vertex-locking --workers=3 \
+      --fault-plan="$PLAN" > /dev/null 2>&1; then
+    echo "chaos smoke: crash without --recover unexpectedly succeeded" >&2
+    exit 1
+  else
+    status=$?
+    if [[ "$status" != 3 ]]; then
+      echo "chaos smoke: expected abort exit 3, got $status" >&2
+      exit 1
+    fi
+  fi
+
+  # A randomized seeded plan with history recording: recovery must keep
+  # the stitched execution serializable (the --verify audit gates it).
+  "$CLI" --algorithm=coloring --generator=erdos --vertices=200 --degree=4 \
+    --seed=2 --sync=partition-locking --workers=3 \
+    --fault-plan=random --fault-seed=7 --checkpoint-every=1 \
+    --checkpoint-dir="$CHAOS_DIR" --recover --verify
+
+  echo "check.sh: chaos smoke passed"
+  exit 0
+fi
 
 if [[ "$BENCH_SMOKE" == "1" ]]; then
   BUILD_DIR="${1:-build-bench-smoke}"

@@ -10,6 +10,7 @@ CyclicBarrier::CyclicBarrier(int parties) : parties_(parties) {
 
 bool CyclicBarrier::Await() {
   sy::MutexLock lock(&mu_);
+  if (broken_) return false;
   uint64_t gen = generation_;
   if (++waiting_ == parties_) {
     waiting_ = 0;
@@ -17,8 +18,21 @@ bool CyclicBarrier::Await() {
     cv_.NotifyAll();
     return true;
   }
-  while (generation_ == gen) cv_.Wait(mu_);
+  while (generation_ == gen && !broken_) cv_.Wait(mu_);
   return false;
+}
+
+void CyclicBarrier::Break() {
+  sy::MutexLock lock(&mu_);
+  broken_ = true;
+  waiting_ = 0;
+  ++generation_;
+  cv_.NotifyAll();
+}
+
+bool CyclicBarrier::broken() const {
+  sy::MutexLock lock(&mu_);
+  return broken_;
 }
 
 void CountDownLatch::CountDown() {

@@ -24,17 +24,27 @@ class CyclicBarrier {
 
   /// Blocks until all parties arrive. Returns true for exactly one caller
   /// per generation (the "serial" party), which may run phase-global work
-  /// guarded by a subsequent Await().
+  /// guarded by a subsequent Await(). On a broken barrier every Await
+  /// (current waiters and all future arrivals) returns false immediately;
+  /// callers that care must check their abort flag after a false return.
   bool Await();
+
+  /// Permanently breaks the barrier: wakes every current waiter and makes
+  /// all future Await calls return false without blocking. Used to release
+  /// workers when a run attempt is aborted for recovery.
+  void Break();
+
+  bool broken() const;
 
   int parties() const { return parties_; }
 
  private:
   const int parties_;
-  sy::Mutex mu_;
+  mutable sy::Mutex mu_;
   sy::CondVar cv_;
   int waiting_ SY_GUARDED_BY(mu_) = 0;
   uint64_t generation_ SY_GUARDED_BY(mu_) = 0;
+  bool broken_ SY_GUARDED_BY(mu_) = false;
 };
 
 /// One-shot latch: Wait() blocks until CountDown() has been called `count`

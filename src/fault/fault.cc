@@ -1,0 +1,369 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace serigraph {
+namespace {
+
+/// MessageKind names accepted by the `kind=` key (mirrors net/message.h;
+/// kept as strings here so the fault library does not depend on net/).
+int ParseKind(const std::string& value) {
+  if (value == "data") return 0;
+  if (value == "control") return 1;
+  if (value == "flush") return 2;
+  if (value == "ack") return 3;
+  if (value == "loading") return 4;
+  return -2;
+}
+
+const char* KindName(int kind) {
+  switch (kind) {
+    case 0: return "data";
+    case 1: return "control";
+    case 2: return "flush";
+    case 3: return "ack";
+    case 4: return "loading";
+    default: return "any";
+  }
+}
+
+bool ParseInt64(const std::string& value, int64_t* out) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+const char* FaultActionName(FaultAction action) {
+  switch (action) {
+    case FaultAction::kCrash: return "crash";
+    case FaultAction::kHang: return "hang";
+    case FaultAction::kDrop: return "drop";
+    case FaultAction::kDuplicate: return "dup";
+    case FaultAction::kDelay: return "delay";
+    case FaultAction::kCkptFail: return "ckpt-fail";
+    case FaultAction::kCkptTorn: return "ckpt-torn";
+  }
+  return "?";
+}
+
+std::string FaultEvent::ToString() const {
+  std::ostringstream os;
+  os << FaultActionName(action);
+  if (!point.empty()) os << " point=" << point;
+  if (worker >= 0) os << " worker=" << worker;
+  if (src >= 0) os << " src=" << src;
+  if (dst >= 0) os << " dst=" << dst;
+  if (kind >= 0) os << " kind=" << KindName(kind);
+  if (delay_us > 0) os << " us=" << delay_us;
+  os << " hit=" << hit;
+  if (count != 1) os << " count=" << count;
+  return os.str();
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  for (const FaultEvent& event : events) {
+    out += event.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+StatusOr<FaultPlan> FaultPlan::Parse(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream lines(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    const auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument("fault plan line " +
+                                     std::to_string(line_no) + ": " + why);
+    };
+    std::istringstream tokens(line);
+    std::string action_name;
+    if (!(tokens >> action_name) || action_name[0] == '#') continue;
+
+    FaultEvent event;
+    if (action_name == "crash") {
+      event.action = FaultAction::kCrash;
+    } else if (action_name == "hang") {
+      event.action = FaultAction::kHang;
+    } else if (action_name == "drop") {
+      event.action = FaultAction::kDrop;
+    } else if (action_name == "dup") {
+      event.action = FaultAction::kDuplicate;
+    } else if (action_name == "delay") {
+      event.action = FaultAction::kDelay;
+    } else if (action_name == "ckpt-fail") {
+      event.action = FaultAction::kCkptFail;
+    } else if (action_name == "ckpt-torn") {
+      event.action = FaultAction::kCkptTorn;
+    } else {
+      return fail("unknown action '" + action_name + "'");
+    }
+
+    std::string token;
+    while (tokens >> token) {
+      const size_t eq = token.find('=');
+      if (eq == std::string::npos) return fail("expected key=value, got '" + token + "'");
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      int64_t num = 0;
+      if (key == "point") {
+        event.point = value;
+      } else if (key == "kind") {
+        event.kind = ParseKind(value);
+        if (event.kind == -2) return fail("unknown kind '" + value + "'");
+      } else if (ParseInt64(value, &num)) {
+        if (key == "worker") {
+          event.worker = static_cast<int>(num);
+        } else if (key == "hit") {
+          event.hit = num;
+        } else if (key == "count") {
+          event.count = num;
+        } else if (key == "us") {
+          event.delay_us = num;
+        } else if (key == "src") {
+          event.src = static_cast<int>(num);
+        } else if (key == "dst") {
+          event.dst = static_cast<int>(num);
+        } else {
+          return fail("unknown key '" + key + "'");
+        }
+      } else {
+        return fail("bad value for '" + key + "': '" + value + "'");
+      }
+    }
+
+    const bool is_pointed = event.action == FaultAction::kCrash ||
+                            event.action == FaultAction::kHang;
+    if (is_pointed && event.point.empty()) {
+      return fail("crash/hang require point=");
+    }
+    if (!is_pointed && !event.point.empty()) {
+      return fail("point= only applies to crash/hang");
+    }
+    if (event.hit < 1 || event.count < 1) {
+      return fail("hit and count must be >= 1");
+    }
+    if (event.action == FaultAction::kDelay && event.delay_us <= 0) {
+      return fail("delay requires us=<positive microseconds>");
+    }
+    plan.events.push_back(std::move(event));
+  }
+  return plan;
+}
+
+StatusOr<FaultPlan> FaultPlan::ParseFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open fault plan: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return Parse(text.str());
+}
+
+FaultPlan FaultPlan::Random(uint64_t seed, int num_workers) {
+  FaultPlan plan;
+  Rng rng(seed ^ 0xfa017c0de5ULL);
+  const int workers = std::max(1, num_workers);
+
+  // Injection points that exist under every technique come first; the
+  // technique-specific ones simply never match (the plan is then a no-op
+  // for that event), which keeps Random() usable for any configuration.
+  static const char* const kPoints[] = {
+      "engine.superstep_start", "engine.post_compute", "engine.pre_barrier",
+      "engine.pre_checkpoint",  "cm.acquire",          "token.pass",
+  };
+  const int num_faults = 1 + static_cast<int>(rng.Uniform(2));
+  for (int i = 0; i < num_faults; ++i) {
+    FaultEvent event;
+    event.action =
+        rng.Uniform(4) == 0 ? FaultAction::kHang : FaultAction::kCrash;
+    event.point = kPoints[rng.Uniform(sizeof(kPoints) / sizeof(kPoints[0]))];
+    // Pin the worker so concurrent match counting stays deterministic.
+    event.worker = static_cast<int>(rng.Uniform(workers));
+    event.hit = 1 + static_cast<int64_t>(rng.Uniform(5));
+    plan.events.push_back(std::move(event));
+  }
+  if (rng.Uniform(2) == 0) {
+    FaultEvent wire;
+    const uint64_t pick = rng.Uniform(3);
+    wire.action = pick == 0   ? FaultAction::kDrop
+                  : pick == 1 ? FaultAction::kDuplicate
+                              : FaultAction::kDelay;
+    if (wire.action == FaultAction::kDelay) {
+      wire.delay_us = 1000 + static_cast<int64_t>(rng.Uniform(50000));
+    }
+    wire.hit = 1 + static_cast<int64_t>(rng.Uniform(20));
+    wire.count = 1 + static_cast<int64_t>(rng.Uniform(3));
+    plan.events.push_back(std::move(wire));
+  }
+  return plan;
+}
+
+int64_t RetryPolicy::BackoffMs(int failures) const {
+  double backoff = static_cast<double>(initial_backoff_ms);
+  for (int i = 0; i < failures; ++i) backoff *= multiplier;
+  backoff = std::min(backoff, static_cast<double>(max_backoff_ms));
+  return static_cast<int64_t>(backoff);
+}
+
+std::atomic<bool> FaultInjector::armed_{false};
+
+FaultInjector& FaultInjector::Get() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(const FaultPlan& plan) {
+  sy::MutexLock lock(&mu_);
+  slots_.clear();
+  for (const FaultEvent& event : plan.events) {
+    slots_.push_back(Slot{event, 0});
+  }
+  fired_ = 0;
+  fired_log_.clear();
+  ++hang_epoch_;  // release any stragglers from a previous plan
+  hang_cv_.NotifyAll();
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm() {
+  sy::MutexLock lock(&mu_);
+  armed_.store(false, std::memory_order_release);
+  slots_.clear();
+  crash_handler_ = nullptr;
+  ++hang_epoch_;
+  hang_cv_.NotifyAll();
+}
+
+void FaultInjector::SetCrashHandler(CrashHandler handler) {
+  sy::MutexLock lock(&mu_);
+  crash_handler_ = std::move(handler);
+}
+
+bool FaultInjector::MatchLocked(Slot& slot) {
+  const int64_t n = ++slot.matches;
+  return n >= slot.event.hit && n < slot.event.hit + slot.event.count;
+}
+
+void FaultInjector::RecordFiredLocked(const FaultEvent& event, int worker) {
+  ++fired_;
+  std::string entry = event.ToString();
+  if (worker >= 0 && event.worker < 0) {
+    entry += " (worker " + std::to_string(worker) + ")";
+  }
+  fired_log_.push_back(std::move(entry));
+}
+
+bool FaultInjector::Hit(const char* point, int worker) {
+  CrashHandler handler;
+  bool crashed = false;
+  {
+    sy::MutexLock lock(&mu_);
+    for (Slot& slot : slots_) {
+      const FaultEvent& event = slot.event;
+      if (event.action != FaultAction::kCrash &&
+          event.action != FaultAction::kHang) {
+        continue;
+      }
+      if (event.point != point) continue;
+      if (event.worker >= 0 && event.worker != worker) continue;
+      if (!MatchLocked(slot)) continue;
+      RecordFiredLocked(event, worker);
+      if (event.action == FaultAction::kHang) {
+        const uint64_t epoch = hang_epoch_;
+        while (hang_epoch_ == epoch &&
+               armed_.load(std::memory_order_relaxed)) {
+          hang_cv_.WaitFor(mu_, std::chrono::milliseconds(50));
+        }
+        // Released by recovery (or disarm): abandon the current work.
+        return true;
+      }
+      crashed = true;
+      handler = crash_handler_;
+      break;
+    }
+  }
+  if (crashed) {
+    if (handler) {
+      handler(worker, point);
+    } else {
+      SG_LOG(kWarning) << "fault: crash at " << point << " on worker "
+                       << worker << " with no crash handler installed";
+    }
+  }
+  return crashed;
+}
+
+WireFaultDecision FaultInjector::OnWire(int src, int dst, int kind) {
+  WireFaultDecision decision;
+  sy::MutexLock lock(&mu_);
+  for (Slot& slot : slots_) {
+    const FaultEvent& event = slot.event;
+    if (event.action != FaultAction::kDrop &&
+        event.action != FaultAction::kDuplicate &&
+        event.action != FaultAction::kDelay) {
+      continue;
+    }
+    if (event.src >= 0 && event.src != src) continue;
+    if (event.dst >= 0 && event.dst != dst) continue;
+    if (event.kind >= 0 && event.kind != kind) continue;
+    if (!MatchLocked(slot)) continue;
+    RecordFiredLocked(event, -1);
+    switch (event.action) {
+      case FaultAction::kDrop: decision.drop = true; break;
+      case FaultAction::kDuplicate: decision.duplicate = true; break;
+      case FaultAction::kDelay: decision.extra_delay_us += event.delay_us; break;
+      default: break;
+    }
+  }
+  return decision;
+}
+
+CheckpointFault FaultInjector::OnCheckpointWrite() {
+  sy::MutexLock lock(&mu_);
+  for (Slot& slot : slots_) {
+    const FaultEvent& event = slot.event;
+    if (event.action != FaultAction::kCkptFail &&
+        event.action != FaultAction::kCkptTorn) {
+      continue;
+    }
+    if (!MatchLocked(slot)) continue;
+    RecordFiredLocked(event, -1);
+    return event.action == FaultAction::kCkptFail ? CheckpointFault::kFail
+                                                  : CheckpointFault::kTorn;
+  }
+  return CheckpointFault::kNone;
+}
+
+void FaultInjector::ReleaseHangs() {
+  sy::MutexLock lock(&mu_);
+  ++hang_epoch_;
+  hang_cv_.NotifyAll();
+}
+
+int64_t FaultInjector::events_fired() const {
+  sy::MutexLock lock(&mu_);
+  return fired_;
+}
+
+std::vector<std::string> FaultInjector::fired_log() const {
+  sy::MutexLock lock(&mu_);
+  return fired_log_;
+}
+
+}  // namespace serigraph

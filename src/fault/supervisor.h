@@ -1,0 +1,151 @@
+#ifndef SERIGRAPH_FAULT_SUPERVISOR_H_
+#define SERIGRAPH_FAULT_SUPERVISOR_H_
+
+/// Heartbeat supervisor: failure *detection* for the engine's recovery loop
+/// (docs/FAULT_TOLERANCE.md). One Supervisor instance watches one engine
+/// attempt; the engine creates it only when a fault plan is armed or
+/// in-engine recovery is enabled, so fault-free runs pay nothing.
+///
+/// Detection channels, fastest first:
+///   1. ReportDeath  — a crash handler names the dead worker directly.
+///   2. ReportLoss   — the transport observed a sequence gap on a link.
+///   3. per-worker   — a worker that is *runnable* (not parked in a
+///      barrier/ack/lock wait) made no progress for heartbeat_timeout_ms.
+///   4. global stall — every live worker (blocked or not) made no progress
+///      for global_stall_timeout_ms; the stalest worker is blamed. This is
+///      what catches a worker hung *inside* a blocked section.
+///
+/// Progress is a plain counter bump (Beat), not a clock read, so the
+/// per-vertex cost is one relaxed fetch_add. Blocked sections are tracked
+/// as a nesting count so legitimate long waits (barrier, ack, fork
+/// acquisition) are exempt from the per-worker timeout.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace serigraph {
+
+struct SupervisorOptions {
+  int64_t period_ms = 10;                 ///< monitor sampling period
+  int64_t heartbeat_timeout_ms = 2000;    ///< runnable worker w/o progress
+  int64_t global_stall_timeout_ms = 10000;  ///< everyone w/o progress
+};
+
+struct FailureReport {
+  int worker = -1;
+  std::string reason;
+};
+
+class Supervisor {
+ public:
+  /// `on_failure` is invoked exactly once, on the first detected failure,
+  /// with no supervisor lock held (it may take engine locks).
+  using FailureCallback = std::function<void(const FailureReport&)>;
+
+  Supervisor(int num_workers, SupervisorOptions options,
+             FailureCallback on_failure);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  void Start();
+  /// Stops the monitor thread; failure reports arriving after Stop are
+  /// ignored (the attempt is already being torn down).
+  void Stop();
+
+  /// Progress heartbeat. Cheap: one relaxed fetch_add.
+  void Beat(int worker) {
+    cells_[static_cast<size_t>(worker)]->progress.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  /// Marks the worker as legitimately blocked (barrier / ack / lock wait);
+  /// nestable. Blocked workers are exempt from the per-worker timeout but
+  /// still count toward the global stall.
+  void EnterBlocked(int worker) {
+    cells_[static_cast<size_t>(worker)]->blocked.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  void ExitBlocked(int worker) {
+    cells_[static_cast<size_t>(worker)]->blocked.fetch_sub(
+        1, std::memory_order_relaxed);
+    Beat(worker);
+  }
+
+  /// Immediate failure: the worker is known dead (injected crash).
+  void ReportDeath(int worker, const std::string& reason);
+
+  /// Immediate failure: the transport saw a sequence gap (message loss)
+  /// on the src->dst link.
+  void ReportLoss(int src, int dst, uint64_t expected, uint64_t got);
+
+  /// Immediate failure: a sync-protocol invariant broke in a way only a
+  /// lost control message can produce (e.g. a fork request arrived for a
+  /// fork whose transfer vanished on the wire). Faster than waiting for
+  /// the link-sequence gap to surface on the same link.
+  void ReportProtocolViolation(int worker, const std::string& reason);
+
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+  FailureReport failure() const;
+
+ private:
+  struct WorkerCell {
+    std::atomic<uint64_t> progress{0};
+    std::atomic<int> blocked{0};
+    std::atomic<bool> dead{false};
+    // Monitor-thread-only bookkeeping.
+    uint64_t last_seen_progress = 0;
+    int64_t last_change_ms = 0;
+  };
+
+  void MonitorLoop();
+  /// First failure wins; later calls (and any call after Stop) are no-ops.
+  void Fail(int worker, std::string reason);
+  static int64_t NowMs();
+
+  const SupervisorOptions options_;
+  const FailureCallback on_failure_;
+  std::vector<std::unique_ptr<WorkerCell>> cells_;
+
+  std::atomic<bool> failed_{false};
+  std::atomic<bool> stopped_{false};
+
+  mutable sy::Mutex mu_;
+  sy::CondVar cv_;
+  bool stop_requested_ SY_GUARDED_BY(mu_) = false;
+  FailureReport report_ SY_GUARDED_BY(mu_);
+
+  std::thread thread_;
+};
+
+/// RAII blocked-section marker; null supervisor is a no-op.
+class ScopedBlocked {
+ public:
+  ScopedBlocked(Supervisor* supervisor, int worker)
+      : supervisor_(supervisor), worker_(worker) {
+    if (supervisor_ != nullptr) supervisor_->EnterBlocked(worker_);
+  }
+  ~ScopedBlocked() {
+    if (supervisor_ != nullptr) supervisor_->ExitBlocked(worker_);
+  }
+
+  ScopedBlocked(const ScopedBlocked&) = delete;
+  ScopedBlocked& operator=(const ScopedBlocked&) = delete;
+
+ private:
+  Supervisor* supervisor_;
+  int worker_;
+};
+
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_FAULT_SUPERVISOR_H_

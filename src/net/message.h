@@ -38,6 +38,11 @@ struct WireMessage {
   /// vertex batch can be followed across workers. Assigned by the
   /// transport when tracing is enabled; 0 means untagged.
   uint64_t span = 0;
+  /// Per-(src,dst) link sequence number, assigned by the transport on
+  /// send (1-based, strictly increasing per link). The receiver drops
+  /// messages whose sequence it has already delivered (duplicate
+  /// tolerance) and reports gaps (message loss) to the loss callback.
+  uint64_t link_seq = 0;
   std::vector<uint8_t> payload;
 
   /// Approximate wire size: fixed header plus payload.

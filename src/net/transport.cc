@@ -1,6 +1,7 @@
 #include "net/transport.h"
 
 #include "common/logging.h"
+#include "fault/fault.h"
 #include "obs/trace.h"
 
 namespace serigraph {
@@ -18,13 +19,16 @@ const char* FlowName(MessageKind kind) {
 Transport::Transport(int num_workers, NetworkOptions options,
                      MetricRegistry* metrics)
     : options_(options),
-      fast_path_(options.one_way_latency_us == 0 && options.per_kib_us == 0) {
+      fast_path_(options.one_way_latency_us == 0 && options.per_kib_us == 0 &&
+                 !FaultInjector::armed()) {
   SG_CHECK_GT(num_workers, 0);
   SG_CHECK(metrics != nullptr);
   inboxes_.reserve(num_workers);
   for (int i = 0; i < num_workers; ++i) {
     auto inbox = std::make_unique<Inbox>();
     inbox->last_ready_from.assign(num_workers, Clock::time_point::min());
+    inbox->next_link_seq.assign(num_workers, 0);
+    inbox->delivered_link_seq.assign(num_workers, 0);
     inboxes_.push_back(std::move(inbox));
   }
   wire_messages_ = metrics->GetCounter("net.wire_messages");
@@ -33,6 +37,9 @@ Transport::Transport(int num_workers, NetworkOptions options,
   data_batches_ = metrics->GetCounter("net.data_batches");
   local_messages_ = metrics->GetCounter("net.local_messages");
   fastpath_messages_ = metrics->GetCounter("net.fastpath_messages");
+  dup_dropped_ = metrics->GetCounter("net.dup_dropped");
+  seq_gaps_ = metrics->GetCounter("net.seq_gaps");
+  fault_injected_ = metrics->GetCounter("net.fault_injected");
   batch_delay_hist_ = metrics->GetHistogram("net.batch_delay_us");
   batch_bytes_hist_ = metrics->GetHistogram("net.batch_bytes");
 }
@@ -64,6 +71,33 @@ void Transport::Send(WireMessage msg) {
     Tracer::Get().RecordFlow(FlowName(msg.kind), 's', msg.span);
   }
 
+  // Armed wire faults are decided before any transport lock is taken
+  // (tier fault.injector is standalone). A dropped message still consumes
+  // its link sequence number, so the receiver observes a gap on the next
+  // delivery from this sender and recovery can start promptly.
+  bool duplicate = false;
+  int64_t extra_delay_us = 0;
+  if (FaultInjector::armed()) {
+    const WireFaultDecision decision =
+        FaultInjector::Get().OnWire(msg.src, msg.dst,
+                                    static_cast<int>(msg.kind));
+    if (decision.drop) {
+      fault_injected_->Increment();
+      Inbox& inbox = *inboxes_[msg.dst];
+      sy::MutexLock lock(&inbox.mu);
+      ++inbox.next_link_seq[msg.src];
+      return;
+    }
+    if (decision.duplicate) {
+      duplicate = true;
+      fault_injected_->Increment();
+    }
+    if (decision.extra_delay_us > 0) {
+      extra_delay_us = decision.extra_delay_us;
+      fault_injected_->Increment();
+    }
+  }
+
   Inbox& inbox = *inboxes_[msg.dst];
   if (fast_path_) {
     // Zero-delay configuration: arrival order IS delivery order, so a
@@ -74,26 +108,40 @@ void Transport::Send(WireMessage msg) {
     fastpath_messages_->Increment();
     {
       sy::MutexLock lock(&inbox.mu);
+      msg.link_seq = ++inbox.next_link_seq[msg.src];
+      if (duplicate) inbox.fifo.Push(msg);
       inbox.fifo.Push(std::move(msg));
     }
     inbox.cv.NotifyOne();
     return;
   }
-  Item item;
-  item.seq = seq_.fetch_add(1, std::memory_order_relaxed);
   const auto now = Clock::now();
   auto ready = local ? now
                      : now + std::chrono::microseconds(
                                  options_.DelayMicros(bytes));
+  if (extra_delay_us > 0) ready += std::chrono::microseconds(extra_delay_us);
   {
     sy::MutexLock lock(&inbox.mu);
     // Preserve per-(src,dst) FIFO: never deliver before an earlier message
     // from the same sender (a large batch must not be overtaken by the
-    // flush marker that follows it).
+    // flush marker that follows it). An injected delay spike therefore
+    // stalls the whole link, like real congestion would.
     auto& last = inbox.last_ready_from[msg.src];
     if (ready < last) ready = last;
     last = ready;
+    // The global tie-break sequence is assigned under the inbox lock so
+    // that for equal-ready items it agrees with the link sequence order.
+    msg.link_seq = ++inbox.next_link_seq[msg.src];
+    Item item;
     item.ready = ready;
+    item.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    if (duplicate) {
+      Item dup;
+      dup.ready = ready;
+      dup.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+      dup.msg = msg;
+      inbox.queue.push(std::move(dup));
+    }
     item.msg = std::move(msg);
     inbox.queue.push(std::move(item));
   }
@@ -103,12 +151,25 @@ void Transport::Send(WireMessage msg) {
 std::optional<WireMessage> Transport::Receive(WorkerId worker) {
   Inbox& inbox = *inboxes_[worker];
   std::optional<WireMessage> msg;
+  std::optional<GapInfo> gap;
   if (fast_path_) {
     sy::MutexLock lock(&inbox.mu);
     for (;;) {
       if (shutdown_.load(std::memory_order_acquire)) return std::nullopt;
       if (!inbox.fifo.empty()) {
         msg = inbox.fifo.Pop();
+        // Duplicate tolerance: deliver each link sequence exactly once.
+        uint64_t& last = inbox.delivered_link_seq[msg->src];
+        if (msg->link_seq <= last) {
+          dup_dropped_->Increment();
+          msg.reset();
+          continue;
+        }
+        if (msg->link_seq != last + 1 && !gap) {
+          seq_gaps_->Increment();
+          gap = GapInfo{msg->src, last + 1, msg->link_seq};
+        }
+        last = msg->link_seq;
         break;
       }
       inbox.cv.Wait(inbox.mu);
@@ -123,6 +184,17 @@ std::optional<WireMessage> Transport::Receive(WorkerId worker) {
         if (top.ready <= now) {
           msg = std::move(const_cast<Item&>(top).msg);
           inbox.queue.pop();
+          uint64_t& last = inbox.delivered_link_seq[msg->src];
+          if (msg->link_seq <= last) {
+            dup_dropped_->Increment();
+            msg.reset();
+            continue;
+          }
+          if (msg->link_seq != last + 1 && !gap) {
+            seq_gaps_->Increment();
+            gap = GapInfo{msg->src, last + 1, msg->link_seq};
+          }
+          last = msg->link_seq;
           break;
         }
         // Copy the deadline out of the queue node: WaitUntil releases
@@ -137,10 +209,13 @@ std::optional<WireMessage> Transport::Receive(WorkerId worker) {
       }
     }
   }
-  // Flow arrows are recorded outside the inbox critical section: the
-  // tracer takes its thread-registry lock on a thread's first event,
-  // which must never nest under inbox.mu (lock-order fix surfaced by the
-  // annotation pass; docs/LOCK_ORDER.md keeps tracer locks leaf-only).
+  // Gap (loss) reports and flow arrows are recorded outside the inbox
+  // critical section: the tracer takes its thread-registry lock on a
+  // thread's first event, which must never nest under inbox.mu
+  // (lock-order fix surfaced by the annotation pass; docs/LOCK_ORDER.md
+  // keeps tracer locks leaf-only), and the loss callback takes engine
+  // and supervisor locks.
+  if (gap && loss_cb_) loss_cb_(gap->src, worker, gap->expected, gap->got);
   if (msg->span != 0 && Tracer::enabled()) {
     Tracer::Get().RecordFlow(FlowName(msg->kind), 'f', msg->span);
   }
@@ -150,20 +225,36 @@ std::optional<WireMessage> Transport::Receive(WorkerId worker) {
 std::optional<WireMessage> Transport::TryReceive(WorkerId worker) {
   Inbox& inbox = *inboxes_[worker];
   std::optional<WireMessage> msg;
+  std::optional<GapInfo> gap;
   {
     sy::MutexLock lock(&inbox.mu);
-    if (fast_path_) {
-      if (inbox.fifo.empty()) return std::nullopt;
-      msg = inbox.fifo.Pop();
-    } else {
-      if (inbox.queue.empty()) return std::nullopt;
-      const Item& top = inbox.queue.top();
-      if (top.ready > Clock::now()) return std::nullopt;
-      msg = std::move(const_cast<Item&>(top).msg);
-      inbox.queue.pop();
+    for (;;) {
+      if (fast_path_) {
+        if (inbox.fifo.empty()) return std::nullopt;
+        msg = inbox.fifo.Pop();
+      } else {
+        if (inbox.queue.empty()) return std::nullopt;
+        const Item& top = inbox.queue.top();
+        if (top.ready > Clock::now()) return std::nullopt;
+        msg = std::move(const_cast<Item&>(top).msg);
+        inbox.queue.pop();
+      }
+      uint64_t& last = inbox.delivered_link_seq[msg->src];
+      if (msg->link_seq <= last) {
+        dup_dropped_->Increment();
+        msg.reset();
+        continue;
+      }
+      if (msg->link_seq != last + 1 && !gap) {
+        seq_gaps_->Increment();
+        gap = GapInfo{msg->src, last + 1, msg->link_seq};
+      }
+      last = msg->link_seq;
+      break;
     }
   }
-  // As in Receive: flow recording stays outside the inbox lock.
+  // As in Receive: loss reports and flow recording stay outside the lock.
+  if (gap && loss_cb_) loss_cb_(gap->src, worker, gap->expected, gap->got);
   if (msg->span != 0 && Tracer::enabled()) {
     Tracer::Get().RecordFlow(FlowName(msg->kind), 'f', msg->span);
   }

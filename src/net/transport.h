@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <queue>
@@ -43,8 +44,20 @@ struct NetworkOptions {
 ///
 /// Thread-safe. Receive blocks until a message's delivery time is reached;
 /// Shutdown() unblocks all receivers with std::nullopt.
+///
+/// Every message carries a per-(src,dst) link sequence number assigned
+/// under the destination inbox lock. Receivers drop already-delivered
+/// sequences (`net.dup_dropped`) so injected duplicates cannot corrupt
+/// fork/token protocol state, and report sequence gaps (`net.seq_gaps`)
+/// — message loss — through the loss callback, which the engine feeds to
+/// the recovery supervisor.
 class Transport {
  public:
+  /// Invoked outside any transport lock when a receiver observes a gap in
+  /// the link sequence from `src` (messages lost in transit).
+  using LossCallback = std::function<void(WorkerId src, WorkerId dst,
+                                          uint64_t expected, uint64_t got)>;
+
   Transport(int num_workers, NetworkOptions options, MetricRegistry* metrics);
 
   Transport(const Transport&) = delete;
@@ -68,6 +81,10 @@ class Transport {
   /// Number of messages currently queued for `worker` (delivered or not);
   /// the watchdog's queue-depth probe.
   int64_t InboxDepth(WorkerId worker) const;
+
+  /// Installs the loss callback. Must be called before any receiver
+  /// thread is running (the engine sets it right after construction).
+  void SetLossCallback(LossCallback cb) { loss_cb_ = std::move(cb); }
 
   /// Unblocks all receivers permanently.
   void Shutdown();
@@ -99,15 +116,30 @@ class Transport {
     /// immediately deliverable, so a plain FIFO ring replaces the
     /// priority queue and the per-sender deadline bookkeeping.
     MessageRing fifo SY_GUARDED_BY(mu);
+    /// Next link sequence number to assign per sender (sender side; the
+    /// stamp happens under this inbox's lock so link order matches
+    /// delivery order).
+    std::vector<uint64_t> next_link_seq SY_GUARDED_BY(mu);
+    /// Highest link sequence delivered per sender (receiver side).
+    std::vector<uint64_t> delivered_link_seq SY_GUARDED_BY(mu);
+  };
+
+  /// A sequence gap observed while receiving; reported outside the lock.
+  struct GapInfo {
+    WorkerId src;
+    uint64_t expected;
+    uint64_t got;
   };
 
   NetworkOptions options_;
   /// True when the configured delay is identically zero (no base
-  /// latency, no bandwidth term) — the common test/bench configuration.
+  /// latency, no bandwidth term) — the common test/bench configuration —
+  /// and no fault plan is armed (injected delays need the timed queue).
   const bool fast_path_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;
   std::atomic<uint64_t> seq_{0};
   std::atomic<bool> shutdown_{false};
+  LossCallback loss_cb_;
 
   // Traffic counters (owned by the caller's registry).
   Counter* wire_messages_;
@@ -116,6 +148,9 @@ class Transport {
   Counter* data_batches_;
   Counter* local_messages_;
   Counter* fastpath_messages_;
+  Counter* dup_dropped_;
+  Counter* seq_gaps_;
+  Counter* fault_injected_;
   // Per-batch distributions: simulated wire delay and batch size of
   // cross-worker data batches.
   Histogram* batch_delay_hist_;

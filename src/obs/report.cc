@@ -176,6 +176,18 @@ std::string RunReportToJson(const RunReport& report) {
     json.EndArray();
     json.EndObject();
   }
+  const bool has_fault =
+      report.recovery_attempts > 0 || !report.recovery_events.empty();
+  if (has_fault) {
+    json.Key("fault").BeginObject();
+    json.Key("recovery_attempts").Value(report.recovery_attempts);
+    json.Key("events").BeginArray();
+    for (const std::string& event : report.recovery_events) {
+      json.Value(event);
+    }
+    json.EndArray();
+    json.EndObject();
+  }
   json.EndObject();
   return json.str();
 }

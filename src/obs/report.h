@@ -63,13 +63,18 @@ struct RunReport {
   int64_t introspect_stalls = 0;
   int64_t introspect_deadlocks = 0;
   std::vector<std::string> introspect_incidents;
+  /// Recovery digest (empty when the run had no fault plan armed and
+  /// in-engine recovery off).
+  int recovery_attempts = 0;
+  std::vector<std::string> recovery_events;
 };
 
 /// Serializes `report` as a JSON object:
 ///   {"supersteps":N,"converged":true,"computation_seconds":S,
 ///    "metrics":{"name":value,...},
 ///    "timeline":[{"superstep":0,"worker":0,"compute_us":...,...},...],
-///    "introspection":{...}}            // only when the run recorded any
+///    "introspection":{...},            // only when the run recorded any
+///    "fault":{...}}                    // only for fault/recovery runs
 std::string RunReportToJson(const RunReport& report);
 
 /// Renders `metrics` in the Prometheus text exposition format, one

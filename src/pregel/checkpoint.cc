@@ -1,32 +1,91 @@
 #include "pregel/checkpoint.h"
 
+#include <array>
 #include <cstdio>
 #include <fstream>
+
+#include "fault/fault.h"
 
 namespace serigraph {
 
 namespace {
 constexpr uint32_t kMagic = 0x53474350;  // "SGCP"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
+
+/// Rotates an existing frame at `path` to `path + ".prev"`. A missing
+/// `path` is fine (first checkpoint of a run).
+void RotatePrev(const std::string& path) {
+  const std::string prev = path + CheckpointPrevSuffix();
+  std::remove(prev.c_str());
+  std::rename(path.c_str(), prev.c_str());
+}
+
+std::vector<uint8_t> EncodeHeader(const CheckpointFrame& frame) {
+  BufferWriter header;
+  header.WriteU32(kMagic);
+  header.WriteU32(kVersion);
+  header.WriteU32(static_cast<uint32_t>(frame.superstep));
+  header.WriteU64(frame.payload.size());
+  header.WriteU32(Crc32(frame.payload.data(), frame.payload.size()));
+  return header.data();
+}
+
+Status WriteBytes(const std::string& path, const std::vector<uint8_t>& header,
+                  const uint8_t* payload, size_t payload_size) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path);
+  out.write(reinterpret_cast<const char*>(header.data()),
+            static_cast<std::streamsize>(header.size()));
+  out.write(reinterpret_cast<const char*>(payload),
+            static_cast<std::streamsize>(payload_size));
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
 }  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
 
 Status WriteCheckpoint(const std::string& path,
                        const CheckpointFrame& frame) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IoError("cannot open " + tmp);
-    BufferWriter header;
-    header.WriteU32(kMagic);
-    header.WriteU32(kVersion);
-    header.WriteU32(static_cast<uint32_t>(frame.superstep));
-    header.WriteU64(frame.payload.size());
-    out.write(reinterpret_cast<const char*>(header.data().data()),
-              static_cast<std::streamsize>(header.size()));
-    out.write(reinterpret_cast<const char*>(frame.payload.data()),
-              static_cast<std::streamsize>(frame.payload.size()));
-    if (!out) return Status::IoError("write failed for " + tmp);
+  CheckpointFault fault = CheckpointFault::kNone;
+  if (FaultInjector::armed()) {
+    fault = FaultInjector::Get().OnCheckpointWrite();
   }
+  if (fault == CheckpointFault::kFail) {
+    return Status::IoError(path +
+                           ": injected checkpoint write failure (ENOSPC)");
+  }
+  const std::vector<uint8_t> header = EncodeHeader(frame);
+  if (fault == CheckpointFault::kTorn) {
+    // Simulate a torn write the filesystem reported as durable: the header
+    // (with the full-payload size and CRC) lands, but only half the payload
+    // does. The frame is detectable only by the size/CRC checks on read.
+    RotatePrev(path);
+    return WriteBytes(path, header, frame.payload.data(),
+                      frame.payload.size() / 2);
+  }
+  const std::string tmp = path + ".tmp";
+  SERIGRAPH_RETURN_IF_ERROR(
+      WriteBytes(tmp, header, frame.payload.data(), frame.payload.size()));
+  RotatePrev(path);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     return Status::IoError("rename failed for " + path);
   }
@@ -39,7 +98,7 @@ StatusOr<CheckpointFrame> ReadCheckpoint(const std::string& path) {
   std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
                              std::istreambuf_iterator<char>());
   BufferReader reader(bytes);
-  uint32_t magic, version, superstep;
+  uint32_t magic, version, superstep, crc;
   uint64_t payload_size;
   if (!reader.ReadU32(&magic) || magic != kMagic) {
     return Status::IoError(path + ": bad checkpoint magic");
@@ -48,13 +107,35 @@ StatusOr<CheckpointFrame> ReadCheckpoint(const std::string& path) {
     return Status::IoError(path + ": unsupported checkpoint version");
   }
   if (!reader.ReadU32(&superstep) || !reader.ReadU64(&payload_size) ||
-      payload_size != reader.Remaining()) {
+      !reader.ReadU32(&crc) || payload_size != reader.Remaining()) {
     return Status::IoError(path + ": truncated checkpoint");
+  }
+  const uint8_t* payload = bytes.data() + reader.position();
+  if (Crc32(payload, payload_size) != crc) {
+    return Status::IoError(path + ": payload CRC mismatch (torn write?)");
   }
   CheckpointFrame frame;
   frame.superstep = static_cast<int>(superstep);
-  frame.payload.assign(bytes.begin() + reader.position(), bytes.end());
+  frame.payload.assign(payload, payload + payload_size);
   return frame;
+}
+
+StatusOr<CheckpointFrame> ReadCheckpointWithFallback(const std::string& path,
+                                                     std::string* source) {
+  StatusOr<CheckpointFrame> latest = ReadCheckpoint(path);
+  if (latest.ok()) {
+    if (source != nullptr) *source = path;
+    return latest;
+  }
+  const std::string prev = path + CheckpointPrevSuffix();
+  StatusOr<CheckpointFrame> fallback = ReadCheckpoint(prev);
+  if (fallback.ok()) {
+    if (source != nullptr) *source = prev;
+    return fallback;
+  }
+  return Status::IoError(path + ": unreadable (" + latest.status().message() +
+                         "); fallback " + prev + " unreadable (" +
+                         fallback.status().message() + ")");
 }
 
 }  // namespace serigraph

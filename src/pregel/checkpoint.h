@@ -20,16 +20,39 @@ namespace serigraph {
 /// tables are re-initialized to the canonical acyclic placement on
 /// restore, which preserves every protocol invariant (any acyclic
 /// precedence graph is a valid starting state).
+///
+/// Framing (version 2): u32 magic, u32 version, u32 superstep,
+/// u64 payload_size, u32 crc32(payload), payload bytes. The CRC catches
+/// torn writes a lying filesystem reported as durable; the size field
+/// catches truncation. Each write rotates any existing frame at `path`
+/// to `path + ".prev"` first, so a torn latest checkpoint falls back one
+/// generation (ReadCheckpointWithFallback).
 struct CheckpointFrame {
   int superstep = 0;
   std::vector<uint8_t> payload;
 };
 
-/// Writes `frame` to `path` (atomic via rename). Magic-tagged.
+/// Suffix under which the previous generation of a frame is kept.
+inline const char* CheckpointPrevSuffix() { return ".prev"; }
+
+/// CRC-32 (IEEE, reflected 0xEDB88320) over `data`.
+uint32_t Crc32(const uint8_t* data, size_t size);
+
+/// Writes `frame` to `path` (atomic via rename), rotating any existing
+/// frame to `path + ".prev"` first. Honors armed checkpoint faults:
+/// kFail returns IoError without touching the files, kTorn writes a
+/// truncated frame and reports success (like a lying disk).
 Status WriteCheckpoint(const std::string& path, const CheckpointFrame& frame);
 
-/// Reads a checkpoint written by WriteCheckpoint.
+/// Reads a checkpoint written by WriteCheckpoint. Rejects bad magic,
+/// version or size mismatches, and payload CRC mismatches.
 StatusOr<CheckpointFrame> ReadCheckpoint(const std::string& path);
+
+/// Reads `path`, falling back to `path + ".prev"` when the latest frame
+/// is missing or corrupt. On success, `*source` (if non-null) receives the
+/// path actually read.
+StatusOr<CheckpointFrame> ReadCheckpointWithFallback(const std::string& path,
+                                                     std::string* source);
 
 }  // namespace serigraph
 

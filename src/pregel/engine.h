@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <memory>
 #include <optional>
 #include <span>
@@ -17,6 +18,8 @@
 #include "common/thread_annotations.h"
 #include "common/threading.h"
 #include "common/timer.h"
+#include "fault/fault.h"
+#include "fault/supervisor.h"
 #include "graph/graph.h"
 #include "graph/partitioning.h"
 #include "net/transport.h"
@@ -406,6 +409,14 @@ class Engine {
       return Status::Unimplemented(
           "checkpointing requires trivially copyable values and messages");
     }
+    if (options_.fault.recover && !kCheckpointable) {
+      return Status::Unimplemented(
+          "in-engine recovery restores from checkpoints and requires "
+          "trivially copyable values and messages");
+    }
+    if (options_.fault.recover && options_.fault.max_recovery_attempts < 1) {
+      return Status::InvalidArgument("max_recovery_attempts must be >= 1");
+    }
     return Status::OK();
   }
 
@@ -763,8 +774,26 @@ class Engine {
       marker.a = superstep;
       transport_->Send(std::move(marker));
     }
+    ScopedBlocked blocked(supervisor_.get(), worker.id);
     sy::MutexLock lock(&worker.ack_mu);
-    while (worker.acks_pending != 0) worker.ack_cv.Wait(worker.ack_mu);
+    if (!fault_active_) {
+      while (worker.acks_pending != 0) worker.ack_cv.Wait(worker.ack_mu);
+      return;
+    }
+    // Under fault tolerance the confirmation may never arrive (the marker,
+    // the ack, or the peer itself can be a casualty); wait in slices and
+    // abandon the attempt once a failure has been detected.
+    while (worker.acks_pending != 0 && !AttemptAborted(worker)) {
+      worker.ack_cv.WaitFor(worker.ack_mu, std::chrono::milliseconds(20));
+    }
+  }
+
+  /// True once this attempt cannot complete: a failure was detected
+  /// (supervisor / crash handler) or this very worker "died". Workers
+  /// poll this at superstep boundaries and in sliced waits to unwind.
+  bool AttemptAborted(const WorkerState& worker) const {
+    return attempt_failed_.load(std::memory_order_acquire) ||
+           worker_dead_[worker.id].load(std::memory_order_relaxed) != 0;
   }
 
   // --- vertex execution ----------------------------------------------
@@ -777,6 +806,7 @@ class Engine {
                                int superstep, LocalAggregates& aggregates,
                                SendStaging* staging) {
     if (Introspector::enabled()) Introspector::Get().OnProgress(worker.id);
+    if (supervisor_ != nullptr) supervisor_->Beat(worker.id);
     // BSP consumes a zero-copy span of the partition's flat buffer (no
     // lock); AP detaches the arrival chain into this per-thread scratch.
     thread_local std::vector<Message> scratch;
@@ -864,12 +894,14 @@ class Engine {
     switch (granularity_) {
       case SyncTechnique::Granularity::kNone:
         for (VertexId v : vertices) {
+          if (fault_active_ && AttemptAborted(worker)) return;
           ExecuteVertexIfEligible(worker, ps, program, v, superstep,
                                   aggregates, staging);
         }
         break;
       case SyncTechnique::Granularity::kVertexGate:
         for (VertexId v : vertices) {
+          if (fault_active_ && AttemptAborted(worker)) return;
           if (!technique_->MayExecuteVertex(worker.id, superstep, v)) {
             continue;  // stays pending until its token arrives
           }
@@ -882,9 +914,13 @@ class Engine {
           skipped_partitions_->Increment();
           return;
         }
+        if (fault_active_ && AttemptAborted(worker)) return;
         {
           SG_TRACE_SPAN("sync.fork_acquire");
           const int64_t t0 = Tracer::NowMicros();
+          // Fork waits are legitimate long blocks; exempt them from the
+          // supervisor's runnable-worker timeout.
+          ScopedBlocked blocked(supervisor_.get(), worker.id);
           const bool acquired = technique_->AcquirePartition(worker.id, p);
           RecordForkWait(worker, Tracer::NowMicros() - t0);
           if (!acquired) return;  // watchdog abort: lock NOT held
@@ -902,9 +938,11 @@ class Engine {
       case SyncTechnique::Granularity::kVertexLock:
         for (VertexId v : vertices) {
           if (!VertexEligible(ps, v)) continue;
+          if (fault_active_ && AttemptAborted(worker)) return;
           {
             SG_TRACE_SPAN("sync.fork_acquire");
             const int64_t t0 = Tracer::NowMicros();
+            ScopedBlocked blocked(supervisor_.get(), worker.id);
             const bool acquired = technique_->AcquireVertex(worker.id, v);
             RecordForkWait(worker, Tracer::NowMicros() - t0);
             if (!acquired) return;  // watchdog abort: lock NOT held
@@ -1087,12 +1125,104 @@ class Engine {
     frame.payload = EncodeState();
     const std::string path = options_.checkpoint_dir + "/checkpoint_" +
                              std::to_string(next_superstep) + ".bin";
-    Status status = WriteCheckpoint(path, frame);
-    if (status.ok()) {
-      last_checkpoint_path_ = path;
-    } else {
-      SG_LOG(kError) << "checkpoint failed: " << status;
+    // Bounded retry + backoff: a transient write failure (full disk,
+    // flaky volume) must not silently cost the run its recovery point.
+    const RetryPolicy& retry = options_.fault.checkpoint_retry;
+    const int max_attempts = retry.max_attempts < 1 ? 1 : retry.max_attempts;
+    Status status = Status::OK();
+    for (int failures = 0;; ++failures) {
+      status = WriteCheckpoint(path, frame);
+      if (status.ok() || failures + 1 >= max_attempts) break;
+      checkpoint_retries_->Increment();
+      SG_LOG(kWarning) << "checkpoint write failed (attempt "
+                       << (failures + 1) << "/" << max_attempts
+                       << "), retrying: " << status;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(retry.BackoffMs(failures)));
     }
+    if (status.ok()) {
+      prev_checkpoint_path_ = last_checkpoint_path_;
+      last_checkpoint_path_ = path;
+      if (recorder_ != nullptr) SnapshotRecorder(next_superstep);
+      return;
+    }
+    // Degrade, don't die: the run continues and last_checkpoint_path_
+    // still names the newest frame that actually reached disk, so a
+    // later recovery restores from there instead of a phantom file.
+    checkpoint_failures_->Increment();
+    AddRecoveryEvent("checkpoint at superstep " +
+                     std::to_string(next_superstep) + " failed after " +
+                     std::to_string(max_attempts) +
+                     " attempts: " + status.message());
+    SG_LOG(kError) << "checkpoint failed, keeping "
+                   << (last_checkpoint_path_.empty()
+                           ? std::string("initial state")
+                           : last_checkpoint_path_)
+                   << " as the recovery point: " << status;
+  }
+
+  /// Snapshots the history recorder to pair with the checkpoint frame at
+  /// `superstep` (serial section: all txns closed, nothing in flight).
+  /// Keeps the newest few — recovery only ever reaches back one frame
+  /// (`.prev` fallback) past the newest.
+  void SnapshotRecorder(int superstep) {
+    recorder_snapshots_[superstep] = recorder_->TakeSnapshot();
+    while (recorder_snapshots_.size() > 4) {
+      recorder_snapshots_.erase(recorder_snapshots_.begin());
+    }
+  }
+
+  /// Picks the best restore frame and rewinds the engine state to it.
+  /// Preference order: the newest on-disk checkpoint (with its `.prev`
+  /// sibling as fallback), the one before it, then the in-memory frame of
+  /// the attempt-0 starting state. Runs single-threaded between attempts,
+  /// after the fresh stores are built and before workers start.
+  Status RestoreForRecovery() {
+    CheckpointFrame frame;
+    std::string source;
+    bool have = false;
+    for (const std::string& path :
+         {last_checkpoint_path_, prev_checkpoint_path_}) {
+      if (path.empty()) continue;
+      std::string read_source;
+      StatusOr<CheckpointFrame> read =
+          ReadCheckpointWithFallback(path, &read_source);
+      if (read.ok()) {
+        frame = std::move(*read);
+        source = read_source;
+        have = true;
+        break;
+      }
+      AddRecoveryEvent("checkpoint " + path +
+                       " unusable: " + read.status().message());
+    }
+    if (!have && have_initial_frame_) {
+      frame = initial_frame_;
+      source = "in-memory initial frame";
+      have = true;
+    }
+    if (!have) {
+      return Status::IoError("recovery: no usable checkpoint frame");
+    }
+    SERIGRAPH_RETURN_IF_ERROR(DecodeState(frame.payload));
+    start_superstep_ = frame.superstep;
+    if (recorder_ != nullptr) {
+      // Rewind the recorded history to the same cut: the crashed
+      // attempt's transactions vanish, exactly as if they never ran.
+      auto it = recorder_snapshots_.find(frame.superstep);
+      if (it != recorder_snapshots_.end()) {
+        recorder_->RestoreSnapshot(it->second);
+      } else {
+        SG_CHECK_EQ(frame.superstep, initial_frame_.superstep);
+        recorder_->RestoreSnapshot(initial_recorder_snapshot_);
+      }
+    }
+    // Aggregator values restart from their defaults, like the rest of the
+    // superstep-(start_superstep_) state.
+    for (double& agg : global_aggregates_) agg = 0.0;
+    AddRecoveryEvent("restored superstep " + std::to_string(frame.superstep) +
+                     " from " + source);
+    return Status::OK();
   }
 
   /// Proposition 1 execution scheme (kBspVertexLock): within one logical
@@ -1116,6 +1246,7 @@ class Engine {
     LocalAggregates aggregates;
     int idle_rounds = 0;
     for (;;) {
+      if (fault_active_ && AttemptAborted(worker)) return;
       int64_t executed = 0;
       std::vector<VertexId> still_pending;
       for (VertexId v : pending) {
@@ -1138,7 +1269,7 @@ class Engine {
       // Sub-superstep barrier: deliver this round's messages (C1 needs
       // them visible to later rounds) and agree on global progress.
       FlushAndAwaitAcks(worker, superstep);
-      barrier_->Await();
+      AwaitBarrier(worker);
       {
         int64_t count = static_cast<int64_t>(pending.size());
         // Publish this sub-superstep's messages, then apply queued fork
@@ -1147,7 +1278,7 @@ class Engine {
         technique_->OnSubBarrier(worker.id);
         active_counts_[worker.id] = count;
       }
-      const bool serial = barrier_->Await();
+      const bool serial = AwaitBarrier(worker);
       if (serial) {
         int64_t total = 0;
         for (int64_t count : active_counts_) total += count;
@@ -1159,10 +1290,13 @@ class Engine {
         }
         sub_executed_any_ = false;  // reset; workers OR into it below
       }
-      barrier_->Await();
+      AwaitBarrier(worker);
       // Publish whether anyone executed this round (progress detector).
       if (executed > 0) sub_executed_any_ = true;
-      barrier_->Await();
+      AwaitBarrier(worker);
+      // A broken barrier (failure detected) means the serial section may
+      // never have run: leave via the abort flag, not via sub_stop_.
+      if (fault_active_ && AttemptAborted(worker)) return;
       if (sub_stop_) break;
       if (!sub_executed_any_) {
         // No vertex anywhere was ready: fork traffic is still in flight
@@ -1198,11 +1332,19 @@ class Engine {
     fork_wait_hist_->Record(wait_us);
   }
 
+  /// Barrier await with the supervisor told this is a legitimate block
+  /// (exempt from the runnable-worker timeout). Returns false immediately
+  /// on a broken barrier (failure detected mid-attempt).
+  bool AwaitBarrier(WorkerState& worker) {
+    ScopedBlocked blocked(supervisor_.get(), worker.id);
+    return barrier_->Await();
+  }
+
   /// Barrier await, timed into `*wait_us_acc` and traced.
-  bool TimedAwait(int64_t* wait_us_acc) {
+  bool TimedAwait(WorkerState& worker, int64_t* wait_us_acc) {
     SG_TRACE_SPAN("engine.barrier_wait");
     const int64_t t0 = Tracer::NowMicros();
-    const bool serial = barrier_->Await();
+    const bool serial = AwaitBarrier(worker);
     *wait_us_acc += Tracer::NowMicros() - t0;
     return serial;
   }
@@ -1220,6 +1362,14 @@ class Engine {
       if (options_.superstep_overhead_us > 0) {
         std::this_thread::sleep_for(
             std::chrono::microseconds(options_.superstep_overhead_us));
+      }
+      if (fault_active_) {
+        if (supervisor_ != nullptr) supervisor_->Beat(worker.id);
+        // A fired crash/hang returns true: this worker "dies" here. The
+        // crash handler has already told the supervisor, which breaks the
+        // barrier so the surviving workers unwind too.
+        if (SG_FAULT_POINT("engine.superstep_start", worker.id)) break;
+        if (AttemptAborted(worker)) break;
       }
       technique_->OnSuperstepStart(worker.id, superstep);
       if (Introspector::enabled()) {
@@ -1239,6 +1389,11 @@ class Engine {
         }
         sample.compute_us = Tracer::NowMicros() - t0;
       }
+      if (fault_active_) {
+        if (supervisor_ != nullptr) supervisor_->Beat(worker.id);
+        if (SG_FAULT_POINT("engine.post_compute", worker.id)) break;
+        if (AttemptAborted(worker)) break;
+      }
       {
         SG_TRACE_SPAN("engine.flush_acks");
         const int64_t t0 = Tracer::NowMicros();
@@ -1250,15 +1405,20 @@ class Engine {
         technique_->OnSuperstepEnd(worker.id, superstep);
         sample.flush_wait_us = Tracer::NowMicros() - t0;
       }
+      if (fault_active_) {
+        if (SG_FAULT_POINT("engine.pre_barrier", worker.id)) break;
+        if (AttemptAborted(worker)) break;
+      }
 
       if (Introspector::enabled()) {
         Introspector::Get().SetPhase(worker.id, WorkerPhase::kBarrierWait,
                                      superstep);
       }
       int64_t barrier_us = 0;
-      TimedAwait(&barrier_us);  // B1: all superstep-s messages delivered
+      TimedAwait(worker, &barrier_us);  // B1: superstep-s messages delivered
       active_counts_[worker.id] = SwapAndCountActive(worker);
-      const bool serial = TimedAwait(&barrier_us);  // B2: counts published
+      const bool serial =
+          TimedAwait(worker, &barrier_us);  // B2: counts published
       if (serial) {
         ReduceAggregates();
         int64_t total = 0;
@@ -1272,10 +1432,17 @@ class Engine {
           converged_ = false;
           stop = true;
         }
-        if (!stop) MaybeCheckpoint(superstep + 1);
+        // A crash here models a worker dying inside the serial section,
+        // with the checkpoint never attempted; B3 below is already broken
+        // by the failure callback, so everyone unwinds.
+        if (!stop &&
+            !SG_FAULT_POINT("engine.pre_checkpoint", worker.id)) {
+          MaybeCheckpoint(superstep + 1);
+        }
         stop_.store(stop, std::memory_order_release);
       }
-      TimedAwait(&barrier_us);  // B3: decision visible
+      TimedAwait(worker, &barrier_us);  // B3: decision visible
+      if (fault_active_ && AttemptAborted(worker)) break;
       if (Introspector::enabled()) {
         // Superstep completion is global progress even if no vertex ran.
         Introspector::Get().OnProgress(worker.id);
@@ -1336,6 +1503,81 @@ class Engine {
   std::unique_ptr<Watchdog> watchdog_;
   std::string last_checkpoint_path_;
 
+  // --- fault tolerance (docs/FAULT_TOLERANCE.md) ----------------------
+
+  /// Records a human-readable recovery event (surfaced in RunStats).
+  void AddRecoveryEvent(const std::string& event) {
+    sy::MutexLock lock(&recovery_mu_);
+    recovery_events_.push_back(event);
+  }
+
+  /// Injected-crash handler, invoked by the FaultInjector on the dying
+  /// worker's own thread with no injector lock held. Marks the worker
+  /// dead and routes detection through the supervisor (immediate).
+  void OnWorkerCrash(int worker, const char* point) {
+    if (worker >= 0 && worker < static_cast<int>(worker_dead_.size())) {
+      worker_dead_[worker].store(1, std::memory_order_relaxed);
+    }
+    if (supervisor_ != nullptr) {
+      supervisor_->ReportDeath(worker, std::string("worker ") +
+                                           std::to_string(worker) +
+                                           " crashed at " + point);
+    }
+  }
+
+  /// First-failure callback from the supervisor (monitor thread, or the
+  /// dying worker's thread via ReportDeath). Poisons the attempt and
+  /// unblocks every wait a worker could be parked in: barrier (Break),
+  /// fork acquisition (introspector abort), injected hangs
+  /// (ReleaseHangs), ack waits (sliced, poll the flag).
+  void OnWorkerFailure(const FailureReport& report) {
+    {
+      sy::MutexLock lock(&recovery_mu_);
+      failure_reason_ = report.reason;
+      recovery_events_.push_back("failure detected: " + report.reason);
+    }
+    worker_failures_->Increment();
+    attempt_failed_.store(true, std::memory_order_release);
+    if (Introspector::enabled()) {
+      Introspector::Get().RequestAbort(report.reason);
+    }
+    if (FaultInjector::armed()) FaultInjector::Get().ReleaseHangs();
+    barrier_->Break();
+  }
+
+  /// True when this run needs failure detection (plan armed or recovery
+  /// on). Plain bool fixed before workers start; guards the per-superstep
+  /// abort polls so fault-free runs stay branch-predictable.
+  bool fault_active_ = false;
+  /// Poisons the current attempt; set by OnWorkerFailure.
+  std::atomic<bool> attempt_failed_{false};
+  /// Per-worker death marks (injected crashes), reset every attempt.
+  std::vector<std::atomic<uint8_t>> worker_dead_;
+  std::unique_ptr<Supervisor> supervisor_;
+  /// Guards the recovery bookkeeping written from failure callbacks and
+  /// read by the driver between attempts. Leaf (docs/LOCK_ORDER.md).
+  mutable sy::Mutex recovery_mu_;
+  std::string failure_reason_ SY_GUARDED_BY(recovery_mu_);
+  std::vector<std::string> recovery_events_ SY_GUARDED_BY(recovery_mu_);
+  /// Completed restore-and-resume cycles (driver thread only).
+  int recovery_attempts_ = 0;
+  /// In-memory frame of the attempt-0 starting state: the restore target
+  /// of last resort when no checkpoint ever reached disk.
+  CheckpointFrame initial_frame_;
+  bool have_initial_frame_ = false;
+  /// The checkpoint before last_checkpoint_path_ (fallback frame).
+  std::string prev_checkpoint_path_;
+  /// History-recorder snapshots keyed by checkpoint superstep, so a
+  /// restore also rewinds the recorded history to the same cut.
+  std::map<int, HistoryRecorder::Snapshot> recorder_snapshots_;
+  /// Snapshot paired with initial_frame_ (never pruned).
+  HistoryRecorder::Snapshot initial_recorder_snapshot_;
+
+  Counter* checkpoint_failures_ = nullptr;
+  Counter* checkpoint_retries_ = nullptr;
+  Counter* recovery_attempts_counter_ = nullptr;
+  Counter* worker_failures_ = nullptr;
+
   Counter* messages_sent_ = nullptr;
   Counter* local_sends_ = nullptr;
   Counter* executions_ = nullptr;
@@ -1360,20 +1602,11 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
 
   const VertexId n = graph_->num_vertices();
   const int num_workers = options_.num_workers;
+  fault_active_ = options_.fault.Active();
 
-  // --- input loading phase (excluded from computation time) -----------
+  // --- run-wide setup, shared by every attempt (excluded from
+  // --- computation time) ----------------------------------------------
   boundaries_ = std::make_unique<BoundaryInfo>(*graph_, partitioning_);
-  technique_ = MakeSyncTechnique(options_.sync_mode);
-  granularity_ = technique_->granularity();
-  if (technique_->RequiresSingleComputeThread()) {
-    options_.compute_threads_per_worker = 1;
-  }
-  SyncTechnique::Context tech_ctx;
-  tech_ctx.graph = graph_;
-  tech_ctx.partitioning = &partitioning_;
-  tech_ctx.boundaries = boundaries_.get();
-  tech_ctx.metrics = &metrics_;
-  SERIGRAPH_RETURN_IF_ERROR(technique_->Init(tech_ctx));
 
   messages_sent_ = metrics_.GetCounter("pregel.messages_sent");
   local_sends_ = metrics_.GetCounter("pregel.local_sends");
@@ -1390,10 +1623,12 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
   store_append_hist_ = metrics_.GetHistogram("store.append_ns");
   store_swap_hist_ = metrics_.GetHistogram("store.swap_us");
   metrics_.GetHistogram("sync.token_hold_us");
+  checkpoint_failures_ = metrics_.GetCounter("checkpoint.failures");
+  checkpoint_retries_ = metrics_.GetCounter("checkpoint.retries");
+  recovery_attempts_counter_ = metrics_.GetCounter("recovery.attempts");
+  worker_failures_ = metrics_.GetCounter("recovery.worker_failures");
   timeline_ = std::make_unique<TimelineRecorder>(num_workers);
 
-  transport_ = std::make_unique<Transport>(num_workers, options_.network,
-                                           &metrics_);
   if (options_.record_history) {
     recorder_ = std::make_shared<HistoryRecorder>(graph_, num_workers);
   }
@@ -1402,120 +1637,270 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
   send_staging_ = std::is_trivially_copyable_v<Message> &&
                   recorder_ == nullptr && num_workers > 1;
 
-  values_.resize(n);
-  halted_.assign(n, 0);
-  for (VertexId v = 0; v < n; ++v) {
-    values_[v] = program.InitialValue(v, *graph_);
-  }
   local_index_.assign(n, -1);
-  stores_.clear();
   for (int p = 0; p < partitioning_.num_partitions(); ++p) {
     const auto& vertices = partitioning_.VerticesOfPartition(p);
     for (size_t i = 0; i < vertices.size(); ++i) {
       local_index_[vertices[i]] = static_cast<int32_t>(i);
     }
-    auto ps = std::make_unique<PartitionStore>();
-    typename MessageStore<Message>::CombineFn combine = nullptr;
-    if constexpr (kHasCombiner) {
-      combine = [](const Message& a, const Message& b) {
-        return Program::Combine(a, b);
+  }
+
+  // Arm the injector before the first Transport exists: its constructor
+  // checks armed() to take the full Send/Receive path (wire faults and
+  // sequence stamping bypass the single-worker fast path). Match
+  // counters persist across recovery attempts, so each one-shot event
+  // fires once per run, not once per attempt.
+  struct InjectorGuard {
+    bool armed = false;
+    ~InjectorGuard() {
+      if (armed) FaultInjector::Get().Disarm();
+    }
+  } injector_guard;
+  if (!options_.fault.plan.empty()) {
+    FaultInjector& injector = FaultInjector::Get();
+    injector.Arm(options_.fault.plan);
+    injector.SetCrashHandler(
+        [this](int w, const char* point) { OnWorkerCrash(w, point); });
+    injector_guard.armed = true;
+  }
+
+  // The introspector doubles as the abort channel that unblocks fork
+  // acquisition waits, so fault-tolerant runs force it on even without
+  // options_.introspect (the watchdog stays opt-in).
+  const bool use_introspector = options_.introspect || fault_active_;
+  double total_seconds = 0.0;
+  std::string abort_reason;
+
+  // --- attempt loop: run to completion, and on a detected worker
+  // --- failure restore from the last good frame and resume
+  // --- (docs/FAULT_TOLERANCE.md) --------------------------------------
+  for (;;) {
+    attempt_failed_.store(false, std::memory_order_release);
+    worker_dead_ = std::vector<std::atomic<uint8_t>>(num_workers);
+    stop_.store(false, std::memory_order_release);
+    sub_stop_ = false;
+    sub_executed_any_.store(false, std::memory_order_relaxed);
+    converged_ = false;
+    aborted_ = false;
+
+    // Per-attempt construction: the failed attempt's technique state
+    // (fork placements, token positions), in-flight messages, and worker
+    // threads are discarded wholesale; Init() recreates the canonical
+    // acyclic fork placement and the deterministic token schedules.
+    technique_ = MakeSyncTechnique(options_.sync_mode);
+    granularity_ = technique_->granularity();
+    if (technique_->RequiresSingleComputeThread()) {
+      options_.compute_threads_per_worker = 1;
+    }
+    SyncTechnique::Context tech_ctx;
+    tech_ctx.graph = graph_;
+    tech_ctx.partitioning = &partitioning_;
+    tech_ctx.boundaries = boundaries_.get();
+    tech_ctx.metrics = &metrics_;
+    if (fault_active_) {
+      // A dropped control message can leave the fork protocol in a state
+      // its invariants reject (e.g. a request for a fork whose transfer
+      // vanished) *before* the link-sequence gap surfaces. Route such
+      // violations to the supervisor as an immediate recoverable failure
+      // instead of letting the technique's fatal checks kill the process.
+      tech_ctx.on_protocol_violation = [this](WorkerId w,
+                                              const std::string& what) {
+        if (supervisor_ != nullptr) {
+          supervisor_->ReportProtocolViolation(w, what);
+        }
       };
     }
-    ps->store.Init(static_cast<int32_t>(vertices.size()),
-                   options_.model == ComputationModel::kBsp, combine);
-    ps->active.store(static_cast<int64_t>(vertices.size()),
-                     std::memory_order_relaxed);
-    stores_.push_back(std::move(ps));
-  }
+    SERIGRAPH_RETURN_IF_ERROR(technique_->Init(tech_ctx));
 
-  if (!options_.restore_path.empty()) {
-    auto frame = ReadCheckpoint(options_.restore_path);
-    SERIGRAPH_RETURN_IF_ERROR(frame.status());
-    SERIGRAPH_RETURN_IF_ERROR(DecodeState(frame->payload));
-    start_superstep_ = frame->superstep;
-  }
-
-  barrier_ = std::make_unique<CyclicBarrier>(num_workers);
-  active_counts_.assign(num_workers, 0);
-
-  workers_.clear();
-  for (WorkerId w = 0; w < num_workers; ++w) {
-    auto worker = std::make_unique<WorkerState>();
-    worker->engine = this;
-    worker->id = w;
-    worker->touched = std::vector<std::atomic<uint8_t>>(num_workers);
-    worker->batch_buckets.resize(partitioning_.num_partitions());
-    for (int d = 0; d < num_workers; ++d) {
-      worker->out.push_back(std::make_unique<OutBuffer>());
+    transport_ = std::make_unique<Transport>(num_workers, options_.network,
+                                             &metrics_);
+    if (fault_active_) {
+      // Loss reports (link sequence gaps) route to the supervisor; set
+      // before any comm thread runs. The supervisor ignores reports
+      // after Stop(), so gaps noticed while draining a clean teardown
+      // cannot fail a finished attempt.
+      transport_->SetLossCallback([this](WorkerId src, WorkerId dst,
+                                         uint64_t expected, uint64_t got) {
+        if (supervisor_ != nullptr) {
+          supervisor_->ReportLoss(src, dst, expected, got);
+        }
+      });
     }
-    if (options_.compute_threads_per_worker > 1) {
-      worker->pool =
-          std::make_unique<ThreadPool>(options_.compute_threads_per_worker);
-    }
-    workers_.push_back(std::move(worker));
-  }
-  for (auto& worker : workers_) {
-    technique_->BindWorker(worker->id, worker.get());
-  }
-  for (auto& worker : workers_) {
-    WorkerState* ws = worker.get();
-    ws->comm_thread = std::thread([this, ws] { CommLoop(*ws); });
-  }
 
-  if (options_.introspect) {
-    Introspector& in = Introspector::Get();
-    const char* kind =
-        granularity_ == SyncTechnique::Granularity::kPartitionLock
-            ? "partition"
-            : (granularity_ == SyncTechnique::Granularity::kVertexLock ||
-               granularity_ == SyncTechnique::Granularity::kBspVertexLock)
-                  ? "vertex"
-                  : "worker";
-    in.Configure(num_workers, kind);
-    in.SetQueueProbe([this](WorkerId w, int64_t* inbox_depth,
-                            int64_t* outbox_bytes) {
-      *inbox_depth = transport_->InboxDepth(w);
-      int64_t bytes = 0;
-      for (const auto& out : workers_[w]->out) {
-        sy::MutexLock lock(&out->mu);
-        bytes += static_cast<int64_t>(out->writer.size());
+    values_.resize(n);
+    halted_.assign(n, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      values_[v] = program.InitialValue(v, *graph_);
+    }
+    stores_.clear();
+    for (int p = 0; p < partitioning_.num_partitions(); ++p) {
+      const auto& vertices = partitioning_.VerticesOfPartition(p);
+      auto ps = std::make_unique<PartitionStore>();
+      typename MessageStore<Message>::CombineFn combine = nullptr;
+      if constexpr (kHasCombiner) {
+        combine = [](const Message& a, const Message& b) {
+          return Program::Combine(a, b);
+        };
       }
-      *outbox_bytes = bytes;
-    });
-    in.Enable();
-    watchdog_ = std::make_unique<Watchdog>(options_.watchdog);
-    watchdog_->Start();
-  }
+      ps->store.Init(static_cast<int32_t>(vertices.size()),
+                     options_.model == ComputationModel::kBsp, combine);
+      ps->active.store(static_cast<int64_t>(vertices.size()),
+                       std::memory_order_relaxed);
+      stores_.push_back(std::move(ps));
+    }
 
-  // --- computation phase ----------------------------------------------
-  WallTimer timer;
-  {
-    std::vector<std::thread> threads;
-    threads.reserve(num_workers);
+    if (recovery_attempts_ == 0) {
+      if (!options_.restore_path.empty()) {
+        std::string source;
+        auto frame =
+            ReadCheckpointWithFallback(options_.restore_path, &source);
+        SERIGRAPH_RETURN_IF_ERROR(frame.status());
+        SERIGRAPH_RETURN_IF_ERROR(DecodeState(frame->payload));
+        start_superstep_ = frame->superstep;
+      }
+      if (fault_active_ && options_.fault.recover) {
+        // Last-resort restore target: the exact state computation starts
+        // from, kept in memory for the case where no checkpoint ever
+        // reaches disk before the first failure.
+        initial_frame_.superstep = start_superstep_;
+        initial_frame_.payload = EncodeState();
+        have_initial_frame_ = true;
+        if (recorder_ != nullptr) {
+          initial_recorder_snapshot_ = recorder_->TakeSnapshot();
+        }
+      }
+    } else {
+      SERIGRAPH_RETURN_IF_ERROR(RestoreForRecovery());
+    }
+
+    barrier_ = std::make_unique<CyclicBarrier>(num_workers);
+    active_counts_.assign(num_workers, 0);
+
+    workers_.clear();
+    for (WorkerId w = 0; w < num_workers; ++w) {
+      auto worker = std::make_unique<WorkerState>();
+      worker->engine = this;
+      worker->id = w;
+      worker->touched = std::vector<std::atomic<uint8_t>>(num_workers);
+      worker->batch_buckets.resize(partitioning_.num_partitions());
+      for (int d = 0; d < num_workers; ++d) {
+        worker->out.push_back(std::make_unique<OutBuffer>());
+      }
+      if (options_.compute_threads_per_worker > 1) {
+        worker->pool =
+            std::make_unique<ThreadPool>(options_.compute_threads_per_worker);
+      }
+      workers_.push_back(std::move(worker));
+    }
+    for (auto& worker : workers_) {
+      technique_->BindWorker(worker->id, worker.get());
+    }
+    if (fault_active_) {
+      supervisor_ = std::make_unique<Supervisor>(
+          num_workers, options_.fault.supervisor,
+          [this](const FailureReport& report) { OnWorkerFailure(report); });
+    }
     for (auto& worker : workers_) {
       WorkerState* ws = worker.get();
-      threads.emplace_back(
-          [this, ws, &program] { WorkerLoop(*ws, program); });
+      ws->comm_thread = std::thread([this, ws] { CommLoop(*ws); });
     }
-    for (auto& t : threads) t.join();
-  }
-  const double seconds = timer.ElapsedSeconds();
 
-  // --- teardown ---------------------------------------------------------
-  // Stop the watchdog before the transport dies: its final sample probes
-  // the transport's inbox depths via the queue probe.
-  std::string abort_reason;
-  if (watchdog_ != nullptr) {
-    watchdog_->Stop();
-    Introspector& in = Introspector::Get();
-    abort_reason = in.abort_reason();
-    in.ClearQueueProbe();
-    in.Disable();
-  }
-  transport_->Shutdown();
-  for (auto& worker : workers_) {
-    if (worker->comm_thread.joinable()) worker->comm_thread.join();
-    if (worker->pool != nullptr) worker->pool->Shutdown();
+    if (use_introspector) {
+      Introspector& in = Introspector::Get();
+      const char* kind =
+          granularity_ == SyncTechnique::Granularity::kPartitionLock
+              ? "partition"
+              : (granularity_ == SyncTechnique::Granularity::kVertexLock ||
+                 granularity_ == SyncTechnique::Granularity::kBspVertexLock)
+                    ? "vertex"
+                    : "worker";
+      in.Configure(num_workers, kind);
+      in.SetQueueProbe([this](WorkerId w, int64_t* inbox_depth,
+                              int64_t* outbox_bytes) {
+        *inbox_depth = transport_->InboxDepth(w);
+        int64_t bytes = 0;
+        for (const auto& out : workers_[w]->out) {
+          sy::MutexLock lock(&out->mu);
+          bytes += static_cast<int64_t>(out->writer.size());
+        }
+        *outbox_bytes = bytes;
+      });
+      in.Enable();
+      if (options_.introspect) {
+        watchdog_ = std::make_unique<Watchdog>(options_.watchdog);
+        watchdog_->Start();
+      }
+    }
+    if (supervisor_ != nullptr) supervisor_->Start();
+
+    // --- computation phase --------------------------------------------
+    WallTimer timer;
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(num_workers);
+      for (auto& worker : workers_) {
+        WorkerState* ws = worker.get();
+        threads.emplace_back(
+            [this, ws, &program] { WorkerLoop(*ws, program); });
+      }
+      for (auto& t : threads) t.join();
+    }
+    total_seconds += timer.ElapsedSeconds();
+
+    // --- attempt teardown ---------------------------------------------
+    // Supervisor first (worker threads are joined, so no failure report
+    // can be mid-flight except from comm threads — which Stop() makes
+    // no-ops). Then the watchdog, before the transport dies: its final
+    // sample probes the transport's inbox depths via the queue probe.
+    if (supervisor_ != nullptr) supervisor_->Stop();
+    if (use_introspector) {
+      if (watchdog_ != nullptr) watchdog_->Stop();
+      Introspector& in = Introspector::Get();
+      abort_reason = in.abort_reason();
+      in.ClearQueueProbe();
+      in.Disable();
+    }
+    transport_->Shutdown();
+    for (auto& worker : workers_) {
+      if (worker->comm_thread.joinable()) worker->comm_thread.join();
+      if (worker->pool != nullptr) worker->pool->Shutdown();
+    }
+
+    if (!attempt_failed_.load(std::memory_order_acquire)) break;
+
+    // Failed attempt: recover if allowed, otherwise degrade gracefully
+    // into an Aborted status carrying the recovery report.
+    std::string reason;
+    {
+      sy::MutexLock lock(&recovery_mu_);
+      reason = failure_reason_;
+    }
+    if (!options_.fault.recover ||
+        recovery_attempts_ >= options_.fault.max_recovery_attempts) {
+      std::string verdict =
+          options_.fault.recover
+              ? "recovery exhausted after " +
+                    std::to_string(recovery_attempts_) +
+                    " attempts: " + reason
+              : "worker failure (recovery disabled): " + reason;
+      AddRecoveryEvent(verdict);
+      return Status::Aborted(verdict);
+    }
+    // Exponential backoff before the restore: transient causes (a slow
+    // disk, a burst of injected delays) get time to clear.
+    int64_t backoff = options_.fault.recovery_backoff_ms;
+    for (int i = 0; i < recovery_attempts_; ++i) backoff *= 2;
+    if (backoff > options_.fault.recovery_backoff_max_ms) {
+      backoff = options_.fault.recovery_backoff_max_ms;
+    }
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    }
+    ++recovery_attempts_;
+    recovery_attempts_counter_->Increment();
+    AddRecoveryEvent("recovery attempt " +
+                     std::to_string(recovery_attempts_) + "/" +
+                     std::to_string(options_.fault.max_recovery_attempts));
   }
 
   if (aborted_) {
@@ -1524,10 +1909,18 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
                              : abort_reason);
   }
 
+  if (injector_guard.armed) {
+    FaultInjector& injector = FaultInjector::Get();
+    metrics_.GetCounter("fault.events_fired")->Add(injector.events_fired());
+    for (const std::string& line : injector.fired_log()) {
+      AddRecoveryEvent("fault fired: " + line);
+    }
+  }
+
   Result result;
   result.stats.supersteps = supersteps_done_;
   result.stats.converged = converged_;
-  result.stats.computation_seconds = seconds;
+  result.stats.computation_seconds = total_seconds;
   result.stats.metrics = metrics_.Snapshot();
   result.stats.metrics["pregel.supersteps"] = supersteps_done_;
   result.stats.timeline = timeline_->Collect();
@@ -1540,6 +1933,11 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
     result.stats.introspect_stalls = wd.stalls_flagged;
     result.stats.introspect_deadlocks = wd.deadlocks_detected;
     result.stats.introspect_incidents = wd.incidents;
+  }
+  result.stats.recovery_attempts = recovery_attempts_;
+  {
+    sy::MutexLock lock(&recovery_mu_);
+    result.stats.recovery_events = recovery_events_;
   }
   for (int slot = 0; slot < kNumAggregatorSlots; ++slot) {
     result.stats.aggregates[slot] = global_aggregates_[slot];

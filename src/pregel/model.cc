@@ -28,6 +28,8 @@ std::string RunStatsToJson(const RunStats& stats) {
   report.introspect_stalls = stats.introspect_stalls;
   report.introspect_deadlocks = stats.introspect_deadlocks;
   report.introspect_incidents = stats.introspect_incidents;
+  report.recovery_attempts = stats.recovery_attempts;
+  report.recovery_events = stats.recovery_events;
   return RunReportToJson(report);
 }
 

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
+#include "fault/supervisor.h"
 #include "net/transport.h"
 #include "obs/timeline.h"
 #include "obs/watchdog.h"
@@ -31,6 +33,35 @@ const char* ComputationModelName(ComputationModel model);
 enum class PartitionScheme {
   kHash = 0,       ///< random hash partitioning (the paper's default)
   kContiguous = 1, ///< contiguous ranges (used by tests/examples)
+};
+
+/// Fault injection + in-engine recovery configuration
+/// (docs/FAULT_TOLERANCE.md). `plan` arms the process-wide FaultInjector
+/// for the duration of the run; `recover` turns on the heartbeat
+/// supervisor and the engine's restore-and-resume loop. Either one
+/// activates failure detection; with neither, the engine adds zero
+/// overhead (one disarmed atomic load per probe).
+struct FaultToleranceOptions {
+  /// Events to inject, reproducible from the plan text alone.
+  FaultPlan plan;
+  /// Detect failures and recover in-engine from the last good checkpoint
+  /// (or the initial state when none was written). Requires checkpointable
+  /// vertex/message types.
+  bool recover = false;
+  /// Recovery attempts after the initial one before giving up with
+  /// Status::Aborted and a recovery report.
+  int max_recovery_attempts = 3;
+  /// Exponential backoff between recovery attempts.
+  int64_t recovery_backoff_ms = 10;
+  int64_t recovery_backoff_max_ms = 1000;
+  /// Bounded retry + backoff for checkpoint writes (satellite of the
+  /// previously-swallowed WriteCheckpoint failure).
+  RetryPolicy checkpoint_retry;
+  /// Heartbeat supervisor thresholds.
+  SupervisorOptions supervisor;
+
+  /// True when the run needs failure detection at all.
+  bool Active() const { return recover || !plan.empty(); }
 };
 
 /// Configuration for one engine run.
@@ -82,6 +113,9 @@ struct EngineOptions {
   /// Resume a run from this checkpoint file (same graph, same options).
   std::string restore_path;
 
+  /// Fault injection and live crash-recovery (docs/FAULT_TOLERANCE.md).
+  FaultToleranceOptions fault;
+
   /// Record a transaction history for serializability checking
   /// (Section 3). Adds overhead; meant for tests and audits.
   bool record_history = false;
@@ -129,6 +163,13 @@ struct RunStats {
   int64_t introspect_stalls = 0;
   int64_t introspect_deadlocks = 0;
   std::vector<std::string> introspect_incidents;
+
+  /// Recovery digest (populated only when options.fault is active):
+  /// how many times the engine restored and resumed after a detected
+  /// worker failure, and a human-readable event log (detected failures,
+  /// checkpoint frames restored, fired fault events, degradations).
+  int recovery_attempts = 0;
+  std::vector<std::string> recovery_events;
 
   int64_t Metric(const std::string& name) const {
     auto it = metrics.find(name);

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "fault/fault.h"
 #include "obs/introspect.h"
 #include "obs/trace.h"
 
@@ -60,6 +61,10 @@ void ChandyMisraTable::BindWorker(WorkerId w, WorkerHandle* handle) {
 }
 
 bool ChandyMisraTable::Acquire(PhilosopherId p) {
+  // Injection point, probed before the shard lock: a crash/hang here
+  // abandons the acquisition (returns false, lock not held) exactly like
+  // an introspector abort does.
+  if (SG_FAULT_POINT("cm.acquire", config_.worker_of(p))) return false;
   WorkerShard& shard = ShardOf(p);
   sy::MutexLock lock(&shard.mu);
   Philosopher& phil = shard.philosophers[p];
@@ -235,51 +240,82 @@ void ChandyMisraTable::SendTransferLocked(WorkerShard& shard, PhilosopherId p,
 
 void ChandyMisraTable::OnRequest(WorkerShard& shard, PhilosopherId from,
                                  PhilosopherId to) {
-  sy::MutexLock lock(&shard.mu);
-  Philosopher& phil = shard.philosophers[to];
-  auto it = phil.edges.find(from);
-  SG_CHECK(it != phil.edges.end());
-  uint8_t& bits = it->second;
-  // The requester relinquished the token; it now rests with us. The fork
-  // must be here: exactly one endpoint holds it and the requester did not.
-  SG_CHECK((bits & kHasToken) == 0);
-  SG_CHECK((bits & kHasFork) != 0);
-  bits |= kHasToken;
-
-  const bool dirty = (bits & kDirty) != 0;
-  if (phil.state == State::kEating || !dirty) {
-    // Defer: an eating philosopher finishes first (hygiene); a clean fork
-    // means we are hungry and have priority for it.
-    return;
+  bool consistent = true;
+  {
+    sy::MutexLock lock(&shard.mu);
+    Philosopher& phil = shard.philosophers[to];
+    auto it = phil.edges.find(from);
+    SG_CHECK(it != phil.edges.end());
+    uint8_t& bits = it->second;
+    // The requester relinquished the token; it now rests with us. The fork
+    // must be here: exactly one endpoint holds it and the requester did
+    // not. Either can break only when a control message vanished on the
+    // wire (injected loss) — report outside the shard lock.
+    if ((bits & kHasToken) != 0 || (bits & kHasFork) == 0) {
+      consistent = false;
+    } else {
+      bits |= kHasToken;
+      const bool dirty = (bits & kDirty) != 0;
+      if (phil.state == State::kEating || !dirty) {
+        // Defer: an eating philosopher finishes first (hygiene); a clean
+        // fork means we are hungry and have priority for it.
+        return;
+      }
+      // Thinking-or-hungry with a dirty fork: we must yield it.
+      bits &= ~(kHasFork | kDirty);
+      SendTransferLocked(shard, to, from);
+      if (phil.state == State::kHungry) {
+        // We still need the fork: spend the token we just received to ask
+        // for it back. The fork will return clean and then cannot be taken
+        // again.
+        ++phil.missing_forks;
+        bits &= ~kHasToken;
+        SendRequestLocked(shard, to, from);
+      }
+    }
   }
-  // Thinking-or-hungry with a dirty fork: we must yield it.
-  bits &= ~(kHasFork | kDirty);
-  SendTransferLocked(shard, to, from);
-  if (phil.state == State::kHungry) {
-    // We still need the fork: spend the token we just received to ask for
-    // it back. The fork will return clean and then cannot be taken again.
-    ++phil.missing_forks;
-    bits &= ~kHasToken;
-    SendRequestLocked(shard, to, from);
-  }
+  if (!consistent) ReportViolation(from, to, "fork request");
 }
 
 void ChandyMisraTable::OnTransfer(WorkerShard& shard, PhilosopherId from,
                                   PhilosopherId to) {
-  sy::MutexLock lock(&shard.mu);
-  Philosopher& phil = shard.philosophers[to];
-  auto it = phil.edges.find(from);
-  SG_CHECK(it != phil.edges.end());
-  uint8_t& bits = it->second;
-  SG_CHECK((bits & kHasFork) == 0);
-  bits |= kHasFork;   // forks always arrive clean
-  bits &= ~kDirty;
-  if (phil.state == State::kHungry) {
-    SG_CHECK_GT(phil.missing_forks, 0);
-    if (--phil.missing_forks == 0) {
-      shard.cv.NotifyAll();
+  bool consistent = true;
+  {
+    sy::MutexLock lock(&shard.mu);
+    Philosopher& phil = shard.philosophers[to];
+    auto it = phil.edges.find(from);
+    SG_CHECK(it != phil.edges.end());
+    uint8_t& bits = it->second;
+    // A transfer for a fork we already hold, or one we never asked for,
+    // means an earlier control message on this edge was lost.
+    if ((bits & kHasFork) != 0 ||
+        (phil.state == State::kHungry && phil.missing_forks <= 0)) {
+      consistent = false;
+    } else {
+      bits |= kHasFork;   // forks always arrive clean
+      bits &= ~kDirty;
+      if (phil.state == State::kHungry) {
+        SG_CHECK_GT(phil.missing_forks, 0);
+        if (--phil.missing_forks == 0) {
+          shard.cv.NotifyAll();
+        }
+      }
     }
   }
+  if (!consistent) ReportViolation(from, to, "fork transfer");
+}
+
+void ChandyMisraTable::ReportViolation(PhilosopherId from, PhilosopherId to,
+                                       const char* what) {
+  const std::string reason =
+      std::string(what) + " on edge " + std::to_string(from) + "->" +
+      std::to_string(to) +
+      " does not match the local fork state (control message lost?)";
+  if (config_.on_protocol_violation) {
+    config_.on_protocol_violation(config_.worker_of(to), reason);
+    return;
+  }
+  SG_LOG(kFatal) << "fork protocol inconsistency: " << reason;
 }
 
 }  // namespace serigraph

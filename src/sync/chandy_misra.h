@@ -47,6 +47,14 @@ class ChandyMisraTable {
     uint32_t request_tag = 0;
     uint32_t transfer_tag = 1;
     MetricRegistry* metrics = nullptr;
+    /// Optional hook for protocol-state inconsistencies that only a lost
+    /// control message can produce (a request for a fork that never
+    /// arrived, a transfer for a fork already held). When set, the
+    /// offending message is dropped and the violation reported — the
+    /// caller is expected to abort and recover the attempt. When null,
+    /// such a state is a genuine protocol bug and is fatal. Invoked with
+    /// no shard lock held.
+    std::function<void(WorkerId, const std::string&)> on_protocol_violation;
   };
 
   explicit ChandyMisraTable(Config config);
@@ -147,6 +155,11 @@ class ChandyMisraTable {
       SY_EXCLUDES(shard.mu);
   void OnTransfer(WorkerShard& shard, PhilosopherId from, PhilosopherId to)
       SY_EXCLUDES(shard.mu);
+
+  /// Routes a fork-state inconsistency to `on_protocol_violation` (fatal
+  /// when the hook is unset). Must be called with no shard lock held: the
+  /// hook takes engine-side locks that may not nest under sync.shard.
+  void ReportViolation(PhilosopherId from, PhilosopherId to, const char* what);
 
   Config config_;
   std::vector<std::unique_ptr<WorkerShard>> shards_;

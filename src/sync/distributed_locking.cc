@@ -25,6 +25,7 @@ Status PartitionBasedLocking::Init(const Context& ctx) {
   config.request_tag = kRequestTag;
   config.transfer_tag = kTransferTag;
   config.metrics = ctx.metrics;
+  config.on_protocol_violation = ctx.on_protocol_violation;
   table_ = std::make_unique<ChandyMisraTable>(std::move(config));
   ctx.metrics->GetCounter("sync.num_forks")->Add(table_->num_forks());
   return Status::OK();
@@ -76,6 +77,7 @@ Status VertexBasedLocking::Init(const Context& ctx) {
   config.request_tag = kRequestTag;
   config.transfer_tag = kTransferTag;
   config.metrics = ctx.metrics;
+  config.on_protocol_violation = ctx.on_protocol_violation;
   table_ = std::make_unique<ChandyMisraTable>(std::move(config));
   ctx.metrics->GetCounter("sync.num_forks")->Add(table_->num_forks());
   return Status::OK();
@@ -133,6 +135,7 @@ Status ConstrainedBspVertexLocking::Init(const Context& ctx) {
   config.request_tag = kRequestTag;
   config.transfer_tag = kTransferTag;
   config.metrics = ctx.metrics;
+  config.on_protocol_violation = ctx.on_protocol_violation;
   table_ = std::make_unique<ChandyMisraTable>(std::move(config));
   ctx.metrics->GetCounter("sync.num_forks")->Add(table_->num_forks());
   queues_.clear();

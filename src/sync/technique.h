@@ -1,6 +1,7 @@
 #ifndef SERIGRAPH_SYNC_TECHNIQUE_H_
 #define SERIGRAPH_SYNC_TECHNIQUE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -81,6 +82,12 @@ class SyncTechnique {
     const Partitioning* partitioning = nullptr;
     const BoundaryInfo* boundaries = nullptr;
     MetricRegistry* metrics = nullptr;
+    /// When set (fault-injection runs), protocol-state inconsistencies
+    /// that only message loss can produce are reported here as a
+    /// recoverable failure instead of crashing the process. Invoked from
+    /// comm threads with no technique lock held. Null in fault-free runs,
+    /// where such an inconsistency is a genuine bug and stays fatal.
+    std::function<void(WorkerId, const std::string&)> on_protocol_violation;
   };
 
   virtual ~SyncTechnique() = default;

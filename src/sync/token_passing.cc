@@ -1,6 +1,7 @@
 #include "sync/token_passing.h"
 
 #include "common/logging.h"
+#include "fault/fault.h"
 #include "obs/introspect.h"
 #include "obs/trace.h"
 
@@ -46,6 +47,10 @@ void SingleLayerTokenPassing::OnSuperstepEnd(WorkerId w, int superstep) {
   if (HolderOf(superstep) != w) return;
   // The engine has already flushed and acked all remote messages for this
   // superstep (write-all, C1), so the token may move.
+  // Injection point: a crash here models a worker dying while handing the
+  // token on. The schedule is a deterministic function of the superstep,
+  // so recovery recomputes it; the lost message only loses cost accounting.
+  if (SG_FAULT_POINT("token.pass", w)) return;
   token_passes_->Increment();
   if (Introspector::enabled()) {
     Introspector::Get().SetTokenHolder(w, HolderOf(superstep + 1));
@@ -147,6 +152,7 @@ void DualLayerTokenPassing::OnSuperstepEnd(WorkerId w, int superstep) {
   const WorkerId holder = GlobalHolderOf(superstep);
   const WorkerId next = GlobalHolderOf(superstep + 1);
   if (holder == w && next != w) {
+    if (SG_FAULT_POINT("token.pass", w)) return;
     global_token_passes_->Increment();
     handles_[w]->SendControl(next, kTokenTag, superstep, 0, 0);
   }

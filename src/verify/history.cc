@@ -89,6 +89,46 @@ void HistoryRecorder::OnDeliver(VertexId src, VertexId dst,
   }
 }
 
+HistoryRecorder::Snapshot HistoryRecorder::TakeSnapshot() const {
+  Snapshot snap;
+  snap.clock = clock_.load(std::memory_order_acquire);
+  snap.versions.reserve(versions_.size());
+  for (const auto& v : versions_) {
+    snap.versions.push_back(v.load(std::memory_order_acquire));
+  }
+  snap.delivered.reserve(delivered_.size());
+  for (const auto& d : delivered_) {
+    snap.delivered.push_back(d.load(std::memory_order_acquire));
+  }
+  snap.records.reserve(logs_.size());
+  for (const auto& log : logs_) {
+    sy::MutexLock lock(&log->mu);
+    SG_CHECK(log->open.empty());  // snapshots only at global barriers
+    snap.records.push_back(log->records);
+  }
+  return snap;
+}
+
+void HistoryRecorder::RestoreSnapshot(const Snapshot& snap) {
+  SG_CHECK_EQ(snap.versions.size(), versions_.size());
+  SG_CHECK_EQ(snap.delivered.size(), delivered_.size());
+  SG_CHECK_EQ(snap.records.size(), logs_.size());
+  clock_.store(snap.clock, std::memory_order_release);
+  for (size_t i = 0; i < versions_.size(); ++i) {
+    versions_[i].store(snap.versions[i], std::memory_order_release);
+  }
+  for (size_t i = 0; i < delivered_.size(); ++i) {
+    delivered_[i].store(snap.delivered[i], std::memory_order_release);
+  }
+  for (size_t w = 0; w < logs_.size(); ++w) {
+    sy::MutexLock lock(&logs_[w]->mu);
+    logs_[w]->records = snap.records[w];
+    // Transactions left open by a crashed/aborted attempt are discarded:
+    // they never committed, so they are not part of the history.
+    logs_[w]->open.clear();
+  }
+}
+
 std::vector<TxnRecord> HistoryRecorder::TakeRecords() {
   std::vector<TxnRecord> all;
   for (auto& log : logs_) {

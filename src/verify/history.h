@@ -78,6 +78,23 @@ class HistoryRecorder {
   /// All transactions from all workers. Call only after the run finished.
   std::vector<TxnRecord> TakeRecords();
 
+  /// Deep copy of the recorder state (records, versions, delivered
+  /// versions, logical clock). Take only at a quiescent point — a global
+  /// barrier, where no transaction is open; checked.
+  struct Snapshot {
+    uint64_t clock = 1;
+    std::vector<uint64_t> versions;
+    std::vector<uint64_t> delivered;
+    std::vector<std::vector<TxnRecord>> records;
+  };
+  Snapshot TakeSnapshot() const;
+
+  /// Rolls the recorder back to `snap` (engine recovery: transactions from
+  /// the failed attempt vanish from the history, exactly as their effects
+  /// vanish from the restored state). Any open transactions on the failed
+  /// attempt are discarded. Call only while no engine thread is running.
+  void RestoreSnapshot(const Snapshot& snap);
+
  private:
   const Graph* graph_;
   std::atomic<uint64_t> clock_{1};

@@ -12,6 +12,7 @@
 
 #include "algos/coloring.h"
 #include "algos/sssp.h"
+#include "fault/fault.h"
 #include "graph/generators.h"
 #include "pregel/engine.h"
 
@@ -65,6 +66,113 @@ TEST(CheckpointFrameTest, RejectsTruncatedPayload) {
 
 TEST(CheckpointFrameTest, MissingFileIsError) {
   EXPECT_FALSE(ReadCheckpoint(TempPath("nope.bin")).ok());
+}
+
+TEST(CheckpointFrameTest, RejectsPayloadBitFlip) {
+  // A flipped payload byte leaves magic, version, and size intact; only
+  // the CRC catches it.
+  CheckpointFrame frame;
+  frame.superstep = 3;
+  frame.payload.assign(64, 0x5a);
+  const std::string path = TempPath("bitflip.bin");
+  ASSERT_TRUE(WriteCheckpoint(path, frame).ok());
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-1, std::ios::end);  // last payload byte
+    f.put(static_cast<char>(0x5a ^ 0x01));
+  }
+  auto loaded = ReadCheckpoint(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFrameTest, WriteRotatesPreviousGeneration) {
+  CheckpointFrame first;
+  first.superstep = 1;
+  first.payload = {1, 1, 1};
+  CheckpointFrame second;
+  second.superstep = 2;
+  second.payload = {2, 2, 2};
+  const std::string path = TempPath("rotate.bin");
+  const std::string prev = path + CheckpointPrevSuffix();
+  ASSERT_TRUE(WriteCheckpoint(path, first).ok());
+  ASSERT_TRUE(WriteCheckpoint(path, second).ok());
+  auto latest = ReadCheckpoint(path);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->superstep, 2);
+  auto rotated = ReadCheckpoint(prev);
+  ASSERT_TRUE(rotated.ok());
+  EXPECT_EQ(rotated->superstep, 1);
+  std::remove(path.c_str());
+  std::remove(prev.c_str());
+}
+
+TEST(CheckpointFrameTest, FallbackReadsPrevWhenLatestIsCorrupt) {
+  CheckpointFrame good;
+  good.superstep = 4;
+  good.payload = {9, 9};
+  const std::string path = TempPath("fallback.bin");
+  const std::string prev = path + CheckpointPrevSuffix();
+  ASSERT_TRUE(WriteCheckpoint(path, good).ok());
+  CheckpointFrame newer;
+  newer.superstep = 6;
+  newer.payload = {8, 8};
+  ASSERT_TRUE(WriteCheckpoint(path, newer).ok());
+  // Corrupt the latest generation in place.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "SGCK but torn";
+  }
+  std::string source;
+  auto loaded = ReadCheckpointWithFallback(path, &source);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->superstep, 4);
+  EXPECT_EQ(source, prev);
+  std::remove(path.c_str());
+  std::remove(prev.c_str());
+}
+
+TEST(CheckpointFrameTest, FallbackFailsWhenBothGenerationsAreBad) {
+  const std::string path = TempPath("bothbad.bin");
+  EXPECT_FALSE(ReadCheckpointWithFallback(path, nullptr).ok());
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "junk";
+  }
+  EXPECT_FALSE(ReadCheckpointWithFallback(path, nullptr).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFrameTest, InjectedWriteFaultsBehaveLikeABadDisk) {
+  CheckpointFrame frame;
+  frame.superstep = 5;
+  frame.payload.assign(256, 0x11);
+  const std::string path = TempPath("faulty.bin");
+
+  // kFail: the write errors out and leaves no file behind.
+  {
+    FaultPlan plan;
+    FaultEvent fail;
+    fail.action = FaultAction::kCkptFail;
+    plan.events.push_back(fail);
+    FaultInjector::Get().Arm(plan);
+    EXPECT_FALSE(WriteCheckpoint(path, frame).ok());
+    FaultInjector::Get().Disarm();
+    EXPECT_FALSE(ReadCheckpoint(path).ok());
+  }
+
+  // kTorn: the write reports success but the frame must fail validation.
+  {
+    FaultPlan plan;
+    FaultEvent torn;
+    torn.action = FaultAction::kCkptTorn;
+    plan.events.push_back(torn);
+    FaultInjector::Get().Arm(plan);
+    EXPECT_TRUE(WriteCheckpoint(path, frame).ok());
+    FaultInjector::Get().Disarm();
+    EXPECT_FALSE(ReadCheckpoint(path).ok());
+  }
+  std::remove(path.c_str());
 }
 
 TEST(EngineCheckpointTest, RestoreFinishesWithSameResult) {

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/timer.h"
+#include "fault/fault.h"
 
 namespace serigraph {
 namespace {
@@ -199,6 +200,69 @@ TEST(TransportTest, FastPathInboxEmptyAndDepth) {
   EXPECT_EQ(transport.InboxDepth(1), 1);
   EXPECT_TRUE(transport.TryReceive(1).has_value());
   EXPECT_TRUE(transport.InboxEmpty(1));
+}
+
+TEST(TransportTest, InjectedDuplicatesAreDroppedByReceiver) {
+  MetricRegistry metrics;
+  FaultPlan plan;
+  FaultEvent dup;
+  dup.action = FaultAction::kDuplicate;
+  dup.hit = 2;
+  dup.count = 1;
+  plan.events.push_back(dup);
+  FaultInjector::Get().Arm(plan);
+  Transport transport(2, NetworkOptions{}, &metrics);
+  for (uint32_t i = 0; i < 4; ++i) transport.Send(Control(0, 1, i));
+  FaultInjector::Get().Disarm();
+
+  // Receiver sees each tag exactly once, in order, despite the duplicate.
+  for (uint32_t i = 0; i < 4; ++i) {
+    auto m = transport.Receive(1);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->tag, i);
+  }
+  EXPECT_FALSE(transport.TryReceive(1).has_value());
+  EXPECT_EQ(metrics.GetCounter("net.dup_dropped")->value(), 1);
+  EXPECT_EQ(metrics.GetCounter("net.fault_injected")->value(), 1);
+}
+
+TEST(TransportTest, InjectedDropIsReportedAsSequenceGap) {
+  MetricRegistry metrics;
+  FaultPlan plan;
+  FaultEvent drop;
+  drop.action = FaultAction::kDrop;
+  drop.hit = 2;
+  drop.count = 1;
+  plan.events.push_back(drop);
+  FaultInjector::Get().Arm(plan);
+  Transport transport(2, NetworkOptions{}, &metrics);
+  struct Gap {
+    WorkerId src = -1, dst = -1;
+    uint64_t expected = 0, got = 0;
+  } gap;
+  int gaps = 0;
+  transport.SetLossCallback(
+      [&](WorkerId src, WorkerId dst, uint64_t expected, uint64_t got) {
+        gap = {src, dst, expected, got};
+        ++gaps;
+      });
+  for (uint32_t i = 0; i < 3; ++i) transport.Send(Control(0, 1, i));
+  FaultInjector::Get().Disarm();
+
+  auto first = transport.Receive(1);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->tag, 0u);
+  // The next delivered message skips the dropped link sequence; the
+  // receiver reports the gap and still hands the survivor over.
+  auto survivor = transport.Receive(1);
+  ASSERT_TRUE(survivor.has_value());
+  EXPECT_EQ(survivor->tag, 2u);
+  EXPECT_EQ(gaps, 1);
+  EXPECT_EQ(gap.src, 0);
+  EXPECT_EQ(gap.dst, 1);
+  EXPECT_EQ(gap.got, gap.expected + 1);
+  EXPECT_EQ(metrics.GetCounter("net.seq_gaps")->value(), 1);
+  EXPECT_FALSE(transport.TryReceive(1).has_value());
 }
 
 TEST(TransportTest, FastPathRingSurvivesGrowthAndWraparound) {
