@@ -6,9 +6,9 @@
 
 using namespace serigraph;
 
-int main() {
-  RunFig6Grid(
-      "Figure 6(a): graph coloring",
+int main(int argc, char** argv) {
+  return RunFig6Grid(
+      argc, argv, "Figure 6(a): graph coloring",
       "partition-based locking fastest everywhere; up to 2.3x vs "
       "vertex-based (TW, 32 workers) and 2.2x vs token passing (UK, 32)",
       /*undirected=*/true,
@@ -17,5 +17,4 @@ int main() {
         RunStats stats = RunProgram(graph, GreedyColoring(), config, &colors);
         return std::make_pair(stats, IsProperColoring(graph, colors));
       });
-  return 0;
 }

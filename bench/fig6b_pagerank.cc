@@ -7,9 +7,9 @@
 
 using namespace serigraph;
 
-int main() {
-  RunFig6Grid(
-      "Figure 6(b): PageRank",
+int main(int argc, char** argv) {
+  return RunFig6Grid(
+      argc, argv, "Figure 6(b): PageRank",
       "partition-based locking fastest everywhere; up to 18x vs "
       "vertex-based (OR, 16 workers) and >14x vs token passing (UK, 32)",
       /*undirected=*/false,
@@ -24,5 +24,4 @@ int main() {
         for (double v : values) valid &= v >= PageRank::kBase - 1e-9;
         return std::make_pair(stats, valid);
       });
-  return 0;
 }

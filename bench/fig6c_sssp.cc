@@ -6,9 +6,9 @@
 
 using namespace serigraph;
 
-int main() {
-  RunFig6Grid(
-      "Figure 6(c): SSSP",
+int main(int argc, char** argv) {
+  return RunFig6Grid(
+      argc, argv, "Figure 6(c): SSSP",
       "partition-based locking fastest; up to 13x vs vertex-based (OR, 16 "
       "workers) and >10x vs token passing (UK, 32); token passing "
       "degenerates because workers halt and reactivate dynamically "
@@ -25,5 +25,4 @@ int main() {
         const bool valid = distances == ReferenceSssp(graph, source);
         return std::make_pair(stats, valid);
       });
-  return 0;
 }

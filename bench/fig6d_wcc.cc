@@ -5,9 +5,9 @@
 
 using namespace serigraph;
 
-int main() {
-  RunFig6Grid(
-      "Figure 6(d): WCC",
+int main(int argc, char** argv) {
+  return RunFig6Grid(
+      argc, argv, "Figure 6(d): WCC",
       "partition-based locking fastest; up to 26x vs vertex-based (OR, 16 "
       "workers) and >8x vs token passing (UK, 32); multi-iteration "
       "algorithms multiply the per-iteration gains (Section 7.3)",
@@ -18,5 +18,4 @@ int main() {
         const bool valid = labels == ReferenceWcc(graph);
         return std::make_pair(stats, valid);
       });
-  return 0;
 }

@@ -2,29 +2,95 @@
 #define SERIGRAPH_BENCH_MICRO_MAIN_H_
 
 // Shared main() for the Google Benchmark micro benches. Identical to the
-// stock benchmark_main except that it accepts the repo's `--json=FILE`
-// shorthand (expanded by ExpandJsonFlag in fig6_common.h) so every bench
-// writes machine-readable snapshots the same way:
+// stock benchmark_main except that the repo's `--json=FILE` flag writes a
+// schema-versioned BENCH.json (bench/harness.h) instead of the raw
+// Google Benchmark dump, so micro and fig6-style benches produce the
+// same machine-readable format and scripts/bench_compare.py can diff
+// either against a committed baseline:
 //
-//   build/bench/micro_message_store --json=results/BENCH_pr4.json
+//   build/bench/micro_message_store --json=results/BENCH_pr6.json
 //
 // Include this header exactly once, at the end of a bench's .cc file.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
-#include "fig6_common.h"
+#include "harness.h"
+
+namespace serigraph {
+
+/// Console output as usual, plus per-repetition real times collected for
+/// the BENCH.json report. Aggregate rows (mean/median/stddev) are
+/// skipped — the report computes its own median from the raw
+/// repetitions, so the statistic is the same with or without
+/// --benchmark_repetitions.
+class BenchJsonCollector : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (!run.aggregate_name.empty()) continue;
+      if (run.iterations <= 0) continue;
+      // Per-iteration real time in ns, independent of the benchmark's
+      // declared time unit.
+      const double ns = run.real_accumulated_time /
+                        static_cast<double>(run.iterations) * 1e9;
+      Entry& entry = entries_[run.benchmark_name()];
+      entry.samples_ns.push_back(ns);
+      entry.iterations += run.iterations;
+    }
+  }
+
+  BenchReport ToReport() const {
+    BenchReport report;
+    report.env = CaptureBenchEnvironment();
+    for (const auto& [name, entry] : entries_) {
+      BenchCell cell;
+      cell.name = name;
+      cell.unit = "ns";
+      cell.median = MedianOf(entry.samples_ns);
+      cell.min = *std::min_element(entry.samples_ns.begin(),
+                                   entry.samples_ns.end());
+      cell.max = *std::max_element(entry.samples_ns.begin(),
+                                   entry.samples_ns.end());
+      cell.reps = static_cast<int>(entry.samples_ns.size());
+      cell.counters["iterations"] = entry.iterations;
+      report.Add(std::move(cell));
+    }
+    return report;
+  }
+
+ private:
+  struct Entry {
+    std::vector<double> samples_ns;
+    int64_t iterations = 0;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace serigraph
 
 int main(int argc, char** argv) {
-  std::vector<std::string> storage;
-  std::vector<char*> args = serigraph::ExpandJsonFlag(argc, argv, &storage);
-  int ac = static_cast<int>(args.size()) - 1;  // exclude trailing nullptr
-  benchmark::Initialize(&ac, args.data());
-  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  serigraph::BenchArgs args = serigraph::ParseBenchArgs(argc, argv);
+  int ac = static_cast<int>(args.passthrough.size()) - 1;  // drop nullptr
+  benchmark::Initialize(&ac, args.passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.passthrough.data())) {
+    return 1;
+  }
+  serigraph::BenchJsonCollector collector;
+  benchmark::RunSpecifiedBenchmarks(&collector);
   benchmark::Shutdown();
+  if (!args.json_path.empty()) {
+    const serigraph::BenchReport report = collector.ToReport();
+    if (!report.WriteJson(args.json_path)) return 1;
+    std::printf("bench report written to %s (%zu cells)\n",
+                args.json_path.c_str(), report.cells.size());
+  }
   return 0;
 }
 

@@ -59,6 +59,7 @@ struct CliOptions {
   std::string introspect_out;
   int64_t watchdog_ms = 0;
   int64_t stall_abort_ms = 0;
+  bool perf_counters = false;
   std::string prom_out;
   std::string fault_plan;  // file path, or "random"
   uint64_t fault_seed = 1;
@@ -153,6 +154,10 @@ CliOptions Parse(int argc, char** argv) {
       opts.introspect = true;
       continue;
     }
+    if (std::strcmp(arg, "--perf-counters") == 0) {
+      opts.perf_counters = true;
+      continue;
+    }
     if (std::strcmp(arg, "--verify") == 0) {
       opts.verify = true;
       continue;
@@ -199,6 +204,11 @@ void PrintHelp() {
       "                                   --introspect)\n"
       "  --prom-out=FILE                  write final metrics in Prometheus\n"
       "                                   text exposition format\n"
+      "  --perf-counters                  sample hardware perf counters\n"
+      "                                   (cycles, IPC, LLC misses) and RSS\n"
+      "                                   per superstep; falls back to\n"
+      "                                   software counters where perf is\n"
+      "                                   unavailable (docs/PROFILING.md)\n"
       "  --checkpoint-every=N             checkpoint after every N\n"
       "                                   supersteps into --checkpoint-dir\n"
       "  --checkpoint-dir=PATH            checkpoint directory (default .)\n"
@@ -284,6 +294,31 @@ int RunAndReport(const Graph& graph, const CliOptions& cli,
     for (const auto& event : result->stats.recovery_events) {
       std::printf("  %s\n", event.c_str());
     }
+  }
+  if (options.perf_counters) {
+    const RunStats& stats = result->stats;
+    if (stats.perf_hw_counters) {
+      const int64_t cycles = stats.Metric("perf.cycles");
+      const int64_t instructions = stats.Metric("perf.instructions");
+      const int64_t llc_loads = stats.Metric("perf.llc_loads");
+      const int64_t llc_misses = stats.Metric("perf.llc_misses");
+      std::printf("perf: %lld cycles, %lld instructions (IPC %.2f), "
+                  "%lld/%lld LLC misses/loads, %lld branch misses\n",
+                  (long long)cycles, (long long)instructions,
+                  cycles > 0 ? double(instructions) / double(cycles) : 0.0,
+                  (long long)llc_misses, (long long)llc_loads,
+                  (long long)stats.Metric("perf.branch_misses"));
+    } else {
+      std::printf("perf: hardware counters unavailable (%s); "
+                  "software fallback\n", stats.perf_fallback.c_str());
+    }
+    std::printf("perf: %lld ms task clock, %lld ctx switches, "
+                "%lld minor / %lld major faults, peak RSS %lld KiB\n",
+                (long long)stats.Metric("perf.task_clock_ms"),
+                (long long)stats.Metric("perf.ctx_switches"),
+                (long long)stats.Metric("perf.minor_faults"),
+                (long long)stats.Metric("perf.major_faults"),
+                (long long)stats.peak_rss_kb);
   }
   if (options.introspect) {
     const RunStats& stats = result->stats;
@@ -405,6 +440,7 @@ int main(int argc, char** argv) {
       options.watchdog.abort_on_stall = true;
     }
   }
+  options.perf_counters = cli.perf_counters;
   options.checkpoint_every = cli.checkpoint_every;
   options.checkpoint_dir = cli.checkpoint_dir;
   options.fault.recover = cli.recover;

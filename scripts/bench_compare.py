@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Diff two BENCH.json reports (bench/harness.h schema v2) for regressions.
+
+Usage:
+  bench_compare.py [--threshold=0.15] [--allow-env-mismatch] BASELINE CURRENT
+  bench_compare.py --merge OUT IN [IN ...]
+
+Compare mode joins cells by name and compares medians after normalizing
+units to nanoseconds. The per-cell tolerance is noise-aware: a cell must
+regress by more than max(--threshold, observed relative spread of either
+report's repetitions) to fail. Cells present in only one report are
+reported but never fatal — grids grow and shrink across PRs.
+
+The environment fingerprint gates comparability: differing build_type or
+sanitizers make timing diffs meaningless, so they fail fast (exit 2)
+unless --allow-env-mismatch is given. A differing CPU model only warns.
+
+Merge mode concatenates the cells of several reports (e.g. one per bench
+binary) into a single baseline file, keeping the first report's
+environment; duplicate cell names keep the last occurrence.
+
+Exit codes: 0 = no regression, 1 = regression, 2 = schema/usage/env error.
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 2
+
+UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def fail_usage(msg):
+    sys.stderr.write("bench_compare: %s\n" % msg)
+    sys.stderr.write(__doc__)
+    sys.exit(2)
+
+
+def load_report(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.stderr.write("bench_compare: cannot read %s: %s\n" % (path, e))
+        sys.exit(2)
+    version = report.get("schema_version")
+    if version != SCHEMA_VERSION:
+        sys.stderr.write(
+            "bench_compare: %s has schema_version %r, want %d "
+            "(results/README.md describes the schema history)\n"
+            % (path, version, SCHEMA_VERSION))
+        sys.exit(2)
+    if not isinstance(report.get("cells"), list):
+        sys.stderr.write("bench_compare: %s has no cells array\n" % path)
+        sys.exit(2)
+    return report
+
+
+def to_ns(cell, path):
+    unit = cell.get("unit", "ns")
+    if unit not in UNIT_TO_NS:
+        sys.stderr.write("bench_compare: %s cell %r has unknown unit %r\n"
+                         % (path, cell.get("name"), unit))
+        sys.exit(2)
+    scale = UNIT_TO_NS[unit]
+    return (cell.get("median", 0.0) * scale,
+            cell.get("min", 0.0) * scale,
+            cell.get("max", 0.0) * scale)
+
+
+def rel_spread(median, lo, hi):
+    """Observed relative noise of a cell: (max-min)/median."""
+    if median <= 0:
+        return 0.0
+    return (hi - lo) / median
+
+
+def check_env(base, cur, allow_mismatch):
+    base_env = base.get("environment", {})
+    cur_env = cur.get("environment", {})
+    hard_keys = ["build_type", "sanitizers"]
+    soft_keys = ["cpu_model", "cores", "governor", "compiler", "perf_hw"]
+    ok = True
+    for key in hard_keys:
+        if base_env.get(key) != cur_env.get(key):
+            sys.stderr.write(
+                "bench_compare: environment mismatch on %s: baseline=%r "
+                "current=%r — timings are not comparable\n"
+                % (key, base_env.get(key), cur_env.get(key)))
+            ok = False
+    for key in soft_keys:
+        if base_env.get(key) != cur_env.get(key):
+            print("note: environment differs on %s: baseline=%r current=%r"
+                  % (key, base_env.get(key), cur_env.get(key)))
+    if not ok and not allow_mismatch:
+        sys.stderr.write(
+            "bench_compare: refusing to compare "
+            "(--allow-env-mismatch overrides)\n")
+        sys.exit(2)
+
+
+def compare(baseline_path, current_path, threshold, allow_mismatch):
+    base = load_report(baseline_path)
+    cur = load_report(current_path)
+    check_env(base, cur, allow_mismatch)
+
+    base_cells = {c["name"]: c for c in base["cells"] if "name" in c}
+    cur_cells = {c["name"]: c for c in cur["cells"] if "name" in c}
+
+    regressions = []
+    improvements = []
+    compared = 0
+    for name in sorted(base_cells):
+        if name not in cur_cells:
+            print("skip (missing in current): %s" % name)
+            continue
+        b_med, b_lo, b_hi = to_ns(base_cells[name], baseline_path)
+        c_med, c_lo, c_hi = to_ns(cur_cells[name], current_path)
+        if b_med <= 0:
+            print("skip (zero baseline median): %s" % name)
+            continue
+        compared += 1
+        change = (c_med - b_med) / b_med
+        allowed = max(threshold,
+                      rel_spread(b_med, b_lo, b_hi),
+                      rel_spread(c_med, c_lo, c_hi))
+        line = "%-60s %12.0f -> %12.0f ns  %+6.1f%% (tol %.0f%%)" % (
+            name, b_med, c_med, 100.0 * change, 100.0 * allowed)
+        if change > allowed:
+            regressions.append(line)
+            print("REGRESSION " + line)
+        elif change < -allowed:
+            improvements.append(line)
+            print("improved   " + line)
+        else:
+            print("ok         " + line)
+    for name in sorted(set(cur_cells) - set(base_cells)):
+        print("new cell (no baseline): %s" % name)
+
+    print("\n%d cells compared, %d regressions, %d improvements"
+          % (compared, len(regressions), len(improvements)))
+    if compared == 0:
+        sys.stderr.write("bench_compare: no overlapping cells — "
+                         "are these reports from the same benches?\n")
+        sys.exit(2)
+    return 1 if regressions else 0
+
+
+def merge(out_path, in_paths):
+    merged = None
+    cells = {}
+    order = []
+    for path in in_paths:
+        report = load_report(path)
+        if merged is None:
+            merged = report
+        for cell in report["cells"]:
+            name = cell.get("name")
+            if name is None:
+                continue
+            if name in cells:
+                print("note: duplicate cell %s (keeping %s)" % (name, path))
+            else:
+                order.append(name)
+            cells[name] = cell
+    merged["cells"] = [cells[name] for name in order]
+    with open(out_path, "w") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+    print("merged %d cells from %d reports into %s"
+          % (len(order), len(in_paths), out_path))
+    return 0
+
+
+def main(argv):
+    threshold = 0.15
+    allow_mismatch = False
+    do_merge = False
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            try:
+                threshold = float(arg.split("=", 1)[1])
+            except ValueError:
+                fail_usage("bad --threshold value")
+        elif arg == "--allow-env-mismatch":
+            allow_mismatch = True
+        elif arg == "--merge":
+            do_merge = True
+        elif arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        elif arg.startswith("-"):
+            fail_usage("unknown flag %s" % arg)
+        else:
+            paths.append(arg)
+    if do_merge:
+        if len(paths) < 2:
+            fail_usage("--merge needs OUT and at least one IN")
+        return merge(paths[0], paths[1:])
+    if len(paths) != 2:
+        fail_usage("need exactly BASELINE and CURRENT")
+    return compare(paths[0], paths[1], threshold, allow_mismatch)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

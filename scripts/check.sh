@@ -5,7 +5,8 @@
 # data race in them shows up here, not in a flaky bench.
 #
 # Usage: scripts/check.sh [--sanitizer=thread|address,undefined]
-#                         [--introspect] [--bench-smoke] [build-dir]
+#                         [--introspect] [--bench-smoke] [--perf-gate]
+#                         [build-dir]
 #   (default sanitizer: thread; default build-dir: build-<sanitizer>)
 #
 # --sanitizer=address,undefined runs the combined ASan+UBSan pass
@@ -27,6 +28,15 @@
 # to exit 0 with a fault section in the metrics JSON, the same crash
 # without --recover must abort with exit 3, and a randomized plan under
 # --verify must still pass the serializability audit.
+#
+# --perf-gate skips the sanitizer suite entirely: it builds in Release
+# and (a) runs a --perf-counters CLI smoke under SERIGRAPH_NO_PERF_HW=1
+# (software fallback — shared CI runners usually deny perf_event_open)
+# validating that the run report carries perf/memory sections and the
+# trace carries counter events, then (b) reruns the micro benches and
+# diffs their BENCH.json against the committed baseline with a wide
+# noise threshold (order-of-magnitude regressions only). The fresh
+# BENCH.json is left in the build dir for artifact upload.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,12 +45,14 @@ SANITIZER=thread
 INTROSPECT_SMOKE=0
 BENCH_SMOKE=0
 CHAOS=0
+PERF_GATE=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
     --sanitizer=*) SANITIZER="${1#--sanitizer=}" ;;
     --introspect)  INTROSPECT_SMOKE=1 ;;
     --bench-smoke) BENCH_SMOKE=1 ;;
     --chaos)       CHAOS=1 ;;
+    --perf-gate)   PERF_GATE=1 ;;
     *) echo "check.sh: unknown flag $1" >&2; exit 2 ;;
   esac
   shift
@@ -108,6 +120,67 @@ EOF
   exit 0
 fi
 
+if [[ "$PERF_GATE" == "1" ]]; then
+  BUILD_DIR="${1:-build-perf-gate}"
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_DIR" -j "$(nproc)" \
+    --target serigraph_cli micro_message_store
+  GATE_DIR="$(mktemp -d)"
+  trap 'rm -rf "$GATE_DIR"' EXIT
+
+  # Functional half: a --perf-counters run must produce the perf and
+  # memory report sections and per-superstep counter events in the
+  # trace, in software-fallback mode (SERIGRAPH_NO_PERF_HW=1 — the gate
+  # must pass on runners where perf_event_open is denied, and forcing
+  # the fallback everywhere keeps it deterministic).
+  METRICS="$GATE_DIR/metrics.json"
+  TRACE="$GATE_DIR/trace.json"
+  SERIGRAPH_NO_PERF_HW=1 "$BUILD_DIR/examples/serigraph_cli" \
+    --algorithm=pagerank --generator=powerlaw --vertices=2000 --degree=8 \
+    --sync=partition-locking --workers=4 --perf-counters \
+    --metrics-json="$METRICS" --trace-out="$TRACE"
+  python3 - "$METRICS" "$TRACE" <<'EOF'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+perf = report.get("perf")
+if not perf:
+    sys.exit("perf gate: run report has no perf section")
+if perf.get("hw_counters"):
+    sys.exit("perf gate: hw_counters true despite SERIGRAPH_NO_PERF_HW=1")
+if not perf.get("fallback"):
+    sys.exit("perf gate: software fallback engaged but no reason recorded")
+phases = perf.get("phases", {})
+if phases.get("compute.task_clock_ns", 0) <= 0:
+    sys.exit("perf gate: no compute task-clock time attributed")
+mem = report.get("memory")
+if not mem or mem.get("peak_rss_kb", 0) <= 0:
+    sys.exit("perf gate: no peak RSS recorded")
+if not mem.get("samples"):
+    sys.exit("perf gate: no per-superstep memory samples")
+trace = json.load(open(sys.argv[2]))
+counters = [e for e in trace.get("traceEvents", []) if e.get("ph") == "C"]
+if not counters:
+    sys.exit("perf gate: no counter events in the trace")
+print("perf gate: report + trace OK (%d counter events, %d mem samples)"
+      % (len(counters), len(mem["samples"])))
+EOF
+
+  # Regression half: micro bench medians against the committed baseline.
+  # Threshold 5.0 = a cell must be 6x slower to fail — shared runners
+  # are noisy and their CPUs differ from the baseline machine, so this
+  # only catches order-of-magnitude regressions. Tighter comparisons are
+  # for a dedicated box (docs/PERF.md).
+  SERIGRAPH_NO_PERF_HW=1 "$BUILD_DIR/bench/micro_message_store" \
+    --benchmark_min_time=0.02 --benchmark_repetitions=3 \
+    --json="$GATE_DIR/BENCH.json"
+  python3 scripts/bench_compare.py --threshold=5.0 --allow-env-mismatch \
+    results/BENCH_pr6.json "$GATE_DIR/BENCH.json"
+  cp "$GATE_DIR/BENCH.json" "$BUILD_DIR/BENCH.json"
+  echo "check.sh: perf gate passed (fresh report at $BUILD_DIR/BENCH.json)"
+  exit 0
+fi
+
 if [[ "$BENCH_SMOKE" == "1" ]]; then
   BUILD_DIR="${1:-build-bench-smoke}"
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
@@ -121,9 +194,13 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
     python3 -c "
 import json, sys
 d = json.load(open('$out'))
-if not d.get('benchmarks'):
-    sys.exit('$bench: empty benchmark list in --json output')
-print('$bench: %d benchmarks, json ok' % len(d['benchmarks']))
+if d.get('schema_version') != 2:
+    sys.exit('$bench: --json output is not a schema-v2 BENCH report')
+if not d.get('cells'):
+    sys.exit('$bench: empty cell list in --json output')
+if not d.get('environment', {}).get('compiler'):
+    sys.exit('$bench: BENCH report has no environment fingerprint')
+print('$bench: %d cells, json ok' % len(d['cells']))
 "
   done
   echo "check.sh: bench smoke passed"

@@ -42,6 +42,17 @@ class MaxGauge {
     }
   }
 
+  /// Sets the gauge to the absolute sample `v` and folds it into the max.
+  /// For sampled depth/occupancy gauges (queue depth, RSS) where deltas
+  /// are not available.
+  void Observe(int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    int64_t prev = max_.load(std::memory_order_relaxed);
+    while (v > prev &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
   int64_t max() const { return max_.load(std::memory_order_relaxed); }
   void Reset() {

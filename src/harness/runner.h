@@ -26,6 +26,9 @@ struct RunConfig {
   /// Runtime introspection (beacons + watchdog + contention profile).
   bool introspect = false;
   WatchdogOptions watchdog;
+  /// Hardware perf counters + per-superstep memory sampling
+  /// (docs/PROFILING.md); software fallback where perf is unavailable.
+  bool perf_counters = false;
 };
 
 inline EngineOptions ToEngineOptions(const RunConfig& config) {
@@ -43,6 +46,7 @@ inline EngineOptions ToEngineOptions(const RunConfig& config) {
   opts.record_history = config.record_history;
   opts.introspect = config.introspect;
   opts.watchdog = config.watchdog;
+  opts.perf_counters = config.perf_counters;
   return opts;
 }
 

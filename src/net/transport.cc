@@ -42,6 +42,7 @@ Transport::Transport(int num_workers, NetworkOptions options,
   fault_injected_ = metrics->GetCounter("net.fault_injected");
   batch_delay_hist_ = metrics->GetHistogram("net.batch_delay_us");
   batch_bytes_hist_ = metrics->GetHistogram("net.batch_bytes");
+  peak_inbox_depth_ = metrics->GetGauge("net.peak_inbox_depth");
 }
 
 void Transport::Send(WireMessage msg) {
@@ -106,12 +107,15 @@ void Transport::Send(WireMessage msg) {
     // per-sender deadline tracking. One waiter can make progress per
     // push, so NotifyOne suffices.
     fastpath_messages_->Increment();
+    int64_t depth;
     {
       sy::MutexLock lock(&inbox.mu);
       msg.link_seq = ++inbox.next_link_seq[msg.src];
       if (duplicate) inbox.fifo.Push(msg);
       inbox.fifo.Push(std::move(msg));
+      depth = static_cast<int64_t>(inbox.fifo.size());
     }
+    peak_inbox_depth_->Observe(depth);
     inbox.cv.NotifyOne();
     return;
   }
@@ -120,6 +124,7 @@ void Transport::Send(WireMessage msg) {
                      : now + std::chrono::microseconds(
                                  options_.DelayMicros(bytes));
   if (extra_delay_us > 0) ready += std::chrono::microseconds(extra_delay_us);
+  int64_t depth;
   {
     sy::MutexLock lock(&inbox.mu);
     // Preserve per-(src,dst) FIFO: never deliver before an earlier message
@@ -144,7 +149,9 @@ void Transport::Send(WireMessage msg) {
     }
     item.msg = std::move(msg);
     inbox.queue.push(std::move(item));
+    depth = static_cast<int64_t>(inbox.queue.size());
   }
+  peak_inbox_depth_->Observe(depth);
   inbox.cv.NotifyAll();
 }
 

@@ -155,6 +155,9 @@ class Transport {
   // cross-worker data batches.
   Histogram* batch_delay_hist_;
   Histogram* batch_bytes_hist_;
+  /// Deepest any inbox got (memory-pressure signal: a worker falling
+  /// behind its senders shows up here before it shows up in RSS).
+  MaxGauge* peak_inbox_depth_;
 };
 
 }  // namespace serigraph

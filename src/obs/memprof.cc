@@ -1,0 +1,46 @@
+#include "obs/memprof.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace serigraph {
+
+MemoryStatus ReadMemoryStatus() {
+  MemoryStatus s;
+#if defined(__linux__)
+  FILE* f = fopen("/proc/self/status", "r");
+  if (f != nullptr) {
+    char line[256];
+    while (fgets(line, sizeof(line), f) != nullptr) {
+      long long kb = 0;
+      if (sscanf(line, "VmRSS: %lld kB", &kb) == 1) {
+        s.rss_kb = kb;
+      } else if (sscanf(line, "VmHWM: %lld kB", &kb) == 1) {
+        s.peak_rss_kb = kb;
+      }
+      if (s.rss_kb > 0 && s.peak_rss_kb > 0) break;
+    }
+    fclose(f);
+  }
+#endif
+#if defined(__linux__) || defined(__APPLE__)
+  if (s.peak_rss_kb == 0) {
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+      s.peak_rss_kb = ru.ru_maxrss / 1024;  // bytes on macOS
+#else
+      s.peak_rss_kb = ru.ru_maxrss;  // KiB on Linux
+#endif
+    }
+  }
+  if (s.rss_kb == 0) s.rss_kb = s.peak_rss_kb;
+#endif
+  return s;
+}
+
+}  // namespace serigraph

@@ -1,6 +1,7 @@
 #include "obs/report.h"
 
 #include <cstdio>
+#include <cstring>
 
 namespace serigraph {
 
@@ -138,6 +139,14 @@ std::string RunReportToJson(const RunReport& report) {
     json.Key("fork_wait_us").Value(sample.fork_wait_us);
     json.Key("vertices_executed").Value(sample.vertices_executed);
     json.Key("messages_sent").Value(sample.messages_sent);
+    if (report.perf_enabled) {
+      json.Key("compute_cycles").Value(sample.compute_cycles);
+      json.Key("compute_instructions").Value(sample.compute_instructions);
+      json.Key("compute_llc_loads").Value(sample.compute_llc_loads);
+      json.Key("compute_llc_misses").Value(sample.compute_llc_misses);
+      json.Key("compute_task_clock_ns").Value(sample.compute_task_clock_ns);
+      json.Key("perf_hw_valid").Value(sample.perf_hw_valid);
+    }
     json.EndObject();
   }
   json.EndArray();
@@ -188,24 +197,134 @@ std::string RunReportToJson(const RunReport& report) {
     json.EndArray();
     json.EndObject();
   }
+  if (report.perf_enabled) {
+    json.Key("perf").BeginObject();
+    json.Key("hw_counters").Value(report.perf_hw_counters);
+    json.Key("fallback").Value(report.perf_fallback);
+    json.Key("phases").BeginObject();
+    for (const auto& [name, value] : report.perf_phases) {
+      json.Key(name).Value(value);
+    }
+    json.EndObject();
+    json.EndObject();
+    json.Key("memory").BeginObject();
+    json.Key("peak_rss_kb").Value(report.peak_rss_kb);
+    json.Key("samples").BeginArray();
+    for (const MemSample& s : report.mem_samples) {
+      json.BeginObject();
+      json.Key("superstep").Value(s.superstep);
+      json.Key("rss_kb").Value(s.rss_kb);
+      json.Key("peak_rss_kb").Value(s.peak_rss_kb);
+      json.Key("arena_chunks").Value(s.arena_chunks);
+      json.Key("arena_nodes_in_use").Value(s.arena_nodes_in_use);
+      json.Key("arena_node_capacity").Value(s.arena_node_capacity);
+      json.Key("max_chain_len").Value(s.max_chain_len);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
   json.EndObject();
   return json.str();
 }
 
+namespace {
+
+std::string SanitizePromName(const std::string& name) {
+  std::string sanitized = "serigraph_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    sanitized += ok ? c : '_';
+  }
+  return sanitized;
+}
+
+/// Metric names exported as `gauge` (point-in-time or peak values; the
+/// docs/METRICS.md "Type" column is the authoritative list). Everything
+/// not a gauge and not part of a histogram family is a `counter`.
+bool IsGaugeMetric(const std::string& name) {
+  static const char* kGauges[] = {
+      "pregel.max_concurrent_executions",
+      "net.peak_inbox_depth",
+      "mem.peak_rss_kb",
+      "store.arena_chunks",
+      "store.arena_nodes_in_use",
+      "store.arena_node_capacity",
+      "store.max_chain_len",
+  };
+  for (const char* g : kGauges) {
+    if (name == g) return true;
+  }
+  return false;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
 std::string MetricsToPrometheusText(
     const std::map<std::string, int64_t>& metrics) {
-  std::string out;
+  // Histogram families: MetricRegistry::Snapshot flattens each histogram
+  // into name.p50/.p95/.max/.count/.sum; a base name carrying all five
+  // renders as one Prometheus summary instead of five opaque counters.
+  static const char* kHistSuffixes[] = {".p50", ".p95", ".max", ".count",
+                                        ".sum"};
+  std::map<std::string, int> family_parts;
   for (const auto& [name, value] : metrics) {
-    std::string sanitized = "serigraph_";
-    for (char c : name) {
-      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                      (c >= '0' && c <= '9') || c == '_' || c == ':';
-      sanitized += ok ? c : '_';
+    (void)value;
+    for (const char* suffix : kHistSuffixes) {
+      if (EndsWith(name, suffix)) {
+        family_parts[name.substr(0, name.size() - strlen(suffix))]++;
+      }
     }
-    out += sanitized;
+  }
+
+  std::string out;
+  auto emit_line = [&out](const std::string& name, int64_t value,
+                          const char* labels = "") {
+    out += name;
+    out += labels;
     out += ' ';
     out += std::to_string(value);
     out += '\n';
+  };
+
+  std::string emitted_family;  // base of the family just emitted
+  for (const auto& [name, value] : metrics) {
+    // Is this key part of a complete histogram family?
+    std::string base;
+    for (const char* suffix : kHistSuffixes) {
+      if (EndsWith(name, suffix)) {
+        std::string candidate = name.substr(0, name.size() - strlen(suffix));
+        auto it = family_parts.find(candidate);
+        if (it != family_parts.end() && it->second == 5) base = candidate;
+        break;
+      }
+    }
+    if (!base.empty()) {
+      if (base == emitted_family) continue;  // family already written
+      emitted_family = base;
+      const std::string prom = SanitizePromName(base);
+      auto get = [&metrics, &base](const char* suffix) {
+        return metrics.at(base + suffix);
+      };
+      out += "# TYPE " + prom + " summary\n";
+      emit_line(prom, get(".p50"), "{quantile=\"0.5\"}");
+      emit_line(prom, get(".p95"), "{quantile=\"0.95\"}");
+      emit_line(prom + "_count", get(".count"));
+      emit_line(prom + "_sum", get(".sum"));
+      out += "# TYPE " + prom + "_max gauge\n";
+      emit_line(prom + "_max", get(".max"));
+      continue;
+    }
+    const std::string prom = SanitizePromName(name);
+    out += "# TYPE " + prom;
+    out += IsGaugeMetric(name) ? " gauge\n" : " counter\n";
+    emit_line(prom, value);
   }
   return out;
 }

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "obs/introspect.h"
+#include "obs/memprof.h"
 #include "obs/timeline.h"
 
 namespace serigraph {
@@ -67,6 +68,20 @@ struct RunReport {
   /// in-engine recovery off).
   int recovery_attempts = 0;
   std::vector<std::string> recovery_events;
+
+  /// Performance-counter digest (populated only when the run had
+  /// EngineOptions::perf_counters set; see docs/PROFILING.md). Keys in
+  /// `perf_phases` are "<phase>.<field>" ("compute.cycles",
+  /// "barrier.task_clock_ns", ...); hardware fields are absent-as-zero
+  /// under the software fallback, with `perf_fallback` explaining why.
+  bool perf_enabled = false;
+  bool perf_hw_counters = false;
+  std::string perf_fallback;
+  std::map<std::string, int64_t> perf_phases;
+  /// Memory digest (same gating): process peak RSS plus the
+  /// per-superstep RSS/arena samples taken in the serial section.
+  int64_t peak_rss_kb = 0;
+  std::vector<MemSample> mem_samples;
 };
 
 /// Serializes `report` as a JSON object:
@@ -74,12 +89,18 @@ struct RunReport {
 ///    "metrics":{"name":value,...},
 ///    "timeline":[{"superstep":0,"worker":0,"compute_us":...,...},...],
 ///    "introspection":{...},            // only when the run recorded any
-///    "fault":{...}}                    // only for fault/recovery runs
+///    "fault":{...},                    // only for fault/recovery runs
+///    "perf":{...},"memory":{...}}      // only for perf_counters runs
 std::string RunReportToJson(const RunReport& report);
 
-/// Renders `metrics` in the Prometheus text exposition format, one
-/// `serigraph_<name> <value>` line per entry with metric names sanitized
-/// (dots and other invalid characters become underscores).
+/// Renders `metrics` in the Prometheus text exposition format with
+/// `# TYPE` hints. Metric names are sanitized (dots and other invalid
+/// characters become underscores) and prefixed `serigraph_`. Histogram
+/// families (a base name carrying all of .p50/.p95/.max/.count/.sum, the
+/// MetricRegistry::Snapshot flattening) render as a `summary` with
+/// quantile labels plus `_count`/`_sum` and a `_max` gauge; names in the
+/// builtin gauge set (docs/METRICS.md "Type" column) render as `gauge`;
+/// everything else is a `counter`.
 std::string MetricsToPrometheusText(
     const std::map<std::string, int64_t>& metrics);
 

@@ -24,6 +24,18 @@ struct SuperstepSample {
   int64_t vertices_executed = 0;
   /// Messages this worker's vertices sent during the superstep.
   int64_t messages_sent = 0;
+
+  /// Hardware-counter deltas for the compute phase (perfcounters.h),
+  /// populated only when EngineOptions::perf_counters is set AND
+  /// perf_event_open is available; all zero with perf_hw_valid=false
+  /// under the software fallback. Task-clock comes from the fallback
+  /// too, so it is valid whenever perf_counters is on.
+  int64_t compute_cycles = 0;
+  int64_t compute_instructions = 0;
+  int64_t compute_llc_loads = 0;
+  int64_t compute_llc_misses = 0;
+  int64_t compute_task_clock_ns = 0;
+  bool perf_hw_valid = false;
 };
 
 /// Collects SuperstepSamples across workers with no cross-thread

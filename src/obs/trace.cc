@@ -114,6 +114,35 @@ void Tracer::RecordFlow(const char* name, char ph, uint64_t id) {
   chunk->count.store(slot + 1, std::memory_order_release);
 }
 
+void Tracer::RecordCounter(const char* name, int64_t value) {
+  ThreadBuffer* buffer = CurrentThreadBuffer();
+  Chunk* chunk = nullptr;
+  {
+    sy::MutexLock lock(&buffer->mu);
+    if (!buffer->chunks.empty()) {
+      Chunk* last = buffer->chunks.back().get();
+      if (last->count.load(std::memory_order_relaxed) < kChunkCapacity) {
+        chunk = last;
+      }
+    }
+    if (chunk == nullptr) {
+      if (buffer->chunks.size() >= kMaxChunksPerThread) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      buffer->chunks.push_back(std::make_unique<Chunk>());
+      chunk = buffer->chunks.back().get();
+    }
+  }
+  const size_t slot = chunk->count.load(std::memory_order_relaxed);
+  chunk->events[slot].name = name;
+  chunk->events[slot].ts_us = NowMicros();
+  chunk->events[slot].dur_us = value;
+  chunk->events[slot].ph = 'C';
+  chunk->events[slot].id = 0;
+  chunk->count.store(slot + 1, std::memory_order_release);
+}
+
 uint64_t Tracer::NextFlowId() {
   static std::atomic<uint64_t> next{1};
   return next.fetch_add(1, std::memory_order_relaxed);
@@ -204,6 +233,15 @@ std::string Tracer::ToChromeTraceJson() const {
           out += std::to_string(event.id);
           if (event.ph == 'f') out += ",\"bp\":\"e\"";
           out += "}";
+        } else if (event.ph == 'C') {
+          // Counter sample: the viewer plots args.value over time.
+          out += "\",\"ph\":\"C\",\"pid\":0,\"tid\":";
+          out += std::to_string(buffer->tid);
+          out += ",\"ts\":";
+          out += std::to_string(event.ts_us);
+          out += ",\"args\":{\"value\":";
+          out += std::to_string(event.dur_us);
+          out += "}}";
         } else {
           out += "\",\"ph\":\"X\",\"pid\":0,\"tid\":";
           out += std::to_string(buffer->tid);

@@ -15,15 +15,17 @@
 namespace serigraph {
 
 /// One recorded event: a completed span ("X" phase in the Chrome
-/// trace-event format) or one end of a flow arrow ('s' = start at the
-/// sender, 'f' = finish at the receiver) binding cross-thread causality.
+/// trace-event format), one end of a flow arrow ('s' = start at the
+/// sender, 'f' = finish at the receiver) binding cross-thread causality,
+/// or a counter sample ('C') rendered by the viewer as a value track
+/// (per-superstep IPC, LLC misses, RSS — see docs/PROFILING.md).
 /// `name` must point at a string with static storage duration — span
 /// macros pass literals, so recording never copies or allocates.
 struct TraceEvent {
   const char* name = nullptr;
   int64_t ts_us = 0;   ///< start, microseconds since the trace epoch
-  int64_t dur_us = 0;  ///< duration in microseconds (spans only)
-  char ph = 'X';       ///< 'X' complete span, 's'/'f' flow start/finish
+  int64_t dur_us = 0;  ///< duration (spans) or sampled value (counters)
+  char ph = 'X';       ///< 'X' span, 's'/'f' flow ends, 'C' counter
   uint64_t id = 0;     ///< flow id pairing 's' with 'f' (flows only)
 };
 
@@ -68,6 +70,11 @@ class Tracer {
   /// (start, at the sender) or 'f' (finish, at the receiver); both ends
   /// must use the same `name` and `id` to be connected by the viewer.
   void RecordFlow(const char* name, char ph, uint64_t id);
+
+  /// Appends a counter sample ('C' phase) at the current time. The
+  /// viewer plots successive samples with the same `name` on one value
+  /// track per thread.
+  void RecordCounter(const char* name, int64_t value);
 
   /// Allocates a process-unique nonzero flow id (for WireMessage::span).
   static uint64_t NextFlowId();
@@ -169,6 +176,14 @@ class TraceSpan {
     if (::serigraph::Tracer::enabled()) {                             \
       ::serigraph::Tracer::Get().RecordComplete((name), (start_us),   \
                                                 (dur_us));            \
+    }                                                                 \
+  } while (0)
+
+/// Records a counter sample on the calling thread's track.
+#define SG_TRACE_COUNTER(name, value)                                 \
+  do {                                                                \
+    if (::serigraph::Tracer::enabled()) {                             \
+      ::serigraph::Tracer::Get().RecordCounter((name), (value));      \
     }                                                                 \
   } while (0)
 

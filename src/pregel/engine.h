@@ -24,6 +24,8 @@
 #include "graph/partitioning.h"
 #include "net/transport.h"
 #include "obs/introspect.h"
+#include "obs/memprof.h"
+#include "obs/perfcounters.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 #include "obs/watchdog.h"
@@ -252,6 +254,11 @@ class Engine {
     std::atomic<int64_t> ss_executions{0};
     std::atomic<int64_t> ss_messages{0};
     std::atomic<int64_t> ss_fork_wait_us{0};
+    /// Per-superstep hardware/software counter deltas by phase, fed by
+    /// the SY_PERF_SCOPE probes on this worker's threads (one relaxed
+    /// load each when options.perf_counters is off); drained like the
+    /// ss_* accumulators above.
+    PerfPhaseAccum ss_perf;
 
     sy::Mutex ack_mu;
     sy::CondVar ack_cv;
@@ -864,6 +871,11 @@ class Engine {
 
   void ProcessPartition(WorkerState& worker, const Program& program,
                         PartitionId p, int superstep) {
+    // Counter attribution happens here, on the executing (pool) thread,
+    // not around RunPartitions on the worker thread — the worker thread
+    // only waits there. Fork waits nest inside this compute scope, like
+    // they do in the wall-clock accounting.
+    SY_PERF_SCOPE(&worker.ss_perf, PerfPhase::kCompute);
     PartitionStore& ps = *stores_[p];
     const std::vector<VertexId>& vertices =
         partitioning_.VerticesOfPartition(p);
@@ -917,6 +929,7 @@ class Engine {
         if (fault_active_ && AttemptAborted(worker)) return;
         {
           SG_TRACE_SPAN("sync.fork_acquire");
+          SY_PERF_SCOPE(&worker.ss_perf, PerfPhase::kForkWait);
           const int64_t t0 = Tracer::NowMicros();
           // Fork waits are legitimate long blocks; exempt them from the
           // supervisor's runnable-worker timeout.
@@ -941,6 +954,7 @@ class Engine {
           if (fault_active_ && AttemptAborted(worker)) return;
           {
             SG_TRACE_SPAN("sync.fork_acquire");
+            SY_PERF_SCOPE(&worker.ss_perf, PerfPhase::kForkWait);
             const int64_t t0 = Tracer::NowMicros();
             ScopedBlocked blocked(supervisor_.get(), worker.id);
             const bool acquired = technique_->AcquireVertex(worker.id, v);
@@ -1116,6 +1130,32 @@ class Engine {
     }
   }
 
+  /// Per-superstep memory/arena probe. Runs in the barrier serial
+  /// section (exactly one thread, nothing executing), so the sampler and
+  /// sample vector need no locks; the store Stats() walk still takes the
+  /// shard locks because comm threads may be appending remote arrivals.
+  void SampleMemorySerial(int superstep) {
+    MemSample s;
+    s.superstep = superstep;
+    const MemoryStatus mem = mem_sampler_.Sample();
+    s.rss_kb = mem.rss_kb;
+    s.peak_rss_kb = mem.peak_rss_kb;
+    MessageStoreArenaStats arena;
+    for (auto& ps : stores_) arena.Accumulate(ps->store.Stats());
+    s.arena_chunks = arena.chunks;
+    s.arena_nodes_in_use = arena.nodes_in_use;
+    s.arena_node_capacity = arena.node_capacity;
+    s.max_chain_len = arena.max_chain_len;
+    mem_samples_.push_back(s);
+    mem_peak_gauge_->Observe(mem.peak_rss_kb);
+    arena_chunks_gauge_->Observe(arena.chunks);
+    arena_nodes_gauge_->Observe(arena.nodes_in_use);
+    arena_capacity_gauge_->Observe(arena.node_capacity);
+    chain_len_gauge_->Observe(arena.max_chain_len);
+    SG_TRACE_COUNTER("mem.rss_kb", mem.rss_kb);
+    SG_TRACE_COUNTER("store.arena_nodes_in_use", arena.nodes_in_use);
+  }
+
   void MaybeCheckpoint(int next_superstep) {
     if (options_.checkpoint_every <= 0) return;
     if (next_superstep % options_.checkpoint_every != 0) return;
@@ -1141,6 +1181,7 @@ class Engine {
           std::chrono::milliseconds(retry.BackoffMs(failures)));
     }
     if (status.ok()) {
+      checkpoint_bytes_->Add(static_cast<int64_t>(frame.payload.size()));
       prev_checkpoint_path_ = last_checkpoint_path_;
       last_checkpoint_path_ = path;
       if (recorder_ != nullptr) SnapshotRecorder(next_superstep);
@@ -1235,6 +1276,10 @@ class Engine {
   /// executes exactly once per logical superstep.
   void RunSuperstepConstrainedBsp(WorkerState& worker, const Program& program,
                                   int superstep) {
+    // Single compute thread here (the technique requires it), so the
+    // whole sub-superstep loop — including its internal barriers and
+    // flushes — counts as compute, exactly like compute_us does.
+    SY_PERF_SCOPE(&worker.ss_perf, PerfPhase::kCompute);
     // Pending = this worker's eligible vertices, fixed at superstep start.
     std::vector<VertexId> pending;
     for (PartitionId p : partitioning_.PartitionsOfWorker(worker.id)) {
@@ -1343,6 +1388,7 @@ class Engine {
   /// Barrier await, timed into `*wait_us_acc` and traced.
   bool TimedAwait(WorkerState& worker, int64_t* wait_us_acc) {
     SG_TRACE_SPAN("engine.barrier_wait");
+    SY_PERF_SCOPE(&worker.ss_perf, PerfPhase::kBarrier);
     const int64_t t0 = Tracer::NowMicros();
     const bool serial = AwaitBarrier(worker);
     *wait_us_acc += Tracer::NowMicros() - t0;
@@ -1396,6 +1442,7 @@ class Engine {
       }
       {
         SG_TRACE_SPAN("engine.flush_acks");
+        SY_PERF_SCOPE(&worker.ss_perf, PerfPhase::kFlushWait);
         const int64_t t0 = Tracer::NowMicros();
         if (Introspector::enabled()) {
           Introspector::Get().SetPhase(worker.id, WorkerPhase::kFlushWait,
@@ -1421,6 +1468,7 @@ class Engine {
           TimedAwait(worker, &barrier_us);  // B2: counts published
       if (serial) {
         ReduceAggregates();
+        if (perf_active_) SampleMemorySerial(superstep);
         int64_t total = 0;
         for (int64_t count : active_counts_) total += count;
         supersteps_done_ = superstep + 1;
@@ -1455,6 +1503,29 @@ class Engine {
           worker.ss_executions.exchange(0, std::memory_order_relaxed);
       sample.messages_sent =
           worker.ss_messages.exchange(0, std::memory_order_relaxed);
+      if (perf_active_) {
+        // Drain this worker's per-phase counter deltas: compute lands in
+        // the timeline row (and on the worker's trace counter track),
+        // every phase folds into the run totals.
+        const PerfDelta compute = worker.ss_perf.Exchange(PerfPhase::kCompute);
+        sample.compute_cycles = compute.v[kPerfCycles];
+        sample.compute_instructions = compute.v[kPerfInstructions];
+        sample.compute_llc_loads = compute.v[kPerfLlcLoads];
+        sample.compute_llc_misses = compute.v[kPerfLlcMisses];
+        sample.compute_task_clock_ns = compute.v[kPerfTaskClockNs];
+        sample.perf_hw_valid = compute.hw_valid;
+        perf_totals_.Add(PerfPhase::kCompute, compute);
+        perf_totals_.Add(PerfPhase::kFlushWait,
+                         worker.ss_perf.Exchange(PerfPhase::kFlushWait));
+        perf_totals_.Add(PerfPhase::kBarrier,
+                         worker.ss_perf.Exchange(PerfPhase::kBarrier));
+        perf_totals_.Add(PerfPhase::kForkWait,
+                         worker.ss_perf.Exchange(PerfPhase::kForkWait));
+        if (compute.hw_valid) {
+          SG_TRACE_COUNTER("perf.ipc_milli", compute.ipc_milli());
+          SG_TRACE_COUNTER("perf.llc_misses", compute.v[kPerfLlcMisses]);
+        }
+      }
       timeline_->Append(sample);
       if (stop_.load(std::memory_order_acquire)) break;
     }
@@ -1590,6 +1661,22 @@ class Engine {
   Histogram* store_append_hist_ = nullptr;
   Histogram* store_swap_hist_ = nullptr;
   std::unique_ptr<TimelineRecorder> timeline_;
+
+  // Perf/memory observability (docs/PROFILING.md), active only when
+  // options_.perf_counters. perf_totals_ is thread-safe (workers fold
+  // their drained per-superstep deltas in); the sampler and sample
+  // vector are touched only in barrier serial sections and after the
+  // workers have joined.
+  bool perf_active_ = false;
+  PerfPhaseAccum perf_totals_;
+  MemorySampler mem_sampler_;
+  std::vector<MemSample> mem_samples_;
+  Counter* checkpoint_bytes_ = nullptr;
+  MaxGauge* mem_peak_gauge_ = nullptr;
+  MaxGauge* arena_chunks_gauge_ = nullptr;
+  MaxGauge* arena_nodes_gauge_ = nullptr;
+  MaxGauge* arena_capacity_gauge_ = nullptr;
+  MaxGauge* chain_len_gauge_ = nullptr;
 };
 
 template <typename Program>
@@ -1625,8 +1712,16 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
   metrics_.GetHistogram("sync.token_hold_us");
   checkpoint_failures_ = metrics_.GetCounter("checkpoint.failures");
   checkpoint_retries_ = metrics_.GetCounter("checkpoint.retries");
+  checkpoint_bytes_ = metrics_.GetCounter("checkpoint.bytes");
   recovery_attempts_counter_ = metrics_.GetCounter("recovery.attempts");
   worker_failures_ = metrics_.GetCounter("recovery.worker_failures");
+  // Perf/memory metrics are registered up front like everything else so
+  // every snapshot carries the keys; they stay 0 unless perf_counters.
+  mem_peak_gauge_ = metrics_.GetGauge("mem.peak_rss_kb");
+  arena_chunks_gauge_ = metrics_.GetGauge("store.arena_chunks");
+  arena_nodes_gauge_ = metrics_.GetGauge("store.arena_nodes_in_use");
+  arena_capacity_gauge_ = metrics_.GetGauge("store.arena_node_capacity");
+  chain_len_gauge_ = metrics_.GetGauge("store.max_chain_len");
   timeline_ = std::make_unique<TimelineRecorder>(num_workers);
 
   if (options_.record_history) {
@@ -1656,6 +1751,24 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
       if (armed) FaultInjector::Get().Disarm();
     }
   } injector_guard;
+  // Perf collection spans the whole run (all attempts); the guard turns
+  // it off on every exit path so per-thread groups from this run never
+  // outlive it (the epoch bump invalidates thread-local caches).
+  struct PerfGuard {
+    bool active = false;
+    ~PerfGuard() {
+      if (active) PerfCounters::Disable();
+    }
+  } perf_guard;
+  perf_active_ = options_.perf_counters;
+  if (perf_active_) {
+    PerfCounters::Enable(PerfCounterConfig{});
+    perf_guard.active = true;
+    if (!PerfCounters::hw_available()) {
+      SG_LOG(kWarning) << "hardware perf counters unavailable: "
+                       << PerfCounters::fallback_reason();
+    }
+  }
   if (!options_.fault.plan.empty()) {
     FaultInjector& injector = FaultInjector::Get();
     injector.Arm(options_.fault.plan);
@@ -1938,6 +2051,47 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
   {
     sy::MutexLock lock(&recovery_mu_);
     result.stats.recovery_events = recovery_events_;
+  }
+  if (perf_active_) {
+    // Workers are joined: drain the run totals, fold the curated set
+    // into registry counters (already snapshotted above, so re-snapshot
+    // after), and attach the full per-phase breakdown + memory samples.
+    result.stats.perf_enabled = true;
+    result.stats.perf_hw_counters = PerfCounters::hw_available();
+    result.stats.perf_fallback = PerfCounters::fallback_reason();
+    PerfDelta run_total;
+    const PerfPhase kPhases[] = {PerfPhase::kCompute, PerfPhase::kFlushWait,
+                                 PerfPhase::kBarrier, PerfPhase::kForkWait};
+    for (PerfPhase phase : kPhases) {
+      const PerfDelta d = perf_totals_.Exchange(phase);
+      for (int f = 0; f < kNumPerfFields; ++f) {
+        result.stats.perf_phases[std::string(PerfPhaseName(phase)) + "." +
+                                 PerfFieldName(f)] = d.v[f];
+      }
+      run_total.Accumulate(d);
+    }
+    metrics_.GetCounter("perf.cycles")->Add(run_total.v[kPerfCycles]);
+    metrics_.GetCounter("perf.instructions")
+        ->Add(run_total.v[kPerfInstructions]);
+    metrics_.GetCounter("perf.llc_loads")->Add(run_total.v[kPerfLlcLoads]);
+    metrics_.GetCounter("perf.llc_misses")->Add(run_total.v[kPerfLlcMisses]);
+    metrics_.GetCounter("perf.branch_misses")
+        ->Add(run_total.v[kPerfBranchMisses]);
+    metrics_.GetCounter("perf.dtlb_misses")->Add(run_total.v[kPerfDtlbMisses]);
+    metrics_.GetCounter("perf.task_clock_ms")
+        ->Add(run_total.v[kPerfTaskClockNs] / 1000000);
+    metrics_.GetCounter("perf.ctx_switches")
+        ->Add(run_total.v[kPerfHwCtxSwitches]);
+    metrics_.GetCounter("perf.minor_faults")
+        ->Add(run_total.v[kPerfMinorFaults]);
+    metrics_.GetCounter("perf.major_faults")
+        ->Add(run_total.v[kPerfMajorFaults]);
+    // One final memory probe so short runs still report a peak.
+    mem_peak_gauge_->Observe(mem_sampler_.Sample().peak_rss_kb);
+    result.stats.peak_rss_kb = mem_sampler_.peak_rss_kb();
+    result.stats.mem_samples = mem_samples_;
+    result.stats.metrics = metrics_.Snapshot();
+    result.stats.metrics["pregel.supersteps"] = supersteps_done_;
   }
   for (int slot = 0; slot < kNumAggregatorSlots; ++slot) {
     result.stats.aggregates[slot] = global_aggregates_[slot];

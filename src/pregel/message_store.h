@@ -15,6 +15,29 @@
 
 namespace serigraph {
 
+/// Arena-occupancy snapshot of one MessageStore (or a sum over stores),
+/// feeding the per-superstep MemSample rows and store.* gauges when
+/// EngineOptions::perf_counters is on (docs/PROFILING.md).
+struct MessageStoreArenaStats {
+  /// Allocated arena chunks across shards (retained across supersteps).
+  int64_t chunks = 0;
+  /// Node slots backed by allocated chunks (chunks * nodes-per-chunk).
+  int64_t node_capacity = 0;
+  /// Nodes currently holding a live (arrival-side) message.
+  int64_t nodes_in_use = 0;
+  /// Longest per-vertex arrival chain.
+  int64_t max_chain_len = 0;
+
+  void Accumulate(const MessageStoreArenaStats& other) {
+    chunks += other.chunks;
+    node_capacity += other.node_capacity;
+    nodes_in_use += other.nodes_in_use;
+    if (other.max_chain_len > max_chain_len) {
+      max_chain_len = other.max_chain_len;
+    }
+  }
+};
+
 /// Shard count for a partition of `num_slots` vertices: a power of two,
 /// sized so a shard covers a few dozen vertices but never exceeding 16
 /// shards (the per-shard mutexes are the footprint, and batch delivery
@@ -265,6 +288,28 @@ class MessageStore {
       total += static_cast<int64_t>(shard.chunks.size());
     }
     return total;
+  }
+
+  /// Arena-occupancy snapshot across shards, one shard lock at a time.
+  /// Chain counts equal live node counts (a combiner folds into the head
+  /// node, so combined chains stay length 1). Safe to call concurrently
+  /// with appends; the snapshot is per-shard consistent.
+  MessageStoreArenaStats Stats() {
+    MessageStoreArenaStats stats;
+    for (int s = 0; s <= shard_mask_; ++s) {
+      Shard& shard = *shards_[s];
+      sy::MutexLock lock(&shard.mu);
+      stats.chunks += static_cast<int64_t>(shard.chunks.size());
+      stats.node_capacity +=
+          static_cast<int64_t>(shard.chunks.size()) * kChunkSize;
+      for (const Chain& chain : shard.chains) {
+        stats.nodes_in_use += chain.count;
+        if (chain.count > stats.max_chain_len) {
+          stats.max_chain_len = chain.count;
+        }
+      }
+    }
+    return stats;
   }
 
  private:

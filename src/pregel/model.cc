@@ -30,6 +30,12 @@ std::string RunStatsToJson(const RunStats& stats) {
   report.introspect_incidents = stats.introspect_incidents;
   report.recovery_attempts = stats.recovery_attempts;
   report.recovery_events = stats.recovery_events;
+  report.perf_enabled = stats.perf_enabled;
+  report.perf_hw_counters = stats.perf_hw_counters;
+  report.perf_fallback = stats.perf_fallback;
+  report.perf_phases = stats.perf_phases;
+  report.peak_rss_kb = stats.peak_rss_kb;
+  report.mem_samples = stats.mem_samples;
   return RunReportToJson(report);
 }
 

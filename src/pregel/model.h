@@ -9,6 +9,7 @@
 #include "fault/fault.h"
 #include "fault/supervisor.h"
 #include "net/transport.h"
+#include "obs/memprof.h"
 #include "obs/timeline.h"
 #include "obs/watchdog.h"
 #include "sync/technique.h"
@@ -120,6 +121,16 @@ struct EngineOptions {
   /// (Section 3). Adds overhead; meant for tests and audits.
   bool record_history = false;
 
+  /// Hardware performance counters + memory profiling (obs/perfcounters.h,
+  /// obs/memprof.h, docs/PROFILING.md): per-thread perf_event groups
+  /// attribute cycles/IPC/LLC-miss deltas to compute/flush/barrier/
+  /// fork-wait phases and per-superstep timeline rows, and the serial
+  /// section samples RSS + message-store arena occupancy each superstep.
+  /// Falls back to getrusage/procfs software counters (reported, never
+  /// fatal) where perf_event_open is denied. Off by default; when off
+  /// the hooks cost one relaxed atomic load each.
+  bool perf_counters = false;
+
   /// Runtime introspection (obs/introspect.h): per-worker state beacons,
   /// a background watchdog sampling wait-for-graph snapshots, and a
   /// fork-contention profile in RunStats. Off by default; when off the
@@ -170,6 +181,19 @@ struct RunStats {
   /// checkpoint frames restored, fired fault events, degradations).
   int recovery_attempts = 0;
   std::vector<std::string> recovery_events;
+
+  /// Perf/memory digest (populated only when options.perf_counters):
+  /// whether hardware counters were live (vs. the software fallback and
+  /// why), run-total counter deltas per phase keyed "<phase>.<field>"
+  /// ("compute.cycles", ...), process peak RSS, and the per-superstep
+  /// RSS/arena samples. The timeline rows additionally carry compute-
+  /// phase counter deltas.
+  bool perf_enabled = false;
+  bool perf_hw_counters = false;
+  std::string perf_fallback;
+  std::map<std::string, int64_t> perf_phases;
+  int64_t peak_rss_kb = 0;
+  std::vector<MemSample> mem_samples;
 
   int64_t Metric(const std::string& name) const {
     auto it = metrics.find(name);

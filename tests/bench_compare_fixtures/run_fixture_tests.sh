@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Exercises scripts/bench_compare.py against fixture BENCH.json reports:
+# a within-noise drift must pass, a real regression must exit 1, an
+# improvement must pass, a schema mismatch and an environment mismatch
+# must exit 2, and --merge must produce a loadable combined report. Run
+# from anywhere; the repo root is derived from this script's location.
+set -u
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/../.." && pwd)"
+COMPARE="python3 ${ROOT}/scripts/bench_compare.py"
+FIXTURES="${ROOT}/tests/bench_compare_fixtures"
+failures=0
+
+# expect_exit <expected-code> <label> <args...>
+expect_exit() {
+  local expected="$1" label="$2"
+  shift 2
+  local out
+  out="$(${COMPARE} "$@" 2>&1)"
+  local status=$?
+  if [ "${status}" -ne "${expected}" ]; then
+    echo "FAIL: ${label}: exit ${status}, expected ${expected}; got:"
+    echo "${out}"
+    failures=$((failures + 1))
+    return
+  fi
+  echo "PASS: ${label} (exit ${status})"
+}
+
+expect_exit 0 "within-noise drift passes" \
+  "${FIXTURES}/baseline.json" "${FIXTURES}/within_noise.json"
+expect_exit 1 "regression fails" \
+  "${FIXTURES}/baseline.json" "${FIXTURES}/regression.json"
+expect_exit 0 "improvement passes" \
+  "${FIXTURES}/baseline.json" "${FIXTURES}/improvement.json"
+expect_exit 2 "schema mismatch rejected" \
+  "${FIXTURES}/baseline.json" "${FIXTURES}/schema_v1.json"
+expect_exit 2 "build-type mismatch rejected" \
+  "${FIXTURES}/baseline.json" "${FIXTURES}/debug_build.json"
+expect_exit 1 "env override still detects the regression" \
+  --allow-env-mismatch \
+  "${FIXTURES}/baseline.json" "${FIXTURES}/debug_build.json"
+
+# The noise-aware tolerance is per cell: at --threshold=0.05 the steady
+# cell's +10% becomes a regression, while the noisy cell's +60% is still
+# tolerated by its observed repetition spread (the output shows tol 80%
+# there). Exit 1 proves the threshold bites per cell, not globally.
+expect_exit 1 "tight threshold bites steady cell, spares noisy cell" \
+  --threshold=0.05 \
+  "${FIXTURES}/baseline.json" "${FIXTURES}/within_noise.json"
+
+# Merge mode: combining reports yields a loadable schema-v2 file whose
+# duplicate cells keep the last occurrence.
+MERGED="$(mktemp)"
+trap 'rm -f "${MERGED}"' EXIT
+expect_exit 0 "merge succeeds" \
+  --merge "${MERGED}" "${FIXTURES}/improvement.json" \
+  "${FIXTURES}/regression.json"
+expect_exit 1 "merged report (last occurrence wins) vs baseline" \
+  "${FIXTURES}/baseline.json" "${MERGED}"
+
+if [ "${failures}" -ne 0 ]; then
+  echo "bench_compare fixtures: ${failures} failure(s)"
+  exit 1
+fi
+echo "bench_compare fixtures: all passed"

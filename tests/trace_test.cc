@@ -379,16 +379,64 @@ TEST(ReportTest, IntrospectionSectionRendersWhenPopulated) {
 TEST(ReportTest, PrometheusTextSanitizesNamesAndPrefixes) {
   std::map<std::string, int64_t> metrics;
   metrics["net.wire_bytes"] = 4096;
-  metrics["sync.fork_wait_us.p95"] = 120;
+  metrics["sync.fork_wait_us.p95"] = 120;  // lone quantile: no family
   const std::string text = MetricsToPrometheusText(metrics);
-  // One "name value\n" line per metric, serigraph_-prefixed, with all
-  // chars outside the Prometheus charset mapped to underscores.
+  // Each metric gets a "# TYPE" header and a "name value\n" line,
+  // serigraph_-prefixed, with all chars outside the Prometheus charset
+  // mapped to underscores. An incomplete histogram family (here only
+  // .p95, no .p50/.max/.count/.sum siblings) degrades to a plain metric.
+  EXPECT_NE(text.find("# TYPE serigraph_net_wire_bytes counter\n"),
+            std::string::npos)
+      << text;
   EXPECT_NE(text.find("serigraph_net_wire_bytes 4096\n"), std::string::npos)
       << text;
   EXPECT_NE(text.find("serigraph_sync_fork_wait_us_p95 120\n"),
             std::string::npos)
       << text;
-  EXPECT_EQ(text.find('.'), std::string::npos);
+}
+
+TEST(ReportTest, PrometheusTextRendersHistogramFamiliesAsSummaries) {
+  std::map<std::string, int64_t> metrics;
+  metrics["sync.fork_wait_us.p50"] = 40;
+  metrics["sync.fork_wait_us.p95"] = 120;
+  metrics["sync.fork_wait_us.max"] = 300;
+  metrics["sync.fork_wait_us.count"] = 10;
+  metrics["sync.fork_wait_us.sum"] = 500;
+  metrics["net.peak_inbox_depth"] = 7;
+  const std::string text = MetricsToPrometheusText(metrics);
+  // A complete .p50/.p95/.max/.count/.sum family renders once as a
+  // Prometheus summary (quantile labels + _count/_sum) plus a _max
+  // gauge, not as five opaque counters.
+  EXPECT_NE(text.find("# TYPE serigraph_sync_fork_wait_us summary\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("serigraph_sync_fork_wait_us{quantile=\"0.5\"} 40\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("serigraph_sync_fork_wait_us{quantile=\"0.95\"} 120\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("serigraph_sync_fork_wait_us_count 10\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("serigraph_sync_fork_wait_us_sum 500\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE serigraph_sync_fork_wait_us_max gauge\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("serigraph_sync_fork_wait_us_max 300\n"),
+            std::string::npos)
+      << text;
+  // Known point-in-time metrics are typed gauge, not counter.
+  EXPECT_NE(text.find("# TYPE serigraph_net_peak_inbox_depth gauge\n"),
+            std::string::npos)
+      << text;
+  // The raw dotted keys must not leak through alongside the summary.
+  EXPECT_EQ(text.find("serigraph_sync_fork_wait_us_p50"), std::string::npos)
+      << text;
 }
 
 }  // namespace
