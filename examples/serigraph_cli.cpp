@@ -10,10 +10,13 @@
 //       --vertices=20000 --degree=12 --workers=16 --latency-us=100
 //   serigraph_cli --algorithm=sssp --edge-list=/path/graph.txt
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <numeric>
 #include <string>
+#include <thread>
 
 #include "algos/coloring.h"
 #include "algos/label_propagation.h"
@@ -27,6 +30,8 @@
 #include "graph/io.h"
 #include "graph/stats.h"
 #include "harness/datasets.h"
+#include "obs/flightrec.h"
+#include "obs/httpd.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "pregel/engine.h"
@@ -68,6 +73,10 @@ struct CliOptions {
   int checkpoint_every = 0;
   std::string checkpoint_dir = ".";
   int64_t heartbeat_timeout_ms = 0;
+  int serve_obs = -1;  // -1 off; 0 = ephemeral port; >0 fixed port
+  std::string incident_dir;
+  std::string live_report;
+  int64_t obs_linger_ms = 0;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -146,6 +155,16 @@ CliOptions Parse(int argc, char** argv) {
       opts.heartbeat_timeout_ms = std::atoll(value.c_str());
       continue;
     }
+    if (ParseFlag(arg, "serve-obs", &value)) {
+      opts.serve_obs = std::atoi(value.c_str());
+      continue;
+    }
+    if (ParseFlag(arg, "incident-dir", &opts.incident_dir)) continue;
+    if (ParseFlag(arg, "live-report", &opts.live_report)) continue;
+    if (ParseFlag(arg, "obs-linger-ms", &value)) {
+      opts.obs_linger_ms = std::atoll(value.c_str());
+      continue;
+    }
     if (std::strcmp(arg, "--recover") == 0) {
       opts.recover = true;
       continue;
@@ -220,7 +239,21 @@ void PrintHelp() {
       "                                   restore from the last checkpoint\n"
       "  --max-recovery=N                 recovery attempts before giving\n"
       "                                   up (default 3)\n"
-      "  --heartbeat-timeout-ms=N         supervisor per-worker timeout\n");
+      "  --heartbeat-timeout-ms=N         supervisor per-worker timeout\n"
+      "  --serve-obs=PORT                 serve /metrics /healthz /statusz\n"
+      "                                   /incidentz on 127.0.0.1:PORT while\n"
+      "                                   the run is live (0 = pick an\n"
+      "                                   ephemeral port; implies\n"
+      "                                   --introspect)\n"
+      "  --obs-linger-ms=N                keep the obs endpoint up N ms\n"
+      "                                   after the run finishes so scrapers\n"
+      "                                   can collect the final state\n"
+      "  --incident-dir=DIR               write flight-recorder incident\n"
+      "                                   bundles here on confirmed\n"
+      "                                   deadlock/stall, worker failure, or\n"
+      "                                   fatal signal (docs/OBSERVABILITY.md)\n"
+      "  --live-report=FILE               stream one JSONL progress line per\n"
+      "                                   superstep, flushed for tail -f\n");
 }
 
 StatusOr<SyncMode> ParseSync(const std::string& name) {
@@ -431,7 +464,8 @@ int main(int argc, char** argv) {
   options.compute_threads_per_worker = cli.threads;
   options.network.one_way_latency_us = cli.latency_us;
   options.introspect = cli.introspect || !cli.introspect_out.empty() ||
-                       cli.watchdog_ms > 0 || cli.stall_abort_ms > 0;
+                       cli.watchdog_ms > 0 || cli.stall_abort_ms > 0 ||
+                       cli.serve_obs >= 0;
   if (options.introspect) {
     options.watchdog.jsonl_path = cli.introspect_out;
     if (cli.watchdog_ms > 0) options.watchdog.period_ms = cli.watchdog_ms;
@@ -441,6 +475,7 @@ int main(int argc, char** argv) {
     }
   }
   options.perf_counters = cli.perf_counters;
+  options.live_report_path = cli.live_report;
   options.checkpoint_every = cli.checkpoint_every;
   options.checkpoint_dir = cli.checkpoint_dir;
   options.fault.recover = cli.recover;
@@ -467,28 +502,78 @@ int main(int argc, char** argv) {
               cli.algorithm.c_str(), ComputationModelName(options.model),
               SyncModeName(options.sync_mode), options.num_workers);
 
-  if (cli.algorithm == "coloring") {
-    return RunAndReport(graph, cli, options, GreedyColoring(), "");
+  // Live telemetry plane (docs/OBSERVABILITY.md "Live operations"): the
+  // incident dir arms automatic flight-recorder dumps (including the
+  // fatal-signal path), and --serve-obs exposes /metrics /healthz
+  // /statusz /incidentz for the duration of the run.
+  if (!cli.incident_dir.empty()) {
+    IncidentManager::Get().SetIncidentDir(cli.incident_dir);
+    InstallFatalSignalHandlers();
   }
-  if (cli.algorithm == "pagerank") {
-    return RunAndReport(graph, cli, options, PageRank(cli.tolerance), "");
+  std::unique_ptr<ObsServer> obs_server;
+  if (cli.serve_obs >= 0) {
+    ObsServer::Options obs_options;
+    obs_options.port = cli.serve_obs;
+    auto server = ObsServer::Start(obs_options);
+    if (!server.ok()) {
+      std::fprintf(stderr, "obs endpoint failed: %s\n",
+                   server.status().ToString().c_str());
+      return 1;
+    }
+    obs_server = std::move(server).value();
+    // Parsed by scripts/check.sh --obs-smoke; keep the format stable.
+    std::printf("obs: serving http://127.0.0.1:%d/{metrics,healthz,"
+                "statusz,incidentz}\n", obs_server->port());
+    std::fflush(stdout);
   }
-  if (cli.algorithm == "sssp") {
-    return RunAndReport(graph, cli, options, Sssp(0), "");
+
+  const auto run = [&]() -> int {
+    if (cli.algorithm == "coloring") {
+      return RunAndReport(graph, cli, options, GreedyColoring(), "");
+    }
+    if (cli.algorithm == "pagerank") {
+      return RunAndReport(graph, cli, options, PageRank(cli.tolerance), "");
+    }
+    if (cli.algorithm == "sssp") {
+      return RunAndReport(graph, cli, options, Sssp(0), "");
+    }
+    if (cli.algorithm == "wcc") {
+      return RunAndReport(graph, cli, options, Wcc(), "");
+    }
+    if (cli.algorithm == "mis") {
+      return RunAndReport(graph, cli, options, MaximalIndependentSet(), "");
+    }
+    if (cli.algorithm == "lpa") {
+      return RunAndReport(graph, cli, options, LabelPropagation(), "");
+    }
+    if (cli.algorithm == "triangles") {
+      return RunAndReport(graph, cli, options, TriangleCount(), "");
+    }
+    std::fprintf(stderr, "unknown algorithm %s (try --help)\n",
+                 cli.algorithm.c_str());
+    return 1;
+  };
+  const int exit_code = run();
+
+  // An aborted run (exit 3: watchdog/supervisor) must never exit without
+  // the incident that caused it on disk: the in-engine triggers normally
+  // wrote one already, but if every automatic dump was rate-limited or
+  // failed, capture a final bundle while the flight recorder still holds
+  // the tail.
+  if (exit_code == 3 && !cli.incident_dir.empty() &&
+      IncidentManager::Get().List().empty()) {
+    TriggerIncidentDump("cli-abort", "run aborted (exit 3)",
+                        HealthLevel::kUnhealthy);
   }
-  if (cli.algorithm == "wcc") {
-    return RunAndReport(graph, cli, options, Wcc(), "");
+  if (obs_server != nullptr) {
+    if (cli.obs_linger_ms > 0) {
+      std::printf("obs: lingering %lld ms for final scrapes\n",
+                  (long long)cli.obs_linger_ms);
+      std::fflush(stdout);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(cli.obs_linger_ms));
+    }
+    obs_server->Stop();
   }
-  if (cli.algorithm == "mis") {
-    return RunAndReport(graph, cli, options, MaximalIndependentSet(), "");
-  }
-  if (cli.algorithm == "lpa") {
-    return RunAndReport(graph, cli, options, LabelPropagation(), "");
-  }
-  if (cli.algorithm == "triangles") {
-    return RunAndReport(graph, cli, options, TriangleCount(), "");
-  }
-  std::fprintf(stderr, "unknown algorithm %s (try --help)\n",
-               cli.algorithm.c_str());
-  return 1;
+  return exit_code;
 }

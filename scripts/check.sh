@@ -6,7 +6,7 @@
 #
 # Usage: scripts/check.sh [--sanitizer=thread|address,undefined]
 #                         [--introspect] [--bench-smoke] [--perf-gate]
-#                         [build-dir]
+#                         [--obs-smoke] [build-dir]
 #   (default sanitizer: thread; default build-dir: build-<sanitizer>)
 #
 # --sanitizer=address,undefined runs the combined ASan+UBSan pass
@@ -29,6 +29,14 @@
 # without --recover must abort with exit 3, and a randomized plan under
 # --verify must still pass the serializability audit.
 #
+# --obs-smoke skips the sanitizer suite entirely: it builds serigraph_cli
+# in Release and exercises the live telemetry plane end to end — a
+# --serve-obs run whose four endpoints all answer (with the exposition
+# validated by scripts/check_prom.py), a manually-triggered incident
+# bundle that is complete on disk, a tail-able --live-report stream, and
+# an injected-hang run where /healthz flips 503 before the process exits
+# 3 with an automatic watchdog incident bundle.
+#
 # --perf-gate skips the sanitizer suite entirely: it builds in Release
 # and (a) runs a --perf-counters CLI smoke under SERIGRAPH_NO_PERF_HW=1
 # (software fallback — shared CI runners usually deny perf_event_open)
@@ -46,6 +54,7 @@ INTROSPECT_SMOKE=0
 BENCH_SMOKE=0
 CHAOS=0
 PERF_GATE=0
+OBS_SMOKE=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
     --sanitizer=*) SANITIZER="${1#--sanitizer=}" ;;
@@ -53,6 +62,7 @@ while [[ "${1:-}" == --* ]]; do
     --bench-smoke) BENCH_SMOKE=1 ;;
     --chaos)       CHAOS=1 ;;
     --perf-gate)   PERF_GATE=1 ;;
+    --obs-smoke)   OBS_SMOKE=1 ;;
     *) echo "check.sh: unknown flag $1" >&2; exit 2 ;;
   esac
   shift
@@ -117,6 +127,182 @@ EOF
     --checkpoint-dir="$CHAOS_DIR" --recover --verify
 
   echo "check.sh: chaos smoke passed"
+  exit 0
+fi
+
+if [[ "$OBS_SMOKE" == "1" ]]; then
+  BUILD_DIR="${1:-build-obs-smoke}"
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target serigraph_cli
+  CLI="$BUILD_DIR/examples/serigraph_cli"
+  OBS_DIR="$(mktemp -d)"
+  trap 'rm -rf "$OBS_DIR"' EXIT
+
+  wait_for_port() {
+    # Extracts the ephemeral port from the CLI's stable announce line.
+    local log="$1" port=""
+    for _ in $(seq 1 150); do
+      port="$(sed -n 's#^obs: serving http://127\.0\.0\.1:\([0-9]*\)/.*#\1#p' \
+              "$log" | head -1)"
+      [[ -n "$port" ]] && { echo "$port"; return 0; }
+      sleep 0.1
+    done
+    return 1
+  }
+
+  fetch() {
+    python3 -c '
+import sys, urllib.request
+url = "http://127.0.0.1:%s%s" % (sys.argv[1], sys.argv[2])
+try:
+    body = urllib.request.urlopen(url, timeout=5).read()
+except urllib.error.HTTPError as e:
+    body = e.read()
+sys.stdout.write(body.decode())
+' "$1" "$2"
+  }
+
+  # --- live half: a fig6-shaped run with the endpoint up. The run
+  # itself is sub-second; --obs-linger-ms keeps the plane alive so the
+  # scrapes, the manual incident trigger, and the live-report check all
+  # happen against a live process, then the CLI must still exit 0.
+  LOG="$OBS_DIR/run.log"
+  LIVE="$OBS_DIR/live.jsonl"
+  "$CLI" --algorithm=pagerank --generator=powerlaw --vertices=2000 \
+    --degree=8 --sync=partition-locking --workers=4 \
+    --serve-obs=0 --obs-linger-ms=15000 \
+    --incident-dir="$OBS_DIR/incidents" --live-report="$LIVE" \
+    > "$LOG" 2>&1 &
+  CLI_PID=$!
+  if ! PORT="$(wait_for_port "$LOG")"; then
+    echo "obs smoke: CLI never announced the obs endpoint" >&2
+    cat "$LOG" >&2
+    kill "$CLI_PID" 2>/dev/null || true
+    exit 1
+  fi
+
+  fetch "$PORT" /metrics > "$OBS_DIR/metrics.prom"
+  python3 scripts/check_prom.py "$OBS_DIR/metrics.prom"
+  fetch "$PORT" /healthz > "$OBS_DIR/healthz.json"
+  fetch "$PORT" /statusz > "$OBS_DIR/statusz.json"
+  fetch "$PORT" /incidentz > "$OBS_DIR/incidentz.json"
+  fetch "$PORT" "/incidentz/trigger?reason=obs-smoke" > "$OBS_DIR/trigger.json"
+  python3 - "$OBS_DIR" "$LIVE" <<'EOF'
+import json, os, sys
+
+d = sys.argv[1]
+health = json.load(open(os.path.join(d, "healthz.json")))
+if health.get("status") not in ("ok", "degraded", "unhealthy"):
+    sys.exit("obs smoke: /healthz has no status field")
+status = json.load(open(os.path.join(d, "statusz.json")))
+for key in ("pid", "uptime_seconds", "build", "run", "rss_kb"):
+    if key not in status:
+        sys.exit(f"obs smoke: /statusz missing {key!r}")
+json.load(open(os.path.join(d, "incidentz.json")))
+
+trig = json.load(open(os.path.join(d, "trigger.json")))
+bundle = trig.get("bundle")
+if not bundle:
+    sys.exit(f"obs smoke: /incidentz/trigger returned no bundle: {trig}")
+manifest = json.load(open(os.path.join(bundle, "MANIFEST.json")))
+if not manifest.get("complete"):
+    sys.exit("obs smoke: bundle MANIFEST not marked complete")
+for name in ("trace.json", "metrics.prom", "env.json", "waitfor.json",
+             "faults.json"):
+    if not os.path.exists(os.path.join(bundle, name)):
+        sys.exit(f"obs smoke: bundle missing {name}")
+trace = json.load(open(os.path.join(bundle, "trace.json")))
+if not trace.get("traceEvents"):
+    sys.exit("obs smoke: bundle flight-recorder tail is empty")
+
+# Satellite 2: the per-superstep progress stream is already flushed to
+# disk while the process is still alive (tail -f works mid-run).
+rows = [json.loads(l) for l in open(sys.argv[2]) if l.strip()]
+if not rows:
+    sys.exit("obs smoke: live report empty while the process is still up")
+for key in ("superstep", "active_vertices", "t_us"):
+    if key not in rows[0]:
+        sys.exit(f"obs smoke: live report rows lack {key!r}")
+print(f"obs smoke: endpoints + manual bundle OK "
+      f"({len(trace['traceEvents'])} trace events, "
+      f"{len(rows)} live-report rows)")
+EOF
+  if wait "$CLI_PID"; then :; else
+    echo "obs smoke: live run exited nonzero" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+
+  # --- unhealthy half: an injected hang parks one worker; the watchdog
+  # confirms the stall, flips /healthz to 503, and writes an automatic
+  # incident bundle before the supervisor heartbeat releases the hang
+  # and the run aborts with exit 3.
+  PLAN="$OBS_DIR/plan.txt"
+  printf 'hang point=engine.post_compute worker=1 hit=2\n' > "$PLAN"
+  LOG2="$OBS_DIR/abort.log"
+  "$CLI" --algorithm=sssp --generator=erdos --vertices=300 --degree=4 \
+    --seed=2 --sync=partition-locking --workers=3 \
+    --fault-plan="$PLAN" --heartbeat-timeout-ms=4000 \
+    --watchdog-ms=100 --stall-abort-ms=1000 \
+    --serve-obs=0 --incident-dir="$OBS_DIR/abort-incidents" \
+    > "$LOG2" 2>&1 &
+  ABORT_PID=$!
+  if ! PORT2="$(wait_for_port "$LOG2")"; then
+    echo "obs smoke: abort run never announced the obs endpoint" >&2
+    cat "$LOG2" >&2
+    kill "$ABORT_PID" 2>/dev/null || true
+    exit 1
+  fi
+  SAW_503=0
+  for _ in $(seq 1 100); do
+    if ! kill -0 "$ABORT_PID" 2>/dev/null; then break; fi
+    CODE="$(python3 -c '
+import sys, urllib.request, urllib.error
+try:
+    print(urllib.request.urlopen(
+        "http://127.0.0.1:%s/healthz" % sys.argv[1], timeout=2).status)
+except urllib.error.HTTPError as e:
+    print(e.code)
+except Exception:
+    print(0)
+' "$PORT2")"
+    if [[ "$CODE" == "503" ]]; then SAW_503=1; break; fi
+    sleep 0.1
+  done
+  if wait "$ABORT_PID"; then
+    echo "obs smoke: injected hang unexpectedly exited 0" >&2
+    cat "$LOG2" >&2
+    exit 1
+  else
+    ABORT_STATUS=$?
+    if [[ "$ABORT_STATUS" != 3 ]]; then
+      echo "obs smoke: expected abort exit 3, got $ABORT_STATUS" >&2
+      cat "$LOG2" >&2
+      exit 1
+    fi
+  fi
+  if [[ "$SAW_503" != "1" ]]; then
+    echo "obs smoke: /healthz never flipped 503 before the abort" >&2
+    cat "$LOG2" >&2
+    exit 1
+  fi
+  python3 - "$OBS_DIR/abort-incidents" <<'EOF'
+import json, os, sys
+root = sys.argv[1]
+bundles = sorted(d for d in os.listdir(root)
+                 if os.path.isdir(os.path.join(root, d)))
+if not bundles:
+    sys.exit("obs smoke: abort produced no automatic incident bundle")
+manifest = json.load(open(os.path.join(root, bundles[0], "MANIFEST.json")))
+trigger = manifest.get("trigger", "")
+if not (trigger.startswith("watchdog") or trigger.startswith("supervisor")
+        or trigger.startswith("cli-abort")):
+    sys.exit(f"obs smoke: unexpected bundle trigger {trigger!r}")
+print(f"obs smoke: automatic bundle OK (trigger={trigger}, "
+      f"{len(bundles)} bundle(s))")
+EOF
+
+  echo "check.sh: obs smoke passed"
   exit 0
 fi
 

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text exposition (as served on /metrics).
+
+Structural checks, no client library:
+  - every sample line parses as `name{labels} value` or `name value`
+  - every sample's metric family is preceded by a `# TYPE` line, and
+    every `# TYPE` is one of counter|gauge|summary
+  - `# HELP` lines precede their family's samples
+  - serigraph_build_info is present, carries a commit label, equals 1
+  - process_uptime_seconds is present and > 0
+  - at least one serigraph_-prefixed series is present
+
+Usage: check_prom.py FILE   (or `-` for stdin)
+Exit status is nonzero iff any check fails.
+"""
+
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(-?[0-9.eE+]+|NaN|[+-]Inf)$"
+)
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (\w+)$")
+HELP_RE = re.compile(r"^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.*)$")
+ALLOWED_TYPES = {"counter", "gauge", "summary"}
+# A summary family's samples may wear these suffixes on the family name.
+SUMMARY_SUFFIXES = ("_sum", "_count", "_max")
+
+
+def family_of(name, types):
+    if name in types:
+        return name
+    for suffix in SUMMARY_SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return None
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    text = (
+        sys.stdin.read()
+        if sys.argv[1] == "-"
+        else open(sys.argv[1], encoding="utf-8").read()
+    )
+
+    types = {}
+    helps = set()
+    samples = {}  # name -> (labels, value)
+    errors = []
+    for i, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            m = TYPE_RE.match(line)
+            if not m:
+                errors.append(f"line {i}: malformed TYPE line: {line!r}")
+                continue
+            if m.group(2) not in ALLOWED_TYPES:
+                errors.append(f"line {i}: unexpected type {m.group(2)!r}")
+            if m.group(1) in types:
+                errors.append(f"line {i}: duplicate TYPE for {m.group(1)}")
+            types[m.group(1)] = m.group(2)
+            continue
+        if line.startswith("# HELP "):
+            m = HELP_RE.match(line)
+            if not m:
+                errors.append(f"line {i}: malformed HELP line: {line!r}")
+                continue
+            helps.add(m.group(1))
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {i}: unparseable sample: {line!r}")
+            continue
+        name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        if family_of(name, types) is None:
+            errors.append(f"line {i}: sample {name} has no preceding # TYPE")
+        samples[name] = (labels, value)
+
+    build = samples.get("serigraph_build_info")
+    if build is None:
+        errors.append("serigraph_build_info sample missing")
+    else:
+        if 'commit="' not in build[0]:
+            errors.append("serigraph_build_info has no commit label")
+        if build[1] != "1":
+            errors.append(f"serigraph_build_info != 1 (got {build[1]})")
+
+    uptime = samples.get("process_uptime_seconds")
+    if uptime is None:
+        errors.append("process_uptime_seconds sample missing")
+    elif float(uptime[1]) <= 0:
+        errors.append(f"process_uptime_seconds not positive: {uptime[1]}")
+
+    if not any(n.startswith("serigraph_") for n in samples):
+        errors.append("no serigraph_-prefixed series in the exposition")
+
+    if errors:
+        for e in errors:
+            print(f"check_prom: {e}", file=sys.stderr)
+        sys.exit(1)
+    print(
+        f"check_prom: OK ({len(samples)} series, {len(types)} typed "
+        f"families, {len(helps)} documented)"
+    )
+
+
+if __name__ == "__main__":
+    main()

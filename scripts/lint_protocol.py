@@ -15,8 +15,9 @@ express:
                              declared in docs/LOCK_ORDER.md
   R4 blocking-under-leaf    no blocking call inside a leaf-tier critical
                              section (tracer/beacon/metrics/logging)
-  R5 metric-name            Get{Counter,Gauge,Histogram} literals in src/
-                             must match docs/METRICS.md exactly
+  R5 metric-name            Get{Counter,Gauge,Histogram} literals and
+                             SG_OBS_SERVED_METRIC("...") exposition names
+                             in src/ must match docs/METRICS.md exactly
 
 Escape hatch: append `// lint:allow <rule-tag>` to the offending line.
 Exit status is nonzero iff any diagnostic was emitted.
@@ -54,6 +55,11 @@ BLOCKING_RE = re.compile(
 )
 
 METRIC_CALL_RE = re.compile(r"Get(?:Counter|Gauge|Histogram)\(\s*\"([^\"]+)\"")
+
+# Names synthesized for the /metrics exposition (no MetricRegistry entry)
+# wear this marker macro (obs/report.h) so R5 still covers them in both
+# directions: served-but-undocumented AND documented-but-unserved fail.
+SERVED_METRIC_RE = re.compile(r"SG_OBS_SERVED_METRIC\(\s*\"([^\"]+)\"")
 
 ALLOW_RE = re.compile(r"//\s*lint:allow\s+([\w\-]+)")
 
@@ -244,6 +250,9 @@ class Linter:
         if in_src:
             for idx, raw_ln in enumerate(raw.split("\n"), start=1):
                 for m in METRIC_CALL_RE.finditer(raw_ln):
+                    name = m.group(1)
+                    self.metrics_used.setdefault(name, (path, idx))
+                for m in SERVED_METRIC_RE.finditer(raw_ln):
                     name = m.group(1)
                     self.metrics_used.setdefault(name, (path, idx))
 

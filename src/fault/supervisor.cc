@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/flightrec.h"
 
 namespace serigraph {
 
@@ -57,6 +58,11 @@ void Supervisor::Fail(int worker, std::string reason) {
     report_ = report;
   }
   SG_LOG(kWarning) << "supervisor: " << report.reason;
+  // First failure wins: mark the process degraded (recovery may still
+  // succeed and clear this) and capture an incident bundle while the
+  // pre-failure flight-recorder tail is still warm.
+  FlightRecorder::RecordInstant("supervisor.failure");
+  TriggerIncidentDump("supervisor", report.reason, HealthLevel::kDegraded);
   if (on_failure_) on_failure_(report);
 }
 

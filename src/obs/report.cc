@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/flightrec.h"
+#include "obs/trace.h"
+
 namespace serigraph {
 
 namespace {
@@ -264,7 +267,44 @@ bool EndsWith(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+/// HELP text generated from the docs/METRICS.md table at build time
+/// (scripts/gen_metrics_help.py → metrics_help.inc in the build tree).
+struct MetricHelpEntry {
+  const char* name;
+  const char* help;
+};
+const MetricHelpEntry kMetricHelp[] = {
+#include "metrics_help.inc"
+    {nullptr, nullptr},
+};
+
+/// Appends "# HELP <prom> <text>\n" when `name` is documented.
+void MaybeEmitHelp(std::string& out, const std::string& name,
+                   const std::string& prom) {
+  const char* help = MetricHelpFor(name);
+  if (help[0] == '\0') return;
+  out += "# HELP " + prom + " ";
+  // Prometheus HELP escaping: backslash and newline only.
+  for (const char* p = help; *p != '\0'; ++p) {
+    if (*p == '\\') {
+      out += "\\\\";
+    } else if (*p == '\n') {
+      out += "\\n";
+    } else {
+      out += *p;
+    }
+  }
+  out += '\n';
+}
+
 }  // namespace
+
+const char* MetricHelpFor(const std::string& name) {
+  for (const MetricHelpEntry* e = kMetricHelp; e->name != nullptr; ++e) {
+    if (name == e->name) return e->help;
+  }
+  return "";
+}
 
 std::string MetricsToPrometheusText(
     const std::map<std::string, int64_t>& metrics) {
@@ -312,6 +352,7 @@ std::string MetricsToPrometheusText(
       auto get = [&metrics, &base](const char* suffix) {
         return metrics.at(base + suffix);
       };
+      MaybeEmitHelp(out, base, prom);
       out += "# TYPE " + prom + " summary\n";
       emit_line(prom, get(".p50"), "{quantile=\"0.5\"}");
       emit_line(prom, get(".p95"), "{quantile=\"0.95\"}");
@@ -322,9 +363,39 @@ std::string MetricsToPrometheusText(
       continue;
     }
     const std::string prom = SanitizePromName(name);
+    MaybeEmitHelp(out, name, prom);
     out += "# TYPE " + prom;
     out += IsGaugeMetric(name) ? " gauge\n" : " counter\n";
     emit_line(prom, value);
+  }
+  return out;
+}
+
+std::string MetricsToPrometheusExposition(
+    const std::map<std::string, int64_t>& metrics,
+    const std::map<std::string, int64_t>& extra) {
+  std::string out = MetricsToPrometheusText(metrics);
+
+  const BuildInfo build = GetBuildInfo();
+  const std::string build_info = SG_OBS_SERVED_METRIC("serigraph_build_info");
+  MaybeEmitHelp(out, build_info, build_info);
+  out += "# TYPE " + build_info + " gauge\n";
+  out += build_info + "{commit=\"" + build.commit + "\",build_type=\"" +
+         build.build_type + "\",sanitizer=\"" + build.sanitizer + "\"} 1\n";
+
+  const std::string uptime = SG_OBS_SERVED_METRIC("process_uptime_seconds");
+  MaybeEmitHelp(out, uptime, uptime);
+  out += "# TYPE " + uptime + " gauge\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s %.3f\n", uptime.c_str(),
+                static_cast<double>(Tracer::NowMicros()) / 1e6);
+  out += buf;
+
+  for (const auto& [name, value] : extra) {
+    const std::string prom = SanitizePromName(name);
+    MaybeEmitHelp(out, name, prom);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + ' ' + std::to_string(value) + '\n';
   }
   return out;
 }

@@ -104,6 +104,29 @@ std::string RunReportToJson(const RunReport& report);
 std::string MetricsToPrometheusText(
     const std::map<std::string, int64_t>& metrics);
 
+/// `# HELP` text for a metric's registry base name (e.g.
+/// "engine.barrier_wait_us"), sourced from the docs/METRICS.md table at
+/// build time (scripts/gen_metrics_help.py). Empty string when the name
+/// is undocumented or the build had no Python to run the generator.
+const char* MetricHelpFor(const std::string& name);
+
+/// Marks a synthetic series name served on /metrics without a
+/// MetricRegistry entry. Expands to the name itself; it exists so
+/// scripts/lint_protocol.py can cross-check these literals against
+/// docs/METRICS.md exactly like Get{Counter,Gauge,Histogram} literals —
+/// every name served must be documented.
+#define SG_OBS_SERVED_METRIC(name) (name)
+
+/// The full `/metrics` exposition: MetricsToPrometheusText(metrics)
+/// plus the synthetic `serigraph_build_info` gauge (commit/build-type/
+/// sanitizer labels from GetBuildInfo()) and `process_uptime_seconds`.
+/// `extra` appends additional synthetic counter series by registry-style
+/// name (sanitized and prefixed like everything else); callers must use
+/// documented names.
+std::string MetricsToPrometheusExposition(
+    const std::map<std::string, int64_t>& metrics,
+    const std::map<std::string, int64_t>& extra = {});
+
 /// Writes `content` to `path` (overwrite).
 Status WriteTextFile(const std::string& path, const std::string& content);
 

@@ -11,6 +11,7 @@
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "obs/flightrec.h"
 
 namespace serigraph {
 
@@ -138,10 +139,13 @@ class Tracer {
 
 /// RAII span: records a complete event from construction to destruction.
 /// `name` must be a string literal (or otherwise outlive the tracer).
+/// Every span additionally feeds the always-on FlightRecorder ring
+/// (obs/flightrec.h), so the recent past stays reconstructible in
+/// incident bundles even when full tracing is off.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) {
-    if (Tracer::enabled()) {
+    if (Tracer::enabled() || FlightRecorder::enabled()) {
       name_ = name;
       start_us_ = Tracer::NowMicros();
     }
@@ -153,7 +157,10 @@ class TraceSpan {
   ~TraceSpan() {
     if (name_ != nullptr) {
       const int64_t end = Tracer::NowMicros();
-      Tracer::Get().RecordComplete(name_, start_us_, end - start_us_);
+      if (Tracer::enabled()) {
+        Tracer::Get().RecordComplete(name_, start_us_, end - start_us_);
+      }
+      FlightRecorder::RecordSpan(name_, start_us_, end - start_us_);
     }
   }
 
@@ -170,21 +177,25 @@ class TraceSpan {
   ::serigraph::TraceSpan SG_TRACE_CONCAT(sg_trace_span_, __COUNTER__)(name)
 
 /// Records an already-measured interval (for spans that do not map to a
-/// lexical scope, e.g. token hold times).
+/// lexical scope, e.g. token hold times). Feeds the FlightRecorder too.
 #define SG_TRACE_INTERVAL(name, start_us, dur_us)                     \
   do {                                                                \
     if (::serigraph::Tracer::enabled()) {                             \
       ::serigraph::Tracer::Get().RecordComplete((name), (start_us),   \
                                                 (dur_us));            \
     }                                                                 \
+    ::serigraph::FlightRecorder::RecordSpan((name), (start_us),       \
+                                            (dur_us));                \
   } while (0)
 
-/// Records a counter sample on the calling thread's track.
+/// Records a counter sample on the calling thread's track. Feeds the
+/// FlightRecorder too.
 #define SG_TRACE_COUNTER(name, value)                                 \
   do {                                                                \
     if (::serigraph::Tracer::enabled()) {                             \
       ::serigraph::Tracer::Get().RecordCounter((name), (value));      \
     }                                                                 \
+    ::serigraph::FlightRecorder::RecordCounter((name), (value));      \
   } while (0)
 
 }  // namespace serigraph

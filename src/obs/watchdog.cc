@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "obs/flightrec.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 
@@ -220,6 +221,11 @@ void Watchdog::ReportIncident(const std::string& type,
                               const WaitForGraph& graph, int64_t t_us) {
   summary_.incidents.push_back(type + ": " + detail);
   WriteIncidentJson(type, detail, graph, t_us);
+  // A confirmed deadlock/stall is the canonical incident: flip /healthz
+  // unhealthy and write a flight-recorder bundle before the abort path
+  // tears the run down (no-op unless an incident dir is configured).
+  FlightRecorder::RecordInstant("watchdog.incident");
+  TriggerIncidentDump("watchdog-" + type, detail, HealthLevel::kUnhealthy);
 }
 
 }  // namespace serigraph

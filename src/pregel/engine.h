@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <optional>
@@ -23,9 +24,11 @@
 #include "graph/graph.h"
 #include "graph/partitioning.h"
 #include "net/transport.h"
+#include "obs/flightrec.h"
 #include "obs/introspect.h"
 #include "obs/memprof.h"
 #include "obs/perfcounters.h"
+#include "obs/report.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 #include "obs/watchdog.h"
@@ -1156,6 +1159,22 @@ class Engine {
     SG_TRACE_COUNTER("store.arena_nodes_in_use", arena.nodes_in_use);
   }
 
+  /// One JSONL progress line per superstep, flushed immediately so
+  /// operators can `tail -f` the file during a live run (the run report
+  /// only reaches disk after the run ends). Serial-section only, like
+  /// SampleMemorySerial, so the stream needs no lock.
+  void WriteLiveReportLine(int superstep, int64_t active) {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("t_us").Value(Tracer::NowMicros());
+    json.Key("superstep").Value(superstep);
+    json.Key("active_vertices").Value(active);
+    json.Key("attempt").Value(recovery_attempts_);
+    json.EndObject();
+    live_report_ << json.str() << "\n";
+    live_report_.flush();
+  }
+
   void MaybeCheckpoint(int next_superstep) {
     if (options_.checkpoint_every <= 0) return;
     if (next_superstep % options_.checkpoint_every != 0) return;
@@ -1468,11 +1487,21 @@ class Engine {
           TimedAwait(worker, &barrier_us);  // B2: counts published
       if (serial) {
         ReduceAggregates();
-        if (perf_active_) SampleMemorySerial(superstep);
+        // Arena/RSS gauges stay warm for perf runs and whenever a live
+        // /metrics endpoint is scraping (TelemetryHub::serving()).
+        if (perf_active_ || TelemetryHub::serving()) {
+          SampleMemorySerial(superstep);
+        }
         int64_t total = 0;
         for (int64_t count : active_counts_) total += count;
         supersteps_done_ = superstep + 1;
         converged_ = total == 0;
+        {
+          TelemetryHub::RunStatus& live = TelemetryHub::Get().run();
+          live.superstep.store(superstep + 1, std::memory_order_relaxed);
+          live.active_vertices.store(total, std::memory_order_relaxed);
+        }
+        if (live_report_.is_open()) WriteLiveReportLine(superstep, total);
         bool stop = converged_ || superstep + 1 >= options_.max_supersteps;
         if (Introspector::enabled() &&
             Introspector::Get().abort_requested()) {
@@ -1671,6 +1700,10 @@ class Engine {
   PerfPhaseAccum perf_totals_;
   MemorySampler mem_sampler_;
   std::vector<MemSample> mem_samples_;
+  /// Live per-superstep JSONL stream (EngineOptions::live_report_path);
+  /// opened in Run() before workers start, written only from the B2
+  /// serial section.
+  std::ofstream live_report_;
   Counter* checkpoint_bytes_ = nullptr;
   MaxGauge* mem_peak_gauge_ = nullptr;
   MaxGauge* arena_chunks_gauge_ = nullptr;
@@ -1769,12 +1802,53 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
                        << PerfCounters::fallback_reason();
     }
   }
+  // Publish this run's registry + coarse run state to the live telemetry
+  // plane (obs/flightrec.h): a live /metrics scrape reads the registry
+  // while the run is up, and unregistering freezes the final snapshot
+  // for post-run scrapes. The guard unpublishes on every exit path.
+  struct TelemetryGuard {
+    MetricRegistry* registry = nullptr;
+    ~TelemetryGuard() {
+      if (registry == nullptr) return;
+      TelemetryHub::Get().run().running.store(false,
+                                              std::memory_order_relaxed);
+      TelemetryHub::Get().UnregisterMetrics(registry);
+      TelemetryHub::Get().ClearFaultLogProvider();
+      HealthState::Get().SetReady(false);
+    }
+  } telemetry_guard;
+  TelemetryHub::Get().RegisterMetrics(&metrics_);
+  telemetry_guard.registry = &metrics_;
+  {
+    TelemetryHub::RunStatus& live = TelemetryHub::Get().run();
+    live.running.store(true, std::memory_order_relaxed);
+    live.superstep.store(-1, std::memory_order_relaxed);
+    live.workers.store(num_workers, std::memory_order_relaxed);
+    live.active_vertices.store(static_cast<int64_t>(n),
+                               std::memory_order_relaxed);
+    live.recovery_attempts.store(0, std::memory_order_relaxed);
+  }
+  HealthState::Get().SetReady(true);
+  FlightRecorder::RecordInstant("engine.run_start");
+  if (!options_.live_report_path.empty() && !live_report_.is_open()) {
+    live_report_.open(options_.live_report_path,
+                      std::ios::out | std::ios::trunc);
+    if (!live_report_.is_open()) {
+      SG_LOG(kWarning) << "cannot open live report "
+                       << options_.live_report_path
+                       << "; live streaming disabled";
+    }
+  }
   if (!options_.fault.plan.empty()) {
     FaultInjector& injector = FaultInjector::Get();
     injector.Arm(options_.fault.plan);
     injector.SetCrashHandler(
         [this](int w, const char* point) { OnWorkerCrash(w, point); });
     injector_guard.armed = true;
+    // Incident bundles list the fired fault events; the obs layer cannot
+    // link the fault layer, so the engine bridges via a provider.
+    TelemetryHub::Get().SetFaultLogProvider(
+        [] { return FaultInjector::Get().fired_log(); });
   }
 
   // The introspector doubles as the abort channel that unblocks fork
@@ -1979,7 +2053,12 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
       if (worker->pool != nullptr) worker->pool->Shutdown();
     }
 
-    if (!attempt_failed_.load(std::memory_order_acquire)) break;
+    if (!attempt_failed_.load(std::memory_order_acquire)) {
+      // A clean finish absorbs earlier failures: recovery worked, so the
+      // degraded mark the supervisor raised no longer describes us.
+      HealthState::Get().ClearComponent("supervisor");
+      break;
+    }
 
     // Failed attempt: recover if allowed, otherwise degrade gracefully
     // into an Aborted status carrying the recovery report.
@@ -1997,6 +2076,7 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
                     " attempts: " + reason
               : "worker failure (recovery disabled): " + reason;
       AddRecoveryEvent(verdict);
+      HealthState::Get().Report(HealthLevel::kUnhealthy, "engine", verdict);
       return Status::Aborted(verdict);
     }
     // Exponential backoff before the restore: transient causes (a slow
@@ -2011,15 +2091,20 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
     }
     ++recovery_attempts_;
     recovery_attempts_counter_->Increment();
+    TelemetryHub::Get().run().recovery_attempts.store(
+        recovery_attempts_, std::memory_order_relaxed);
+    FlightRecorder::RecordInstant("engine.recovery_attempt");
     AddRecoveryEvent("recovery attempt " +
                      std::to_string(recovery_attempts_) + "/" +
                      std::to_string(options_.fault.max_recovery_attempts));
   }
 
   if (aborted_) {
-    return Status::Aborted(
-        abort_reason.empty() ? "run aborted by introspection watchdog"
-                             : abort_reason);
+    const std::string reason = abort_reason.empty()
+                                   ? "run aborted by introspection watchdog"
+                                   : abort_reason;
+    HealthState::Get().Report(HealthLevel::kUnhealthy, "engine", reason);
+    return Status::Aborted(reason);
   }
 
   if (injector_guard.armed) {

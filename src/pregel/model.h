@@ -139,6 +139,12 @@ struct EngineOptions {
   /// Watchdog configuration (sampling period, stall threshold, JSONL
   /// event-log path, opt-in stall abort). Used only when `introspect`.
   WatchdogOptions watchdog;
+
+  /// Stream one JSONL line per superstep (superstep, active vertices,
+  /// timestamp, recovery attempt) to this path, flushed line-by-line so
+  /// operators can `tail -f` it while the run is live — unlike the run
+  /// report, which only exists after the run ends. Empty = off.
+  std::string live_report_path;
 };
 
 /// Outcome statistics of a run.
