@@ -6,7 +6,7 @@
 #
 # Usage: scripts/check.sh [--sanitizer=thread|address,undefined]
 #                         [--introspect] [--bench-smoke] [--perf-gate]
-#                         [--obs-smoke] [build-dir]
+#                         [--obs-smoke] [--mcheck] [build-dir]
 #   (default sanitizer: thread; default build-dir: build-<sanitizer>)
 #
 # --sanitizer=address,undefined runs the combined ASan+UBSan pass
@@ -37,6 +37,15 @@
 # an injected-hang run where /healthz flips 503 before the process exits
 # 3 with an automatic watchdog incident bundle.
 #
+# --mcheck skips the sanitizer suite entirely: it builds serichk in
+# Release and runs the model-checking gate (ctest -L mcheck) — every
+# synchronization technique exhaustively explored under the preemption
+# bound on a small config, the planted-bug negative controls, and the
+# cross-process determinism check. Each test is wall-clock capped (the
+# exploration time caps + the ctest TIMEOUT), so the whole gate is
+# bounded even if a future change blows up the schedule space. See
+# docs/MODEL_CHECKING.md.
+#
 # --perf-gate skips the sanitizer suite entirely: it builds in Release
 # and (a) runs a --perf-counters CLI smoke under SERIGRAPH_NO_PERF_HW=1
 # (software fallback — shared CI runners usually deny perf_event_open)
@@ -55,6 +64,7 @@ BENCH_SMOKE=0
 CHAOS=0
 PERF_GATE=0
 OBS_SMOKE=0
+MCHECK=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
     --sanitizer=*) SANITIZER="${1#--sanitizer=}" ;;
@@ -63,10 +73,20 @@ while [[ "${1:-}" == --* ]]; do
     --chaos)       CHAOS=1 ;;
     --perf-gate)   PERF_GATE=1 ;;
     --obs-smoke)   OBS_SMOKE=1 ;;
+    --mcheck)      MCHECK=1 ;;
     *) echo "check.sh: unknown flag $1" >&2; exit 2 ;;
   esac
   shift
 done
+
+if [[ "$MCHECK" == "1" ]]; then
+  BUILD_DIR="${1:-build-mcheck}"
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target serichk
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -L mcheck
+  echo "check.sh: model-checking gate passed"
+  exit 0
+fi
 
 if [[ "$CHAOS" == "1" ]]; then
   BUILD_DIR="${1:-build-chaos}"

@@ -18,6 +18,19 @@ express:
   R5 metric-name            Get{Counter,Gauge,Histogram} literals and
                              SG_OBS_SERVED_METRIC("...") exposition names
                              in src/ must match docs/METRICS.md exactly
+  R6 memory-order           every explicit std::memory_order_relaxed
+                             carries a `// mo:` justification on the same
+                             line or in the comment block directly above
+  R7 lock-decl              every sy::Mutex / sy::CondVar /
+                             sy::LockSetMutex declaration in src/ must be
+                             listed (with its tier) in the lock-decls
+                             block of docs/LOCK_ORDER.md, and every
+                             listed declaration must still exist
+  R8 lock-graph             cross-TU call-graph pass: a call made while
+                             holding a tier-T lock must not reach (even
+                             transitively, through functions in other
+                             files) an acquisition of tier U unless the
+                             `T -> U` edge is declared
 
 Escape hatch: append `// lint:allow <rule-tag>` to the offending line.
 Exit status is nonzero iff any diagnostic was emitted.
@@ -34,6 +47,9 @@ RULE_TAGS = {
     "lock-order",
     "blocking-under-leaf",
     "metric-name",
+    "memory-order",
+    "lock-decl",
+    "lock-graph",
 }
 
 NAKED_RE = re.compile(
@@ -62,6 +78,34 @@ METRIC_CALL_RE = re.compile(r"Get(?:Counter|Gauge|Histogram)\(\s*\"([^\"]+)\"")
 SERVED_METRIC_RE = re.compile(r"SG_OBS_SERVED_METRIC\(\s*\"([^\"]+)\"")
 
 ALLOW_RE = re.compile(r"//\s*lint:allow\s+([\w\-]+)")
+
+MO_RELAXED_RE = re.compile(r"std::memory_order_relaxed\b")
+MO_JUSTIFY_RE = re.compile(r"//.*\bmo:")
+
+# sy:: lock-object declarations (direct members/statics, container
+# elements, and heap allocations). Matched against comment-stripped code.
+LOCK_DECL_RE = re.compile(
+    r"\bsy::(?:Mutex|CondVar|LockSetMutex)\s+(\w+)\s*[;={]")
+LOCK_DECL_TMPL_RE = re.compile(
+    r"<\s*sy::(?:Mutex|CondVar|LockSetMutex)\s*>+\s+(\w+)\s*[;={(]")
+LOCK_DECL_NEW_RE = re.compile(
+    r"(\w+)\s*=\s*new\s+sy::(?:Mutex|CondVar|LockSetMutex)\b")
+
+CLASS_RE = re.compile(
+    r"\b(?:class|struct)\s+(?:SY_\w+\s*\([^)]*\)\s*)?(\w+)\b")
+ENUM_CLASS_RE = re.compile(r"\benum\s+(?:class|struct)\b")
+
+# Function-definition heuristic for the call-graph pass: the last
+# identifier followed by '(' on a signature line, excluding control-flow
+# keywords and macro-style all-caps names.
+CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+NON_CALLEES = {
+    "if", "for", "while", "switch", "return", "sizeof", "catch",
+    "alignof", "decltype", "static_cast", "reinterpret_cast",
+    "const_cast", "dynamic_cast", "defined", "assert", "noexcept",
+    "Lock", "Unlock", "TryLock", "Wait", "WaitFor", "WaitUntil",
+    "NotifyOne", "NotifyAll", "MutexLock",
+}
 
 
 def strip_comments_and_strings(text):
@@ -151,9 +195,11 @@ def normalize_expr(expr):
 
 
 class Hierarchy:
-    def __init__(self, edges, tiers, leaves):
+    def __init__(self, edges, tiers, leaves, decls=None):
         self.tiers = tiers  # list of (name, path_substr, compiled_regex)
         self.leaves = leaves
+        self.decls = decls or {}  # "Type::member" -> (tier, doc_line)
+        self.direct_edges = set(edges)
         # Transitive closure of the declared DAG.
         allowed = set(edges)
         changed = True
@@ -202,7 +248,18 @@ def parse_lock_order(doc_path):
         path_sub, _, rx = rest.partition("::")
         tiers.append((name.strip(), path_sub.strip(), re.compile(rx.strip())))
     leaves = {ln.strip() for ln in block("lock-leaves") if ln.strip()}
-    return Hierarchy(edges, tiers, leaves)
+    decls = {}
+    # The lock-decls block needs line numbers for staleness diagnostics.
+    m = re.search(r"```lock-decls\n(.*?)```", text, re.DOTALL)
+    if m:
+        start = text[: m.start(1)].count("\n") + 1
+        for off, ln in enumerate(m.group(1).splitlines()):
+            ln = ln.strip()
+            if not ln or ln.startswith("#"):
+                continue
+            tier, _, key = ln.partition(":")
+            decls[key.strip()] = (tier.strip(), start + off)
+    return Hierarchy(edges, tiers, leaves, decls)
 
 
 def parse_metrics_doc(doc_path):
@@ -224,7 +281,21 @@ class Linter:
         self.metric_names = metric_names
         self.repo_root = repo_root
         self.errors = []
+        self.warnings = []
         self.metrics_used = {}  # name -> first (path, line)
+        # R7: "Type::member" -> (path, line) for every sy:: lock object
+        # declared under src/.
+        self.lock_decls = {}
+        # R8 call-graph facts. Function identity is the bare name, which
+        # merges overloads and same-named methods across classes — a
+        # deliberate overapproximation (a false edge is a prompt to add
+        # a lint:allow with a safety argument; a missed one is a silent
+        # deadlock channel).
+        self.fn_acquires = {}  # fn -> set of tiers acquired in its body
+        self.fn_calls = {}     # fn -> set of callee names
+        self.fn_defs = {}      # fn -> number of definitions seen
+        self.held_calls = []   # (path, line, tier, holder_expr, callee)
+        self.observed_edges = set()
 
     def error(self, path, line, rule, msg):
         rel = os.path.relpath(path, self.repo_root)
@@ -240,9 +311,17 @@ class Linter:
             return tag in allows.get(line_no, set())
 
         in_src = rel.startswith("src/")
+        # The wrapper itself, plus the model-checking substrate that the
+        # wrapper calls *into* (hooks + virtual scheduler). Those layers
+        # sit beneath sy::Mutex and must use the raw std primitives — a
+        # sy::Mutex there would recurse into the scheduler.
         is_wrapper = rel in (
             "src/common/mutex.h",
             "src/common/thread_annotations.h",
+            "src/common/schedule_hooks.h",
+            "src/common/schedule_hooks.cc",
+            "src/check/scheduler.h",
+            "src/check/scheduler.cc",
         )
 
         # R5: metric literals (src/ only; scan the raw text so the name
@@ -268,6 +347,45 @@ class Linter:
                         "/ sy::CondVar",
                     )
 
+        # R6: every explicit relaxed ordering carries a `// mo:` reason on
+        # the same line or in the comment block directly above (a
+        # multi-line justification counts as long as the block is
+        # contiguous comment lines). Matched against the stripped code
+        # (so prose mentions in comments don't count as uses) but
+        # justified from the raw text (where the comment lives).
+        raw_lines = raw.split("\n")
+
+        def mo_justified(idx):
+            here = raw_lines[idx - 1] if idx - 1 < len(raw_lines) else ""
+            if MO_JUSTIFY_RE.search(here):
+                return True
+            k = idx - 2  # 0-based index of the line above
+            if k >= 0 and MO_JUSTIFY_RE.search(raw_lines[k]):
+                return True  # trailing comment on the preceding line
+            while k >= 0:
+                stripped = raw_lines[k].strip()
+                if not stripped.startswith("//"):
+                    break
+                if MO_JUSTIFY_RE.search(stripped):
+                    return True
+                k -= 1
+            return False
+
+        for idx, ln in enumerate(lines, start=1):
+            if not MO_RELAXED_RE.search(ln):
+                continue
+            if allowed(idx, "memory-order"):
+                continue
+            if mo_justified(idx):
+                continue
+            self.error(
+                path, idx, "memory-order",
+                "std::memory_order_relaxed without a `// mo:` "
+                "justification on this or the preceding line; say why "
+                "relaxed is sound here (what reorders are tolerated and "
+                "who synchronizes the data)",
+            )
+
         # R2: per-file Lock/Unlock balance (normalized expressions).
         locks, unlocks = {}, {}
         for idx, ln in enumerate(lines, start=1):
@@ -288,10 +406,68 @@ class Linter:
                     "acquire-without-release`",
                 )
 
-        # R3 + R4: brace-depth lock-scope tracking.
+        # R3 + R4 + R7 + R8: one pass of brace-depth scope tracking.
         depth = 0
         held = []  # (norm_expr, tier, depth_at_acquire, line)
+        # R7 context: innermost enclosing class/struct name.
+        class_stack = []  # (depth_at_open, name)
+        pending_class = None
+        # R8 context: enclosing function (bare-name heuristic — the last
+        # plausible `name(` seen just before an opening brace at
+        # class/namespace level).
+        current_fn = None
+        fn_open_depth = 0
+        sig_candidate = None
+        sig_line = 0
+        file_stem = os.path.splitext(os.path.basename(path))[0]
+        collect = in_src and not is_wrapper
+
+        def plausible_callees(text_ln):
+            out = []
+            for m in CALL_RE.finditer(text_ln):
+                name = m.group(1)
+                if name in NON_CALLEES:
+                    continue
+                # Qualified calls (std::move, Planted::Enable, ...) would
+                # collide with unrelated tree functions under bare-name
+                # keying; skip them rather than mis-merge.
+                if m.start() >= 1 and text_ln[m.start() - 1] == ":":
+                    continue
+                if name.startswith(("SG_", "SY_", "sy", "std")):
+                    continue
+                if name.isupper():
+                    continue
+                out.append(name)
+            return out
+
         for idx, ln in enumerate(lines, start=1):
+            # R7: record sy:: lock-object declarations with their
+            # enclosing type (or the file stem for function/file scope).
+            if collect:
+                names = [m.group(1) for m in LOCK_DECL_RE.finditer(ln)]
+                names += [m.group(1) for m in LOCK_DECL_TMPL_RE.finditer(ln)]
+                names += [m.group(1) for m in LOCK_DECL_NEW_RE.finditer(ln)]
+                for name in names:
+                    scope = class_stack[-1][1] if class_stack else file_stem
+                    self.lock_decls.setdefault(f"{scope}::{name}",
+                                               (path, idx))
+            if not ENUM_CLASS_RE.search(ln):
+                # Scrub angle brackets first so `template <class T>` and
+                # template-argument lists don't read as declarations.
+                scrubbed = re.sub(r"<[^<>]*>", "", ln)
+                m = CLASS_RE.search(scrubbed)
+                if m and ";" not in scrubbed.split("{", 1)[0]:
+                    pending_class = m.group(1)
+            if current_fn is None:
+                cands = [
+                    c for c in plausible_callees(ln)
+                    if not c.endswith("_")  # skip ctor-init member lists
+                ]
+                if cands:
+                    sig_candidate = cands[-1]
+                    sig_line = idx
+                elif sig_candidate and idx - sig_line > 3:
+                    sig_candidate = None
             # Acquisitions on this line (MutexLock decls + manual Locks).
             acquired = [m.group(1) for m in MUTEXLOCK_RE.finditer(ln)]
             acquired += [
@@ -302,6 +478,8 @@ class Linter:
             for expr_raw in acquired:
                 expr = normalize_expr(expr_raw)
                 tier = self.h.classify(rel, expr_raw)
+                if collect and tier is not None and current_fn:
+                    self.fn_acquires.setdefault(current_fn, set()).add(tier)
                 if held and not allowed(idx, "lock-order"):
                     holder_expr, holder_tier, _, holder_line = held[-1]
                     if holder_tier is None or tier is None:
@@ -314,6 +492,8 @@ class Linter:
                             "docs/LOCK_ORDER.md; add it to the lock-tiers "
                             "block",
                         )
+                    elif (holder_tier, tier) in self.h.allowed:
+                        self.observed_edges.add((holder_tier, tier))
                     elif (holder_tier, tier) not in self.h.allowed:
                         self.error(
                             path, idx, "lock-order",
@@ -339,6 +519,22 @@ class Linter:
                             "be held across waits/receives/joins",
                         )
 
+            # R8 facts: callees of the enclosing function, and calls made
+            # with a lock held (acquisition lines excluded — the call
+            # there is part of the acquisition expression itself).
+            if collect and current_fn:
+                callees = plausible_callees(ln)
+                if callees:
+                    self.fn_calls.setdefault(current_fn,
+                                             set()).update(callees)
+                if held and not acquired and not allowed(idx, "lock-graph"):
+                    holder_expr, holder_tier, _, _ = held[-1]
+                    if holder_tier is not None:
+                        for callee in callees:
+                            self.held_calls.append(
+                                (path, idx, holder_tier, holder_expr,
+                                 callee))
+
             # Manual unlocks release the matching held entry.
             for m in MANUAL_UNLOCK_RE.finditer(ln):
                 expr = normalize_expr(m.group(1))
@@ -347,15 +543,127 @@ class Linter:
                         held.pop(k)
                         break
 
-            # Depth bookkeeping; scope-bound locks die with their scope.
+            # Depth bookkeeping; scope-bound locks die with their scope,
+            # class/function contexts close with theirs.
             for c in ln:
                 if c == "{":
+                    if pending_class is not None:
+                        class_stack.append((depth, pending_class))
+                        pending_class = None
+                    elif current_fn is None and sig_candidate is not None:
+                        current_fn = sig_candidate
+                        fn_open_depth = depth
+                        self.fn_defs[current_fn] = (
+                            self.fn_defs.get(current_fn, 0) + 1)
+                        sig_candidate = None
                     depth += 1
                 elif c == "}":
                     depth -= 1
                     held = [h for h in held if h[2] < depth]
+                    while class_stack and class_stack[-1][0] >= depth:
+                        class_stack.pop()
+                    if current_fn is not None and depth <= fn_open_depth:
+                        current_fn = None
             if depth <= 0:
                 held = []
+
+    def finish_lock_decls(self):
+        """R7: the lock-decls block must list exactly the sy:: lock
+        objects that exist in src/, each with a known tier."""
+        tier_names = {name for name, _, _ in self.h.tiers}
+        for key, (path, line) in sorted(self.lock_decls.items()):
+            if key not in self.h.decls:
+                self.error(
+                    path, line, "lock-decl",
+                    f"lock object '{key}' is not listed in the "
+                    "lock-decls block of docs/LOCK_ORDER.md; declare its "
+                    "tier there (every mutex in the tree must have a "
+                    "documented place in the hierarchy)",
+                )
+        for key, (tier, doc_line) in sorted(self.h.decls.items()):
+            if key not in self.lock_decls:
+                self.errors.append(
+                    f"docs/LOCK_ORDER.md:{doc_line}: [lock-decl] "
+                    f"documented lock object '{key}' no longer exists in "
+                    "src/; remove the stale line",
+                )
+            elif tier not in tier_names:
+                self.errors.append(
+                    f"docs/LOCK_ORDER.md:{doc_line}: [lock-decl] "
+                    f"'{key}' names unknown tier '{tier}' (not in the "
+                    "lock-tiers block)",
+                )
+
+    def finish_lock_graph(self):
+        """R8: propagate acquisitions through the call graph and check
+        calls-while-holding against the declared edges."""
+        # Bare-name keying cannot tell two same-named functions apart;
+        # a multiply-defined name would merge unrelated acquisition sets
+        # and flag chains that no real control flow takes. Treat such
+        # names as opaque (no facts) rather than guess.
+        ambiguous = {fn for fn, n in self.fn_defs.items() if n > 1}
+        # Transitive closure: tiers a function may acquire through any
+        # chain of calls (fixpoint; the graph is small).
+        acq = {
+            fn: set(tiers)
+            for fn, tiers in self.fn_acquires.items()
+            if fn not in ambiguous
+        }
+        changed = True
+        while changed:
+            changed = False
+            for fn, callees in self.fn_calls.items():
+                if fn in ambiguous:
+                    continue
+                mine = acq.setdefault(fn, set())
+                before = len(mine)
+                for callee in callees:
+                    if callee == fn or callee in ambiguous:
+                        continue
+                    mine.update(acq.get(callee, ()))
+                if len(mine) != before:
+                    changed = True
+        reported = set()
+        for path, line, tier, holder_expr, callee in self.held_calls:
+            for target in sorted(acq.get(callee, ())):
+                if target == tier:
+                    continue  # same-tier nesting is R3's (per-file) call
+                if (tier, target) in self.h.allowed:
+                    self.observed_edges.add((tier, target))
+                    continue
+                if target in self.h.leaves:
+                    # Leaf tiers may by definition be taken under any
+                    # lock; reaching one through a call chain needs no
+                    # per-edge declaration.
+                    continue
+                dedup = (path, line, tier, target, callee)
+                if dedup in reported:
+                    continue
+                reported.add(dedup)
+                self.error(
+                    path, line, "lock-graph",
+                    f"call to '{callee}()' while holding tier '{tier}' "
+                    f"('{holder_expr}') may acquire tier '{target}' "
+                    "(directly or through its callees); declare the "
+                    f"'{tier} -> {target}' edge in docs/LOCK_ORDER.md or "
+                    "restructure to drop the lock first",
+                )
+        # Completeness in the other direction: a declared edge nothing in
+        # the tree exercises anymore is stale documentation. Advisory
+        # only — the extraction is heuristic, so absence of evidence is
+        # not proof.
+        for a, b in sorted(self.h.direct_edges - self.observed_edges):
+            if b in self.h.leaves:
+                # Into-leaf edges are only ever observed as direct
+                # nestings (R8 skips leaf targets on purpose), so absence
+                # here means nothing.
+                continue
+            self.warnings.append(
+                f"docs/LOCK_ORDER.md: [lock-graph] declared edge "
+                f"'{a} -> {b}' was not observed anywhere in the tree "
+                "(stale, or reached through code the extractor cannot "
+                "see)",
+            )
 
     def finish_metrics(self):
         for name, (path, line) in sorted(self.metrics_used.items()):
@@ -403,10 +711,16 @@ def main():
     linter = Linter(hierarchy, metric_names, root)
     for f in files:
         linter.lint_file(f)
-    if not args.no_metrics and any(
-            os.path.relpath(f, root).startswith("src") for f in files):
+    tree_run = any(
+        os.path.relpath(f, root).startswith("src") for f in files)
+    if tree_run:
+        linter.finish_lock_decls()
+        linter.finish_lock_graph()
+    if not args.no_metrics and tree_run:
         linter.finish_metrics()
 
+    for w in linter.warnings:
+        print(f"warning: {w}", file=sys.stderr)
     for e in linter.errors:
         print(e)
     if linter.errors:

@@ -1,0 +1,89 @@
+#include "check/explorer.h"
+
+#include <chrono>
+#include <cstdio>
+#include <deque>
+
+namespace serigraph {
+namespace check {
+
+namespace {
+
+void Fnv(uint64_t* hash, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    *hash ^= (value >> (i * 8)) & 0xff;
+    *hash *= 1099511628211ull;
+  }
+}
+
+struct Branch {
+  std::vector<int> prefix;
+};
+
+}  // namespace
+
+bool Explore(const ExploreOptions& opts, const RunFn& run,
+             ExploreStats* stats, std::string* failing_trail) {
+  const auto start = std::chrono::steady_clock::now();
+  std::deque<Branch> work;
+  work.push_back(Branch{});  // empty prefix: the default-policy schedule
+  while (!work.empty()) {
+    if (opts.max_schedules > 0 && stats->schedules >= opts.max_schedules) {
+      stats->hit_schedule_cap = true;
+      break;
+    }
+    if (opts.max_seconds > 0) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+      if (elapsed >= opts.max_seconds) {
+        stats->hit_time_cap = true;
+        break;
+      }
+    }
+    Branch branch = std::move(work.back());
+    work.pop_back();  // depth-first: newest branch next
+
+    VirtualScheduler::Options sopts;
+    sopts.expected_threads = opts.expected_threads;
+    sopts.trail = branch.prefix;
+    sopts.object_por = opts.object_por;
+    sopts.max_steps = opts.max_steps;
+    VirtualScheduler sched(sopts);
+    sy::InstallScheduler(&sched);
+    const bool ok = run(sched);
+    sy::InstallScheduler(nullptr);  // idempotent after quiesce
+    ++stats->schedules;
+    Fnv(&stats->folded_hash, sched.trace_hash());
+    const auto& dec = sched.decisions();
+    if (static_cast<int>(dec.size()) > stats->max_decisions) {
+      stats->max_decisions = static_cast<int>(dec.size());
+    }
+    if (!ok) {
+      *failing_trail = VirtualScheduler::FormatTrail(dec);
+      return false;
+    }
+
+    // Alternatives at steps below the prefix length were already branched
+    // by an ancestor execution (the floor prevents duplicate subtrees).
+    const int floor = static_cast<int>(branch.prefix.size());
+    for (const Alternative& alt : sched.alternatives()) {
+      if (alt.step < floor) continue;
+      const int cost =
+          dec[alt.step].preemptions_before + (alt.preempts ? 1 : 0);
+      if (cost > opts.preemption_bound) {
+        ++stats->pruned_by_budget;
+        continue;
+      }
+      Branch next;
+      next.prefix.reserve(alt.step + 1);
+      for (int i = 0; i < alt.step; ++i) next.prefix.push_back(dec[i].thread);
+      next.prefix.push_back(alt.thread);
+      work.push_back(std::move(next));
+    }
+  }
+  return true;
+}
+
+}  // namespace check
+}  // namespace serigraph

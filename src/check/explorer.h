@@ -1,0 +1,63 @@
+#ifndef SERIGRAPH_CHECK_EXPLORER_H_
+#define SERIGRAPH_CHECK_EXPLORER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/scheduler.h"
+
+// DFS over scheduling decisions (docs/MODEL_CHECKING.md). Each execution
+// runs the engine once under a VirtualScheduler with a forced decision
+// trail; the alternatives the scheduler recorded past the trail become
+// new branches. Preemption bounding (CHESS-style) keeps the frontier
+// tractable: blocking switches are free, preempting an enabled thread
+// spends budget.
+namespace serigraph {
+namespace check {
+
+struct ExploreOptions {
+  int expected_threads = 0;
+  /// Preemption budget per schedule; 0 explores only blocking switches.
+  int preemption_bound = 1;
+  /// Stop after this many schedules (0 = unbounded).
+  int64_t max_schedules = 0;
+  /// Stop once this much wall clock elapsed (0 = unbounded). Checked
+  /// between schedules, so one slow execution can overshoot.
+  int64_t max_seconds = 0;
+  bool object_por = true;
+  int64_t max_steps = 2000000;
+};
+
+struct ExploreStats {
+  int64_t schedules = 0;
+  /// Branches discovered but not taken (budget / caps), for honesty in
+  /// the summary line.
+  int64_t pruned_by_budget = 0;
+  bool hit_schedule_cap = false;
+  bool hit_time_cap = false;
+  /// FNV-1a fold of every explored schedule's trace hash, order-
+  /// sensitive; equal across runs iff the exploration was identical.
+  uint64_t folded_hash = 14695981039346656037ull;
+  int max_decisions = 0;
+};
+
+/// One engine execution under the given trail. Must run the engine to
+/// completion, leaving the scheduler quiesced; returns false if the
+/// checked properties (C1/C2, coloring, 1SR) failed — exploration stops
+/// and the caller reports the trail.
+using RunFn = std::function<bool(VirtualScheduler& sched)>;
+
+/// Explores schedules depth-first; returns true iff every explored
+/// schedule passed. On failure `failing_trail` holds the replayable
+/// trail of the failing schedule. Property/deadlock/livelock failures
+/// inside an execution exit the process directly (codes 3/4/5) with the
+/// trail already printed by the scheduler.
+bool Explore(const ExploreOptions& opts, const RunFn& run,
+             ExploreStats* stats, std::string* failing_trail);
+
+}  // namespace check
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_CHECK_EXPLORER_H_

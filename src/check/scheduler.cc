@@ -1,0 +1,442 @@
+#include "check/scheduler.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace serigraph {
+namespace check {
+
+namespace {
+
+// The report paths run with ctl_mu_ held on a registered thread, so they
+// must not touch SG_LOG (its sink mutex is an instrumented sy::Mutex and
+// would re-enter the scheduler). Plain stderr only.
+void Fnv(uint64_t* hash, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    *hash ^= (value >> (i * 8)) & 0xff;
+    *hash *= 1099511628211ull;
+  }
+}
+
+void FnvStr(uint64_t* hash, const char* s) {
+  for (; s != nullptr && *s != '\0'; ++s) {
+    *hash ^= static_cast<uint8_t>(*s);
+    *hash *= 1099511628211ull;
+  }
+}
+
+}  // namespace
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kStart:
+      return "start";
+    case OpKind::kLock:
+      return "lock";
+    case OpKind::kTryLock:
+      return "trylock";
+    case OpKind::kCondWait:
+      return "wait";
+    case OpKind::kReacquire:
+      return "reacquire";
+    case OpKind::kYield:
+      return "yield";
+    case OpKind::kExit:
+      return "exit";
+  }
+  return "?";
+}
+
+VirtualScheduler::VirtualScheduler(Options opts) : opts_(std::move(opts)) {
+  threads_.reserve(opts_.expected_threads);
+  for (int i = 0; i < opts_.expected_threads; ++i) {
+    threads_.push_back(std::make_unique<ThreadRec>());
+    threads_.back()->id = i;
+  }
+}
+
+VirtualScheduler::~VirtualScheduler() = default;
+
+VirtualScheduler::ThreadRec& VirtualScheduler::Self() {
+  return *threads_[sy::ScheduledThreadId()];
+}
+
+int VirtualScheduler::ObjIdLocked(void* ptr) {
+  // Ids are assigned in first-use order, which is a deterministic
+  // function of the schedule prefix — unlike raw addresses, they are
+  // stable across executions and processes (the trace hash depends on
+  // this).
+  (void)ptr;
+  return next_obj_++;
+}
+
+VirtualScheduler::MutexModel& VirtualScheduler::MutexFor(void* mu) {
+  auto [it, inserted] = mutexes_.try_emplace(mu);
+  if (inserted) it->second.obj = ObjIdLocked(mu);
+  return it->second;
+}
+
+VirtualScheduler::CvModel& VirtualScheduler::CvFor(void* cv) {
+  auto [it, inserted] = cvs_.try_emplace(cv);
+  if (inserted) it->second.obj = ObjIdLocked(cv);
+  return it->second;
+}
+
+bool VirtualScheduler::EnabledLocked(const ThreadRec& t) const {
+  if (!t.registered || t.exited || !t.parked) return false;
+  switch (t.pending.kind) {
+    case OpKind::kStart:
+    case OpKind::kTryLock:
+    case OpKind::kYield:
+      return true;
+    case OpKind::kLock:
+    case OpKind::kReacquire: {
+      auto it = mutexes_.find(t.wait_mu);
+      return it == mutexes_.end() || it->second.owner == -1;
+    }
+    case OpKind::kCondWait:
+      return false;  // only a notify (or quiesce) can move it
+    case OpKind::kExit:
+      return false;
+  }
+  return false;
+}
+
+int VirtualScheduler::OnThreadRegister(const char* role, int index) {
+  std::unique_lock<std::mutex> lk(ctl_mu_);
+  if (quiesced_) return -1;  // too late to join this exploration
+  const int workers = opts_.expected_threads / 2;
+  const int id =
+      std::strcmp(role, "worker") == 0 ? index : workers + index;
+  if (id < 0 || id >= opts_.expected_threads) {
+    std::fprintf(stderr, "serichk: unexpected thread %s-%d\n", role, index);
+    std::fflush(stderr);
+    std::_Exit(6);
+  }
+  ThreadRec& self = *threads_[id];
+  self.role = role;
+  self.index = index;
+  self.registered = true;
+  self.parked = true;
+  self.pending = PendingOp{OpKind::kStart, -1, nullptr};
+  ++registered_;
+  if (registered_ == opts_.expected_threads) DispatchLocked(lk);
+  while (!self.granted) self.cv.wait(lk);
+  self.granted = false;
+  self.parked = false;
+  running_ = id;
+  return id;
+}
+
+void VirtualScheduler::OnThreadExit(int thread_id) {
+  std::unique_lock<std::mutex> lk(ctl_mu_);
+  ThreadRec& self = *threads_[thread_id];
+  self.exited = true;
+  self.parked = false;
+  self.pending = PendingOp{OpKind::kExit, -1, nullptr};
+  if (quiesced_) return;
+  running_ = -1;
+  DispatchLocked(lk);
+  // Not parked: the thread is done and unwinds natively from here.
+}
+
+void VirtualScheduler::ParkAndDispatch(std::unique_lock<std::mutex>& lk,
+                                       ThreadRec& self, PendingOp op) {
+  self.pending = op;
+  self.parked = true;
+  self.granted = false;
+  running_ = -1;
+  DispatchLocked(lk);
+  while (!self.granted) self.cv.wait(lk);
+  self.granted = false;
+  self.parked = false;
+  running_ = self.id;
+}
+
+void VirtualScheduler::DispatchLocked(std::unique_lock<std::mutex>& lk) {
+  (void)lk;
+  if (quiesced_) return;
+  std::vector<int> enabled;
+  for (const auto& t : threads_) {
+    if (EnabledLocked(*t)) enabled.push_back(t->id);
+  }
+  if (enabled.empty()) {
+    if (QuiesceConditionLocked()) {
+      DoQuiesceLocked();
+      return;
+    }
+    ReportDeadlockLocked();
+  }
+
+  // The thread that just parked is the previous decision's thread iff it
+  // is still parked (it ran, then parked again). If it parked enabled,
+  // switching away from it is a preemption; kStart is the initial pick,
+  // never charged.
+  int parker = -1;
+  if (!decisions_.empty()) {
+    const int prev = decisions_.back().thread;
+    const ThreadRec& t = *threads_[prev];
+    if (t.parked && !t.granted && !t.exited) parker = prev;
+  }
+  const bool parker_enabled =
+      parker >= 0 && threads_[parker]->pending.kind != OpKind::kStart &&
+      EnabledLocked(*threads_[parker]);
+
+  const int step = static_cast<int>(decisions_.size());
+  if (step >= opts_.max_steps) ReportLivelockLocked();
+
+  int chosen;
+  if (step < static_cast<int>(opts_.trail.size())) {
+    chosen = opts_.trail[step];
+    bool ok = false;
+    for (int t : enabled) ok = ok || t == chosen;
+    if (!ok) {
+      std::fprintf(stderr,
+                   "serichk: replay diverged at step %d (thread %d not "
+                   "enabled) — engine behavior is nondeterministic beyond "
+                   "the schedule\n",
+                   step, chosen);
+      DumpScheduleLocked("DIVERGED");
+      std::_Exit(6);
+    }
+  } else {
+    if (parker_enabled) {
+      chosen = parker;  // run until blocked
+    } else {
+      // Blocking switch: hand off round-robin (first enabled thread in
+      // cyclic id order after the previous runner). The rotation keeps
+      // the default schedule fair: lowest-id-wins can spin two workers
+      // on a barrier condvar forever while the comm threads that would
+      // unblock them never run.
+      const int prev = decisions_.empty() ? -1 : decisions_.back().thread;
+      chosen = enabled[0];
+      for (int t : enabled) {
+        if (t > prev) {
+          chosen = t;
+          break;
+        }
+      }
+    }
+    const PendingOp& chosen_op = threads_[chosen]->pending;
+    for (int t : enabled) {
+      if (t == chosen) continue;
+      const PendingOp& alt_op = threads_[t]->pending;
+      if (opts_.object_por && chosen_op.obj >= 0 && alt_op.obj >= 0 &&
+          chosen_op.obj != alt_op.obj) {
+        continue;  // independent next steps: defer to a later choice point
+      }
+      alternatives_.push_back(
+          Alternative{step, t, parker_enabled && t != parker});
+    }
+  }
+
+  Decision d;
+  d.thread = chosen;
+  d.op = threads_[chosen]->pending;
+  d.preemptions_before = preemptions_;
+  decisions_.push_back(d);
+  if (parker_enabled && chosen != parker) ++preemptions_;
+  Fnv(&trace_hash_, static_cast<uint64_t>(step));
+  Fnv(&trace_hash_, static_cast<uint64_t>(chosen));
+  Fnv(&trace_hash_, static_cast<uint64_t>(d.op.kind));
+  Fnv(&trace_hash_, static_cast<uint64_t>(d.op.obj));
+  FnvStr(&trace_hash_, d.op.point);
+
+  ThreadRec& grantee = *threads_[chosen];
+  grantee.granted = true;
+  grantee.cv.notify_one();
+}
+
+bool VirtualScheduler::QuiesceConditionLocked() const {
+  // Shutdown shape: every worker-role thread has exited and the comm
+  // threads all sit in a condition wait (the transport's inbox cv). The
+  // main thread is about to Shutdown() the transport natively, so the
+  // waiters must be handed back to the native primitives.
+  for (const auto& t : threads_) {
+    if (!t->registered) return false;
+    if (t->role == "worker" && !t->exited) return false;
+    if (!t->exited && t->pending.kind != OpKind::kCondWait) return false;
+  }
+  return true;
+}
+
+void VirtualScheduler::DoQuiesceLocked() {
+  quiesced_ = true;
+  sy::InstallScheduler(nullptr);
+  for (const auto& t : threads_) {
+    if (t->exited || !t->parked) continue;
+    t->spurious_native = true;
+    t->granted = true;
+    t->cv.notify_one();
+  }
+  // cv waiter lists are not scrubbed: the model is dead after this point
+  // and no further dispatch consults them.
+}
+
+void VirtualScheduler::ReportDeadlockLocked() {
+  DumpScheduleLocked("DEADLOCK");
+  std::_Exit(4);
+}
+
+void VirtualScheduler::ReportLivelockLocked() {
+  std::fprintf(stderr, "serichk: livelock suspected — %lld decisions\n",
+               static_cast<long long>(decisions_.size()));
+  DumpScheduleLocked("LIVELOCK");
+  std::_Exit(5);
+}
+
+void VirtualScheduler::DumpScheduleLocked(const char* banner) {
+  std::fprintf(stderr, "serichk: %s after %zu decisions\n", banner,
+               decisions_.size());
+  std::fprintf(stderr, "  threads:\n");
+  for (const auto& t : threads_) {
+    std::fprintf(stderr,
+                 "    [%d] %s-%d %s pending=%s obj=%d%s%s\n", t->id,
+                 t->role.empty() ? "?" : t->role.c_str(), t->index,
+                 t->exited ? "exited" : (t->parked ? "parked" : "running"),
+                 OpKindName(t->pending.kind), t->pending.obj,
+                 t->pending.point != nullptr ? " at " : "",
+                 t->pending.point != nullptr ? t->pending.point : "");
+  }
+  const size_t tail = decisions_.size() > 40 ? decisions_.size() - 40 : 0;
+  std::fprintf(stderr, "  last decisions (step thread op obj):\n");
+  for (size_t i = tail; i < decisions_.size(); ++i) {
+    const Decision& d = decisions_[i];
+    std::fprintf(stderr, "    %zu t%d %s obj=%d%s%s\n", i, d.thread,
+                 OpKindName(d.op.kind), d.op.obj,
+                 d.op.point != nullptr ? " " : "",
+                 d.op.point != nullptr ? d.op.point : "");
+  }
+  std::fprintf(stderr, "  replay trail: --replay %s\n",
+               FormatTrail(decisions_).c_str());
+  std::fflush(stderr);
+}
+
+std::string VirtualScheduler::FormatTrail(
+    const std::vector<Decision>& decisions) {
+  std::string out;
+  for (size_t i = 0; i < decisions.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += std::to_string(decisions[i].thread);
+  }
+  return out;
+}
+
+void VirtualScheduler::OnMutexLock(void* mu, std::mutex* native) {
+  std::unique_lock<std::mutex> lk(ctl_mu_);
+  if (quiesced_) {
+    lk.unlock();
+    native->lock();
+    return;
+  }
+  ThreadRec& self = Self();
+  MutexModel& model = MutexFor(mu);
+  self.wait_mu = mu;
+  self.wait_native = native;
+  ParkAndDispatch(lk, self,
+                  PendingOp{OpKind::kLock, model.obj, nullptr});
+  if (self.spurious_native || quiesced_) {
+    lk.unlock();
+    native->lock();
+    return;
+  }
+  // Granted: the dispatcher only schedules a kLock when the model mutex
+  // is free, so the native lock below cannot contend with a controlled
+  // thread (at most briefly with the unregistered main thread).
+  MutexFor(mu).owner = self.id;
+  lk.unlock();
+  native->lock();
+}
+
+bool VirtualScheduler::OnMutexTryLock(void* mu, std::mutex* native) {
+  std::unique_lock<std::mutex> lk(ctl_mu_);
+  if (quiesced_) {
+    lk.unlock();
+    return native->try_lock();
+  }
+  ThreadRec& self = Self();
+  MutexModel& model = MutexFor(mu);
+  ParkAndDispatch(lk, self,
+                  PendingOp{OpKind::kTryLock, model.obj, nullptr});
+  if (self.spurious_native || quiesced_) {
+    lk.unlock();
+    return native->try_lock();
+  }
+  MutexModel& m = MutexFor(mu);
+  if (m.owner != -1) return false;  // deterministic failure, no native op
+  m.owner = self.id;
+  lk.unlock();
+  native->lock();
+  return true;
+}
+
+void VirtualScheduler::OnMutexUnlock(void* mu, std::mutex* native) {
+  std::unique_lock<std::mutex> lk(ctl_mu_);
+  native->unlock();
+  if (quiesced_) return;
+  auto it = mutexes_.find(mu);
+  if (it != mutexes_.end() && it->second.owner == sy::ScheduledThreadId()) {
+    it->second.owner = -1;
+  }
+  // Releases are not preemption points: whoever was waiting becomes
+  // enabled and can be chosen at the releasing thread's next schedule
+  // point, which reaches the same states with far fewer branches.
+}
+
+void VirtualScheduler::OnCondWait(void* cv, void* mu, std::mutex* native) {
+  std::unique_lock<std::mutex> lk(ctl_mu_);
+  if (quiesced_) {
+    // Model is gone; report a spurious wakeup (mutex still held) and let
+    // the caller's predicate loop re-enter the native wait unhooked.
+    return;
+  }
+  ThreadRec& self = Self();
+  MutexModel& model = MutexFor(mu);
+  if (model.owner == self.id) model.owner = -1;
+  native->unlock();
+  self.wait_mu = mu;
+  self.wait_native = native;
+  CvModel& cvm = CvFor(cv);
+  cvm.waiters.push_back(self.id);
+  ParkAndDispatch(lk, self,
+                  PendingOp{OpKind::kCondWait, cvm.obj, nullptr});
+  if (self.spurious_native || quiesced_) {
+    lk.unlock();
+    native->lock();
+    return;
+  }
+  // Granted means a notify moved us to kReacquire and the dispatcher saw
+  // the wait mutex free.
+  MutexFor(mu).owner = self.id;
+  lk.unlock();
+  native->lock();
+}
+
+void VirtualScheduler::OnCondNotify(void* cv, bool notify_all) {
+  std::unique_lock<std::mutex> lk(ctl_mu_);
+  if (quiesced_) return;
+  CvModel& cvm = CvFor(cv);
+  // Like releases, notifies are not preemption points; the moved waiters
+  // become eligible at the notifier's next schedule point.
+  while (!cvm.waiters.empty()) {
+    const int id = cvm.waiters.front();
+    cvm.waiters.pop_front();
+    ThreadRec& waiter = *threads_[id];
+    if (waiter.pending.kind == OpKind::kCondWait) {
+      const MutexModel& model = MutexFor(waiter.wait_mu);
+      waiter.pending = PendingOp{OpKind::kReacquire, model.obj, nullptr};
+    }
+    if (!notify_all) break;
+  }
+}
+
+void VirtualScheduler::OnYield(const char* point) {
+  std::unique_lock<std::mutex> lk(ctl_mu_);
+  if (quiesced_) return;
+  ThreadRec& self = Self();
+  ParkAndDispatch(lk, self, PendingOp{OpKind::kYield, -1, point});
+}
+
+}  // namespace check
+}  // namespace serigraph

@@ -1,0 +1,185 @@
+#ifndef SERIGRAPH_CHECK_SCHEDULER_H_
+#define SERIGRAPH_CHECK_SCHEDULER_H_
+
+#include <condition_variable>  // lint:allow naked-mutex
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>  // lint:allow naked-mutex
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/schedule_hooks.h"
+
+// serichk's virtual cooperative scheduler (the dynamic half of the
+// concurrency verification gate; docs/MODEL_CHECKING.md).
+//
+// The engine's worker and comm threads register through
+// sy::ScheduledThread and from then on exactly one of them runs at a
+// time: every sy::Mutex / sy::CondVar operation and every SG_FAULT_POINT
+// parks the caller, and the scheduler decides — deterministically, from
+// a replayable decision trail — which parked thread resumes. Real mutex
+// ownership always mirrors virtual ownership, so native locks never
+// contend and the explored interleavings are exactly the scheduler's
+// choices.
+//
+// The scheduler's own synchronization deliberately uses the raw std::
+// primitives (lint:allow naked-mutex): the sy:: wrappers are the
+// instrumented surface, and the instrument must not instrument itself.
+namespace serigraph {
+namespace check {
+
+/// What a parked thread is about to do (its published pending op).
+enum class OpKind : uint8_t {
+  kStart = 0,     ///< initial grant after registration
+  kLock,          ///< Mutex::Lock — enabled iff the mutex is free
+  kTryLock,       ///< Mutex::TryLock — always enabled, outcome from model
+  kCondWait,      ///< parked in CondVar::Wait* — enabled only via notify
+  kReacquire,     ///< notified, reacquiring the wait mutex
+  kYield,         ///< SG_FAULT_POINT / SchedulePoint
+  kExit,          ///< thread finished (never parked; trace only)
+};
+
+const char* OpKindName(OpKind kind);
+
+struct PendingOp {
+  OpKind kind = OpKind::kStart;
+  /// Stable first-use object id of the mutex/condvar involved, -1 if none.
+  int obj = -1;
+  /// Yield-point name (string literal) for kYield, nullptr otherwise.
+  const char* point = nullptr;
+};
+
+/// One resolved scheduling decision, in order.
+struct Decision {
+  int thread = -1;
+  PendingOp op;
+  /// Preemptions accumulated strictly before this decision (for the
+  /// explorer's budget arithmetic).
+  int preemptions_before = 0;
+};
+
+/// An enabled-but-not-chosen thread at some decision index; the explorer
+/// turns these into new DFS branches.
+struct Alternative {
+  int step = -1;
+  int thread = -1;
+  /// True when taking this alternative preempts an enabled running
+  /// thread (costs preemption budget); false for blocking switches.
+  bool preempts = false;
+};
+
+class VirtualScheduler : public sy::SchedulerClient {
+ public:
+  struct Options {
+    /// Exploration begins once this many threads registered (2 * workers:
+    /// each worker contributes its compute thread and its comm thread).
+    int expected_threads = 0;
+    /// Forced choices for the first trail.size() decisions; after the
+    /// trail is exhausted the default policy (run until blocked, lowest
+    /// id on a blocking switch) takes over.
+    std::vector<int> trail;
+    /// Record alternatives only for threads whose pending op touches the
+    /// same object as the parked thread's op (lightweight sleep-set-style
+    /// independence reduction). Yield points always branch over all
+    /// enabled threads.
+    bool object_por = true;
+    /// Runaway guard: one execution exceeding this many decisions is
+    /// reported as a livelock (exit 5).
+    int64_t max_steps = 2000000;
+  };
+
+  explicit VirtualScheduler(Options opts);
+  ~VirtualScheduler() override;
+
+  // sy::SchedulerClient:
+  int OnThreadRegister(const char* role, int index) override;
+  void OnThreadExit(int thread_id) override;
+  void OnMutexLock(void* mu, std::mutex* native) override;
+  bool OnMutexTryLock(void* mu, std::mutex* native) override;
+  void OnMutexUnlock(void* mu, std::mutex* native) override;
+  void OnCondWait(void* cv, void* mu, std::mutex* native) override;
+  void OnCondNotify(void* cv, bool notify_all) override;
+  void OnYield(const char* point) override;
+
+  // Results; read only after the explored engine run fully completed.
+  const std::vector<Decision>& decisions() const { return decisions_; }
+  const std::vector<Alternative>& alternatives() const {
+    return alternatives_;
+  }
+  /// FNV-1a over (step, thread, op kind, obj id, yield-point name) of
+  /// every decision: two executions took the same schedule iff equal.
+  uint64_t trace_hash() const { return trace_hash_; }
+  int preemptions() const { return preemptions_; }
+  bool quiesced() const { return quiesced_; }
+
+  /// Renders a decision trail as the comma-separated thread-id list the
+  /// --replay flag accepts.
+  static std::string FormatTrail(const std::vector<Decision>& decisions);
+
+ private:
+  struct ThreadRec {
+    int id = -1;
+    std::string role;
+    int index = -1;
+    bool registered = false;
+    bool exited = false;
+    bool parked = false;
+    bool granted = false;
+    /// Set by quiesce: resume natively, the model is gone.
+    bool spurious_native = false;
+    PendingOp pending;
+    /// CondVar bookkeeping while in kCondWait/kReacquire.
+    void* wait_mu = nullptr;
+    std::mutex* wait_native = nullptr;
+    std::condition_variable cv;
+  };
+
+  struct MutexModel {
+    int owner = -1;
+    int obj = -1;
+  };
+
+  struct CvModel {
+    std::deque<int> waiters;
+    int obj = -1;
+  };
+
+  ThreadRec& Self();
+  int ObjIdLocked(void* ptr);
+  MutexModel& MutexFor(void* mu);
+  CvModel& CvFor(void* cv);
+  bool EnabledLocked(const ThreadRec& t) const;
+
+  /// Parks the calling thread with `op` published, runs the dispatcher,
+  /// and blocks until granted. Precondition: `lk` holds ctl_mu_.
+  void ParkAndDispatch(std::unique_lock<std::mutex>& lk, ThreadRec& self,
+                       PendingOp op);
+  /// Chooses and grants the next thread (trail, then default policy).
+  void DispatchLocked(std::unique_lock<std::mutex>& lk);
+  bool QuiesceConditionLocked() const;
+  void DoQuiesceLocked();
+  [[noreturn]] void ReportDeadlockLocked();
+  [[noreturn]] void ReportLivelockLocked();
+  void DumpScheduleLocked(const char* banner);
+
+  Options opts_;
+  std::mutex ctl_mu_;  // lint:allow naked-mutex
+  std::vector<std::unique_ptr<ThreadRec>> threads_;
+  int registered_ = 0;
+  int running_ = -1;
+  bool quiesced_ = false;
+  std::unordered_map<void*, MutexModel> mutexes_;
+  std::unordered_map<void*, CvModel> cvs_;
+  int next_obj_ = 0;
+  std::vector<Decision> decisions_;
+  std::vector<Alternative> alternatives_;
+  uint64_t trace_hash_ = 14695981039346656037ull;  // FNV offset basis
+  int preemptions_ = 0;
+};
+
+}  // namespace check
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_CHECK_SCHEDULER_H_

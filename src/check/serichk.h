@@ -1,0 +1,45 @@
+#ifndef SERIGRAPH_CHECK_SERICHK_H_
+#define SERIGRAPH_CHECK_SERICHK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sync/technique.h"
+
+// serichk: exhaustive protocol model checking for the synchronization
+// techniques (docs/MODEL_CHECKING.md). Runs greedy coloring on a small
+// graph under the virtual cooperative scheduler and explores thread
+// interleavings depth-first, checking every schedule for deadlock
+// freedom, C1/C2 freshness, 1SR, and a proper coloring.
+namespace serigraph {
+namespace check {
+
+struct SerichkConfig {
+  SyncMode technique = SyncMode::kVertexLocking;
+  /// "ring", "clique", or "star".
+  std::string topology = "ring";
+  int vertices = 6;
+  int workers = 2;
+  int partitions_per_worker = 1;
+  int preemption_bound = 1;
+  int64_t max_schedules = 0;
+  int64_t max_seconds = 0;
+  bool object_por = true;
+  int64_t max_steps = 2000000;
+  /// Planted bug to enable (see common/planted.h), empty for none.
+  std::string plant;
+  /// Comma-separated decision trail: replay this single schedule instead
+  /// of exploring.
+  std::string replay;
+};
+
+/// Process exit code: 0 = all explored schedules pass, 2 = bad config,
+/// 3 = property violation (C1/C2/1SR/coloring/engine error). Deadlock
+/// (4), livelock (5), and replay divergence (6) exit the process from
+/// inside the scheduler with the trail already printed.
+int RunSerichk(const SerichkConfig& cfg);
+
+}  // namespace check
+}  // namespace serigraph
+
+#endif  // SERIGRAPH_CHECK_SERICHK_H_

@@ -1,0 +1,93 @@
+// serichk CLI — exhaustive interleaving exploration of the sync
+// techniques on small configs (docs/MODEL_CHECKING.md).
+//
+//   serichk --technique=vertex-locking --topology=ring --vertices=6
+//           --workers=2 --preempt=1 [--max-schedules=N] [--max-seconds=S]
+//           [--plant=cm.skip_handover_flush] [--replay=0,0,1,2] [--no-por]
+//
+// Exit codes: 0 pass, 2 usage, 3 property violation, 4 deadlock,
+// 5 livelock, 6 replay divergence.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "check/serichk.h"
+
+namespace {
+
+using serigraph::SyncMode;
+
+bool ParseTechnique(const std::string& name, SyncMode* out) {
+  const SyncMode modes[] = {
+      SyncMode::kSingleLayerToken, SyncMode::kDualLayerToken,
+      SyncMode::kVertexLocking, SyncMode::kPartitionLocking,
+      SyncMode::kConstrainedBspLocking};
+  for (SyncMode m : modes) {
+    if (name == serigraph::SyncModeName(m)) {
+      *out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FlagValue(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: serichk --technique=<single-token|dual-token|vertex-locking|"
+      "partition-locking|bsp-constrained-locking>\n"
+      "               [--topology=<ring|clique|star>] [--vertices=N]\n"
+      "               [--workers=W] [--partitions=P] [--preempt=B]\n"
+      "               [--max-schedules=N] [--max-seconds=S] [--max-steps=N]\n"
+      "               [--plant=<name>] [--replay=<t0,t1,...>] [--no-por]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serigraph::check::SerichkConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (FlagValue(argv[i], "--technique", &v)) {
+      if (!ParseTechnique(v, &cfg.technique)) {
+        std::fprintf(stderr, "serichk: unknown technique '%s'\n", v.c_str());
+        return Usage();
+      }
+    } else if (FlagValue(argv[i], "--topology", &v)) {
+      cfg.topology = v;
+    } else if (FlagValue(argv[i], "--vertices", &v)) {
+      cfg.vertices = std::atoi(v.c_str());
+    } else if (FlagValue(argv[i], "--workers", &v)) {
+      cfg.workers = std::atoi(v.c_str());
+    } else if (FlagValue(argv[i], "--partitions", &v)) {
+      cfg.partitions_per_worker = std::atoi(v.c_str());
+    } else if (FlagValue(argv[i], "--preempt", &v)) {
+      cfg.preemption_bound = std::atoi(v.c_str());
+    } else if (FlagValue(argv[i], "--max-schedules", &v)) {
+      cfg.max_schedules = std::atoll(v.c_str());
+    } else if (FlagValue(argv[i], "--max-seconds", &v)) {
+      cfg.max_seconds = std::atoll(v.c_str());
+    } else if (FlagValue(argv[i], "--max-steps", &v)) {
+      cfg.max_steps = std::atoll(v.c_str());
+    } else if (FlagValue(argv[i], "--plant", &v)) {
+      cfg.plant = v;
+    } else if (FlagValue(argv[i], "--replay", &v)) {
+      cfg.replay = v;
+    } else if (std::strcmp(argv[i], "--no-por") == 0) {
+      cfg.object_por = false;
+    } else {
+      std::fprintf(stderr, "serichk: unknown flag '%s'\n", argv[i]);
+      return Usage();
+    }
+  }
+  return serigraph::check::RunSerichk(cfg);
+}

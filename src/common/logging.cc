@@ -37,10 +37,12 @@ sy::Mutex& SinkMutex() {
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
+  // mo: level gate; stale value is harmless
   g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
+  // mo: level gate; stale value is harmless
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
@@ -56,7 +58,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  const bool emit =
+  const bool emit =  // mo: level gate; stale value is harmless
       static_cast<int>(level_) >= g_min_level.load(std::memory_order_relaxed);
   if (emit || level_ == LogLevel::kFatal) {
     sy::MutexLock lock(&SinkMutex());

@@ -18,12 +18,17 @@ int BucketFor(int64_t sample) {
 Histogram::Histogram() { Reset(); }
 
 void Histogram::Record(int64_t sample) {
+  // mo: stat cell; no ordering role
   buckets_[BucketFor(sample)].fetch_add(1, std::memory_order_relaxed);
+  // mo: stat cell; no ordering role
   count_.fetch_add(1, std::memory_order_relaxed);
+  // mo: stat cell; no ordering role
   sum_.fetch_add(sample, std::memory_order_relaxed);
+  // mo: stat cell; no ordering role
   int64_t prev = max_.load(std::memory_order_relaxed);
   while (sample > prev &&
          !max_.compare_exchange_weak(prev, sample,
+                                     // mo: stat cell; no ordering role
                                      std::memory_order_relaxed)) {
   }
 }
@@ -43,6 +48,7 @@ int64_t Histogram::ApproxQuantile(double q) const {
   const int64_t observed_max = max();
   int64_t seen = 0;
   for (int b = 0; b < kNumBuckets; ++b) {
+    // mo: stat cell; no ordering role
     seen += buckets_[b].load(std::memory_order_relaxed);
     if (seen > target) {
       // Upper bound of bucket b: 2^b - 1 (bucket 0 holds <=0 samples),
@@ -56,10 +62,12 @@ int64_t Histogram::ApproxQuantile(double q) const {
 }
 
 void Histogram::Reset() {
+  // mo: stat cell; no ordering role
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  // mo: stat cell; no ordering role
   count_.store(0, std::memory_order_relaxed);
-  sum_.store(0, std::memory_order_relaxed);
-  max_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);  // mo: stat cell; no ordering role
+  max_.store(0, std::memory_order_relaxed);  // mo: stat cell; no ordering role
 }
 
 Counter* MetricRegistry::GetCounter(const std::string& name) {

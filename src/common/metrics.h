@@ -18,9 +18,12 @@ class Counter {
  public:
   Counter() : value_(0) {}
 
+  // mo: stat cell; no ordering role
   void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
   void Increment() { Add(1); }
+  // mo: stat cell; no ordering role
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  // mo: stat cell; no ordering role
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
@@ -35,9 +38,11 @@ class MaxGauge {
 
   /// Adjusts the gauge by `delta` and folds the new value into the max.
   void Add(int64_t delta) {
+    // mo: stat cell; no ordering role
     int64_t now = value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    // mo: stat cell; no ordering role
     int64_t prev = max_.load(std::memory_order_relaxed);
-    while (now > prev &&
+    while (now > prev &&  // mo: stat cell; no ordering role
            !max_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
     }
   }
@@ -46,17 +51,23 @@ class MaxGauge {
   /// For sampled depth/occupancy gauges (queue depth, RSS) where deltas
   /// are not available.
   void Observe(int64_t v) {
+    // mo: stat cell; no ordering role
     value_.store(v, std::memory_order_relaxed);
+    // mo: stat cell; no ordering role
     int64_t prev = max_.load(std::memory_order_relaxed);
-    while (v > prev &&
+    while (v > prev &&  // mo: stat cell; no ordering role
            !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
     }
   }
 
+  // mo: stat cell; no ordering role
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  // mo: stat cell; no ordering role
   int64_t max() const { return max_.load(std::memory_order_relaxed); }
   void Reset() {
+    // mo: stat cell; no ordering role
     value_.store(0, std::memory_order_relaxed);
+    // mo: stat cell; no ordering role
     max_.store(0, std::memory_order_relaxed);
   }
 
@@ -76,9 +87,12 @@ class Histogram {
   Histogram();
 
   void Record(int64_t sample);
+  // mo: stat cell; no ordering role
   int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  // mo: stat cell; no ordering role
   int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   /// Largest sample ever recorded (exact, not bucketed); 0 when empty.
+  // mo: stat cell; no ordering role
   int64_t max() const { return max_.load(std::memory_order_relaxed); }
   double Mean() const;
   /// Approximate quantile from bucket boundaries: returns an upper bound

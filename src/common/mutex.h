@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "common/schedule_hooks.h"
 #include "common/thread_annotations.h"
 
 // Annotated locking primitives for the whole tree. Everything outside
@@ -12,8 +13,12 @@
 // the raw std:: types (enforced by scripts/lint_protocol.py), so that
 // Clang's -Wthread-safety analysis sees every critical section and every
 // SY_GUARDED_BY field access (SERIGRAPH_TSA=ON turns violations into
-// build failures). The wrappers are zero-overhead forwarding shims over
-// std::mutex / std::condition_variable.
+// build failures). The wrappers forward to std::mutex /
+// std::condition_variable; the only extra cost is one predicted atomic
+// load per operation checking for an installed model-checking scheduler
+// (common/schedule_hooks.h — serichk routes registered threads through
+// a virtual cooperative scheduler here, which is why the whole protocol
+// stack is explorable without modification).
 namespace sy {
 
 /// Annotated std::mutex. Prefer sy::MutexLock over manual Lock()/Unlock().
@@ -23,9 +28,26 @@ class SY_CAPABILITY("mutex") Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() SY_ACQUIRE() { mu_.lock(); }
-  void Unlock() SY_RELEASE() { mu_.unlock(); }
-  bool TryLock() SY_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() SY_ACQUIRE() {
+    if (SchedulerClient* sched = CapturedScheduler()) {
+      sched->OnMutexLock(this, &mu_);
+      return;
+    }
+    mu_.lock();
+  }
+  void Unlock() SY_RELEASE() {
+    if (SchedulerClient* sched = CapturedScheduler()) {
+      sched->OnMutexUnlock(this, &mu_);
+      return;
+    }
+    mu_.unlock();
+  }
+  bool TryLock() SY_TRY_ACQUIRE(true) {
+    if (SchedulerClient* sched = CapturedScheduler()) {
+      return sched->OnMutexTryLock(this, &mu_);
+    }
+    return mu_.try_lock();
+  }
 
   /// The wrapped handle, for interop (CondVar's adopt/release dance).
   std::mutex& native() { return mu_; }
@@ -60,23 +82,44 @@ class CondVar {
   CondVar(const CondVar&) = delete;
   CondVar& operator=(const CondVar&) = delete;
 
-  void NotifyOne() { cv_.notify_one(); }
-  void NotifyAll() { cv_.notify_all(); }
+  void NotifyOne() {
+    if (SchedulerClient* sched = CapturedScheduler()) {
+      sched->OnCondNotify(this, /*notify_all=*/false);
+    }
+    cv_.notify_one();
+  }
+  void NotifyAll() {
+    if (SchedulerClient* sched = CapturedScheduler()) {
+      sched->OnCondNotify(this, /*notify_all=*/true);
+    }
+    cv_.notify_all();
+  }
 
   /// Blocks until notified. Spurious wakeups possible; loop on the
   /// predicate like with std::condition_variable.
   void Wait(Mutex& mu) SY_REQUIRES(mu) {
+    if (SchedulerClient* sched = CapturedScheduler()) {
+      sched->OnCondWait(this, &mu, &mu.native());
+      return;
+    }
     std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // ownership stays with the caller's MutexLock
   }
 
   /// Blocks until notified or `timeout` elapsed; returns
-  /// std::cv_status::timeout on expiry.
+  /// std::cv_status::timeout on expiry. Under a model-checking scheduler
+  /// the wait is untimed and always reports no_timeout: the scheduler's
+  /// deadlock detection supersedes timeout recovery paths, and virtual
+  /// time has no wall-clock to compare against.
   template <typename Rep, typename Period>
   std::cv_status WaitFor(Mutex& mu,
                          const std::chrono::duration<Rep, Period>& timeout)
       SY_REQUIRES(mu) {
+    if (SchedulerClient* sched = CapturedScheduler()) {
+      sched->OnCondWait(this, &mu, &mu.native());
+      return std::cv_status::no_timeout;
+    }
     std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
     const std::cv_status status = cv_.wait_for(lock, timeout);
     lock.release();
@@ -84,11 +127,16 @@ class CondVar {
   }
 
   /// Blocks until notified or `deadline` reached; returns
-  /// std::cv_status::timeout on expiry.
+  /// std::cv_status::timeout on expiry (same model-checking caveat as
+  /// WaitFor: virtualized waits never time out).
   template <typename Clock, typename Duration>
   std::cv_status WaitUntil(
       Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
       SY_REQUIRES(mu) {
+    if (SchedulerClient* sched = CapturedScheduler()) {
+      sched->OnCondWait(this, &mu, &mu.native());
+      return std::cv_status::no_timeout;
+    }
     std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
     const std::cv_status status = cv_.wait_until(lock, deadline);
     lock.release();
@@ -102,6 +150,52 @@ class CondVar {
 
  private:
   std::condition_variable cv_;
+};
+
+/// Phantom capability: a zero-size object that exists only so Clang's
+/// thread-safety analysis has something to acquire/release when the real
+/// protected resource is a runtime lock *set* (see LockSetMutex below).
+/// Holds no lock itself; functions annotated SY_ACQUIRE(phantom) /
+/// SY_RELEASE(phantom) do the real element locking internally.
+class SY_CAPABILITY("phantom") PhantomCapability {
+ public:
+  PhantomCapability() = default;
+  PhantomCapability(const PhantomCapability&) = delete;
+  PhantomCapability& operator=(const PhantomCapability&) = delete;
+};
+
+/// Element of a *dynamically ordered lock set*: a collection of mutexes
+/// acquired in a sorted runtime order (the GAS engine's per-vertex hood
+/// locks). Clang's thread-safety capabilities are per-expression, so a
+/// loop over `locks_[u]` for a runtime `u` is inexpressible lock by
+/// lock; this type is deliberately unannotated so the set's elements are
+/// invisible to the analysis. Every use MUST pair the whole set with a
+/// phantom SY_CAPABILITY acquired/released around it (see
+/// GasEngine::LockHood), so callers stay checked at the set granularity,
+/// and must document its tier in docs/LOCK_ORDER.md like any sy::Mutex.
+class LockSetMutex {
+ public:
+  LockSetMutex() = default;
+  LockSetMutex(const LockSetMutex&) = delete;
+  LockSetMutex& operator=(const LockSetMutex&) = delete;
+
+  void Lock() {
+    if (SchedulerClient* sched = CapturedScheduler()) {
+      sched->OnMutexLock(this, &mu_);
+      return;
+    }
+    mu_.lock();
+  }
+  void Unlock() {
+    if (SchedulerClient* sched = CapturedScheduler()) {
+      sched->OnMutexUnlock(this, &mu_);
+      return;
+    }
+    mu_.unlock();
+  }
+
+ private:
+  std::mutex mu_;
 };
 
 }  // namespace sy

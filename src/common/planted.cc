@@ -1,0 +1,34 @@
+#include "common/planted.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace serigraph {
+
+std::atomic<int> Planted::count_{0};
+const char* Planted::names_[Planted::kMaxPlanted] = {};
+
+void Planted::Enable(const char* name) {
+  const int n = count_.load(std::memory_order_relaxed);  // mo: setup thread
+  if (n >= kMaxPlanted) {
+    SG_LOG(kFatal) << "Planted::Enable: too many planted bugs (" << n << ")";
+  }
+  names_[n] = name;
+  count_.store(n + 1, std::memory_order_release);
+}
+
+void Planted::Clear() {
+  count_.store(0, std::memory_order_release);
+  for (const char*& slot : names_) slot = nullptr;
+}
+
+bool Planted::Lookup(const char* name) {
+  const int n = count_.load(std::memory_order_acquire);
+  for (int i = 0; i < n; ++i) {
+    if (std::strcmp(names_[i], name) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace serigraph

@@ -1,0 +1,55 @@
+#ifndef SERIGRAPH_COMMON_PLANTED_H_
+#define SERIGRAPH_COMMON_PLANTED_H_
+
+#include <atomic>
+
+// Negative-control bug registry for the serichk model checker.
+//
+// A "planted bug" is a guarded one-line protocol mutation (skip a
+// handover flush, hand out clean initial forks, ignore the token
+// boundary check) that serichk must be able to find; the mcheck ctest
+// suite enables one bug per run and asserts the checker reports a
+// violation or deadlock with a replayable trace. In production and in
+// every ordinary test nothing is enabled and SG_PLANTED_BUG is a single
+// relaxed atomic load of a zero counter.
+//
+// The registry is deliberately lock-free: plant sites sit inside
+// protocol critical sections (e.g. under a Chandy-Misra shard lock), so
+// a registry mutex would add lock-order edges and schedule points that
+// exist only under test. Enabling is single-threaded setup, before any
+// engine thread starts.
+namespace serigraph {
+
+class Planted {
+ public:
+  /// True iff `name` was enabled. Fast path: one relaxed load.
+  static bool Enabled(const char* name) {
+    // mo: monotonic count published with release by Enable(); a stale 0
+    // only makes a just-enabled bug invisible to a racing reader, and
+    // Enable() precedes thread creation (which synchronizes).
+    // mo: fast-path gate; zero means disarmed
+    if (count_.load(std::memory_order_relaxed) == 0) return false;
+    return Lookup(name);
+  }
+
+  /// Registers `name` as enabled. Single-threaded setup only (asserts
+  /// capacity). Names must be string literals (stored by pointer).
+  static void Enable(const char* name);
+
+  /// Clears all enabled bugs (between serichk explorations).
+  static void Clear();
+
+ private:
+  static bool Lookup(const char* name);
+
+  static constexpr int kMaxPlanted = 8;
+  static std::atomic<int> count_;
+  static const char* names_[kMaxPlanted];
+};
+
+}  // namespace serigraph
+
+/// Plant site marker. Reads as: "the bug called `name` is active".
+#define SG_PLANTED_BUG(name) (::serigraph::Planted::Enabled(name))
+
+#endif  // SERIGRAPH_COMMON_PLANTED_H_

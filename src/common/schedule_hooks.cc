@@ -1,0 +1,34 @@
+#include "common/schedule_hooks.h"
+
+namespace sy {
+
+SchedulerClient::~SchedulerClient() = default;
+
+namespace sched_internal {
+std::atomic<SchedulerClient*> g_client{nullptr};
+thread_local int t_thread_id = -1;
+}  // namespace sched_internal
+
+void InstallScheduler(SchedulerClient* client) {
+  sched_internal::g_client.store(client, std::memory_order_release);
+}
+
+ScheduledThread::ScheduledThread(const char* role, int index) {
+  SchedulerClient* client =
+      sched_internal::g_client.load(std::memory_order_acquire);
+  if (client == nullptr) return;
+  id_ = client->OnThreadRegister(role, index);
+  sched_internal::t_thread_id = id_;
+}
+
+ScheduledThread::~ScheduledThread() {
+  if (id_ < 0) return;
+  // Read the client again: a quiesce-to-passthrough (scheduler uninstalls
+  // itself once all workers exited) may have raced ahead of this exit.
+  SchedulerClient* client =
+      sched_internal::g_client.load(std::memory_order_acquire);
+  sched_internal::t_thread_id = -1;
+  if (client != nullptr) client->OnThreadExit(id_);
+}
+
+}  // namespace sy

@@ -1,0 +1,110 @@
+#ifndef SERIGRAPH_COMMON_SCHEDULE_HOOKS_H_
+#define SERIGRAPH_COMMON_SCHEDULE_HOOKS_H_
+
+#include <atomic>
+#include <mutex>
+
+// Optional schedule-point instrumentation for the sy:: locking wrappers.
+//
+// A SchedulerClient (in practice serichk's VirtualScheduler, src/check/)
+// can install itself process-wide; from then on every sy::Mutex /
+// sy::CondVar operation performed by a *registered* thread is routed
+// through the client, which serializes the threads onto one virtual
+// processor and explores scheduling decisions deterministically. The
+// engine, sync techniques, transport and MessageStore run unmodified.
+//
+// Cost when no client is installed (the production case): one atomic
+// load per operation, perfectly predicted. Threads that never register
+// (the main thread, test harnesses) pass straight through to the native
+// primitives even while a client is installed.
+namespace sy {
+
+/// Interface the model checker implements. All hooks are invoked on the
+/// instrumented thread itself; OnMutexLock/OnCondWait block (park) the
+/// caller until the scheduler grants it the virtual processor again.
+/// `mu`/`cv` are stable object identities; `native` is the wrapped
+/// std::mutex so the client can keep real ownership mirroring virtual
+/// ownership (real locks never contend under exploration).
+class SchedulerClient {
+ public:
+  virtual ~SchedulerClient();
+
+  /// Called from ScheduledThread's constructor on the new thread.
+  /// Returns the scheduler-assigned stable thread id (>= 0).
+  virtual int OnThreadRegister(const char* role, int index) = 0;
+  /// Called from ScheduledThread's destructor, still on that thread.
+  virtual void OnThreadExit(int thread_id) = 0;
+
+  /// Replaces mu_.lock(): park until the virtual mutex is free, then
+  /// acquire it virtually and natively (uncontended by construction).
+  virtual void OnMutexLock(void* mu, std::mutex* native) = 0;
+  /// Replaces mu_.try_lock(): a schedule point followed by a
+  /// deterministic attempt against the virtual ownership.
+  virtual bool OnMutexTryLock(void* mu, std::mutex* native) = 0;
+  /// Replaces mu_.unlock(): release natively and virtually. The caller
+  /// keeps running (release is not a preemption point by itself).
+  virtual void OnMutexUnlock(void* mu, std::mutex* native) = 0;
+
+  /// Replaces the native condition wait: releases `mu`, parks until a
+  /// virtual notify (or a shutdown-quiesce spurious wake), reacquires
+  /// `mu`, then returns. Timed waits map here too and never "time out" —
+  /// exploration's deadlock detection supersedes timeout recovery paths.
+  virtual void OnCondWait(void* cv, void* mu, std::mutex* native) = 0;
+  /// Observes NotifyOne/NotifyAll; moves virtual waiters to the mutex
+  /// wait set (FIFO for NotifyOne, deterministically).
+  virtual void OnCondNotify(void* cv, bool notify_all) = 0;
+
+  /// Pure schedule point (SG_FAULT_POINT sites double as these).
+  virtual void OnYield(const char* point) = 0;
+};
+
+namespace sched_internal {
+extern std::atomic<SchedulerClient*> g_client;
+extern thread_local int t_thread_id;
+}  // namespace sched_internal
+
+/// True while a SchedulerClient is installed (any thread).
+inline bool SchedulerArmed() {
+  return sched_internal::g_client.load(std::memory_order_acquire) != nullptr;
+}
+
+/// The installed client, but only for threads that registered with it;
+/// nullptr is the fast path and means "use the native primitive".
+inline SchedulerClient* CapturedScheduler() {
+  SchedulerClient* client =
+      sched_internal::g_client.load(std::memory_order_acquire);
+  if (client == nullptr) return nullptr;
+  return sched_internal::t_thread_id >= 0 ? client : nullptr;
+}
+
+/// Scheduler-assigned id of the calling thread, or -1 when unregistered.
+inline int ScheduledThreadId() { return sched_internal::t_thread_id; }
+
+/// Yield point for straight-line code (no lock involved). SG_FAULT_POINT
+/// expands to this, so every fault-injection site is also explorable.
+inline void SchedulePoint(const char* point) {
+  if (SchedulerClient* client = CapturedScheduler()) client->OnYield(point);
+}
+
+/// Installs `client` process-wide. Threads created afterwards that
+/// construct a ScheduledThread come under its control. Passing nullptr
+/// uninstalls. Install/uninstall must happen while no registered thread
+/// is running (serichk does this between engine runs).
+void InstallScheduler(SchedulerClient* client);
+
+/// RAII thread registration, placed at the top of a controlled thread's
+/// body (WorkerLoop / CommLoop). No-op when no scheduler is installed.
+class ScheduledThread {
+ public:
+  ScheduledThread(const char* role, int index);
+  ~ScheduledThread();
+  ScheduledThread(const ScheduledThread&) = delete;
+  ScheduledThread& operator=(const ScheduledThread&) = delete;
+
+ private:
+  int id_ = -1;
+};
+
+}  // namespace sy
+
+#endif  // SERIGRAPH_COMMON_SCHEDULE_HOOKS_H_

@@ -287,6 +287,7 @@ bool FaultInjector::Hit(const char* point, int worker) {
       if (event.action == FaultAction::kHang) {
         const uint64_t epoch = hang_epoch_;
         while (hang_epoch_ == epoch &&
+               // mo: arm gate; armed sites recheck under mu_
                armed_.load(std::memory_order_relaxed)) {
           hang_cv_.WaitFor(mu_, std::chrono::milliseconds(50));
         }

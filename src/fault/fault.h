@@ -117,6 +117,7 @@ class FaultInjector {
 
   static FaultInjector& Get();
 
+  // mo: arm gate; armed sites recheck under mu_
   static bool armed() { return armed_.load(std::memory_order_relaxed); }
 
   /// Installs `plan` and starts matching. Any previous plan is discarded
@@ -177,9 +178,16 @@ class FaultInjector {
 
 /// Crash/hang probe: evaluates to true when the caller must abandon its
 /// current unit of work. One relaxed load when disarmed.
-#define SG_FAULT_POINT(point, worker)    \
-  (::serigraph::FaultInjector::armed() && \
-   ::serigraph::FaultInjector::Get().Hit((point), (worker)))
+///
+/// Every fault point doubles as a serichk schedule point: under a
+/// model-checking scheduler (common/schedule_hooks.h) the leading
+/// SchedulePoint call lets the explorer preempt here, so the places
+/// chosen as "interesting for fault injection" are also the places
+/// interleavings branch. Another relaxed-load no-op otherwise.
+#define SG_FAULT_POINT(point, worker)      \
+  (::sy::SchedulePoint(point),             \
+   ::serigraph::FaultInjector::armed() &&  \
+       ::serigraph::FaultInjector::Get().Hit((point), (worker)))
 
 }  // namespace serigraph
 

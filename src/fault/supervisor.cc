@@ -28,6 +28,7 @@ int64_t Supervisor::NowMs() {
 void Supervisor::Start() {
   const int64_t now = NowMs();
   for (auto& cell : cells_) {
+    // mo: heartbeat read; staleness tolerated
     cell->last_seen_progress = cell->progress.load(std::memory_order_relaxed);
     cell->last_change_ms = now;
   }
@@ -107,12 +108,14 @@ void Supervisor::MonitorLoop() {
       WorkerCell& cell = *cells_[w];
       if (cell.dead.load(std::memory_order_acquire)) continue;
       ++live;
+      // mo: heartbeat read; staleness tolerated
       const uint64_t progress = cell.progress.load(std::memory_order_relaxed);
       if (progress != cell.last_seen_progress) {
         cell.last_seen_progress = progress;
         cell.last_change_ms = now;
       }
       const int64_t idle = now - cell.last_change_ms;
+      // mo: heartbeat read; staleness tolerated
       const bool blocked = cell.blocked.load(std::memory_order_relaxed) > 0;
       if (!blocked && idle > options_.heartbeat_timeout_ms) {
         Fail(static_cast<int>(w),

@@ -65,7 +65,7 @@ class Supervisor {
   /// Progress heartbeat. Cheap: one relaxed fetch_add.
   void Beat(int worker) {
     cells_[static_cast<size_t>(worker)]->progress.fetch_add(
-        1, std::memory_order_relaxed);
+        1, std::memory_order_relaxed);  // mo: heartbeat tick; monitor only compares
   }
 
   /// Marks the worker as legitimately blocked (barrier / ack / lock wait);
@@ -73,11 +73,11 @@ class Supervisor {
   /// still count toward the global stall.
   void EnterBlocked(int worker) {
     cells_[static_cast<size_t>(worker)]->blocked.fetch_add(
-        1, std::memory_order_relaxed);
+        1, std::memory_order_relaxed);  // mo: heartbeat tick; monitor only compares
   }
   void ExitBlocked(int worker) {
     cells_[static_cast<size_t>(worker)]->blocked.fetch_sub(
-        1, std::memory_order_relaxed);
+        1, std::memory_order_relaxed);  // mo: heartbeat tick; monitor only compares
     Beat(worker);
   }
 

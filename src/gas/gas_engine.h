@@ -163,17 +163,19 @@ class GasEngine {
   }
 
   // Dynamic per-vertex lock sets are outside what the static analysis
-  // can model (the capability set depends on runtime adjacency), so both
-  // helpers opt out. Safety argument: `hood` is sorted ascending and
-  // deduplicated, every thread acquires in that global id order and
-  // releases in reverse, and no other lock is taken while a hood is held
-  // (docs/LOCK_ORDER.md, "gas.vertex" tier).
-  void LockHood(const std::vector<VertexId>& hood)
-      SY_NO_THREAD_SAFETY_ANALYSIS {
+  // can model (the capability set depends on runtime adjacency), so the
+  // elements are sy::LockSetMutex — unannotated by design — and the
+  // *set* is modeled by the phantom capability `hood_`: LockHood
+  // acquires it, UnlockHood releases it, so every caller is still
+  // checked for lock/unlock balance at hood granularity. Safety argument
+  // for the elements: `hood` is sorted ascending and deduplicated, every
+  // thread acquires in that global id order and releases in reverse, and
+  // no other lock is taken while a hood is held (docs/LOCK_ORDER.md,
+  // "gas.vertex" tier).
+  void LockHood(const std::vector<VertexId>& hood) SY_ACQUIRE(hood_) {
     for (VertexId u : hood) locks_[u].Lock();
   }
-  void UnlockHood(const std::vector<VertexId>& hood)
-      SY_NO_THREAD_SAFETY_ANALYSIS {
+  void UnlockHood(const std::vector<VertexId>& hood) SY_RELEASE(hood_) {
     for (auto it = hood.rbegin(); it != hood.rend(); ++it) {
       locks_[*it].Unlock();
     }
@@ -223,7 +225,7 @@ class GasEngine {
 
   void RunAsync(const Program& program, GasResult<VertexValue>* result) {
     const VertexId n = graph_->num_vertices();
-    locks_ = std::vector<sy::Mutex>(n);
+    locks_ = std::vector<sy::LockSetMutex>(n);
     {
       // Seeding happens before the worker threads exist, but the queue
       // fields are guarded: take the (uncontended) lock rather than
@@ -250,6 +252,7 @@ class GasEngine {
       for (;;) {
         VertexId v = PopTask();
         if (v == kInvalidVertex) return;
+        // mo: convergence stat
         if (updates.fetch_add(1, std::memory_order_relaxed) >=
             options_.max_updates) {
           // Livelock bound hit: stop everything (non-converged).
@@ -326,7 +329,10 @@ class GasEngine {
 
   /// One lock per vertex; acquired only via LockHood (ascending id
   /// order). Tier "gas.vertex" in docs/LOCK_ORDER.md.
-  std::vector<sy::Mutex> locks_;
+  std::vector<sy::LockSetMutex> locks_;
+  /// Phantom capability standing in for "some hood of locks_ elements is
+  /// held"; see LockHood/UnlockHood.
+  sy::PhantomCapability hood_;
   sy::Mutex queue_mu_;
   sy::CondVar queue_cv_;
   std::deque<VertexId> queue_ SY_GUARDED_BY(queue_mu_);

@@ -139,10 +139,12 @@ void Transport::Send(WireMessage msg) {
     msg.link_seq = ++inbox.next_link_seq[msg.src];
     Item item;
     item.ready = ready;
+    // mo: trace tag; never used for ordering
     item.seq = seq_.fetch_add(1, std::memory_order_relaxed);
     if (duplicate) {
       Item dup;
       dup.ready = ready;
+      // mo: trace tag; never used for ordering
       dup.seq = seq_.fetch_add(1, std::memory_order_relaxed);
       dup.msg = msg;
       inbox.queue.push(std::move(dup));

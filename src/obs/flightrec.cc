@@ -65,14 +65,18 @@ FlightRecorder::Ring* FlightRecorder::RingForThisThread() {
 void FlightRecorder::Record(const char* name, char ph, int64_t ts_us,
                             int64_t value) {
   Ring* ring = RingForThisThread();
-  const uint64_t idx =
+  const uint64_t idx =  // mo: best-effort ring; snapshots may tear
       ring->head.fetch_add(1, std::memory_order_relaxed) % kRingCapacity;
   Slot& slot = ring->slots[idx];
   // All relaxed: the slot is owned by this thread for writing; snapshot
   // readers tolerate torn records (every field individually valid).
+  // mo: best-effort ring; snapshots may tear
   slot.ts_us.store(ts_us, std::memory_order_relaxed);
+  // mo: best-effort ring; snapshots may tear
   slot.value.store(value, std::memory_order_relaxed);
+  // mo: best-effort ring; snapshots may tear
   slot.ph.store(ph, std::memory_order_relaxed);
+  // mo: best-effort ring; snapshots may tear
   slot.name.store(name, std::memory_order_relaxed);
 }
 
@@ -97,15 +101,20 @@ std::vector<FlightEvent> FlightRecorder::Snapshot() const {
   {
     sy::MutexLock lock(&rings_mu_);
     for (const auto& ring : rings_) {
+      // mo: best-effort ring; snapshots may tear
       const uint64_t head = ring->head.load(std::memory_order_relaxed);
       const uint64_t n = std::min<uint64_t>(head, kRingCapacity);
       for (uint64_t i = 0; i < n; ++i) {
         const Slot& slot = ring->slots[i];
         FlightEvent e;
+        // mo: best-effort ring; snapshots may tear
         e.name = slot.name.load(std::memory_order_relaxed);
         if (e.name == nullptr) continue;
+        // mo: best-effort ring; snapshots may tear
         e.ts_us = slot.ts_us.load(std::memory_order_relaxed);
+        // mo: best-effort ring; snapshots may tear
         e.value = slot.value.load(std::memory_order_relaxed);
+        // mo: best-effort ring; snapshots may tear
         e.ph = slot.ph.load(std::memory_order_relaxed);
         e.tid = ring->tid;
         events.push_back(e);
@@ -156,6 +165,7 @@ int64_t FlightRecorder::event_count() const {
   sy::MutexLock lock(&rings_mu_);
   int64_t total = 0;
   for (const auto& ring : rings_) {
+    // mo: best-effort ring; snapshots may tear
     total += static_cast<int64_t>(ring->head.load(std::memory_order_relaxed));
   }
   return total;
@@ -164,8 +174,10 @@ int64_t FlightRecorder::event_count() const {
 void FlightRecorder::ResetForTest() {
   sy::MutexLock lock(&rings_mu_);
   for (auto& ring : rings_) {
+    // mo: best-effort ring; snapshots may tear
     ring->head.store(0, std::memory_order_relaxed);
     for (Slot& slot : ring->slots) {
+      // mo: best-effort ring; snapshots may tear
       slot.name.store(nullptr, std::memory_order_relaxed);
     }
   }
@@ -314,10 +326,15 @@ void TelemetryHub::ResetForTest() {
   registry_ = nullptr;
   frozen_.clear();
   fault_provider_ = nullptr;
+  // mo: live telemetry; approximate by design
   run_.running.store(false, std::memory_order_relaxed);
+  // mo: live telemetry; approximate by design
   run_.superstep.store(-1, std::memory_order_relaxed);
+  // mo: live telemetry; approximate by design
   run_.workers.store(0, std::memory_order_relaxed);
+  // mo: live telemetry; approximate by design
   run_.active_vertices.store(-1, std::memory_order_relaxed);
+  // mo: live telemetry; approximate by design
   run_.recovery_attempts.store(0, std::memory_order_relaxed);
 }
 
@@ -439,13 +456,13 @@ std::string EnvironmentJson() {
   TelemetryHub::RunStatus& run = TelemetryHub::Get().run();
   w.Key("run")
       .BeginObject()
-      .Key("running")
+      .Key("running")  // mo: live telemetry; approximate by design
       .Value(run.running.load(std::memory_order_relaxed))
-      .Key("superstep")
+      .Key("superstep")  // mo: live telemetry; approximate by design
       .Value(run.superstep.load(std::memory_order_relaxed))
-      .Key("workers")
+      .Key("workers")  // mo: live telemetry; approximate by design
       .Value(run.workers.load(std::memory_order_relaxed))
-      .Key("recovery_attempts")
+      .Key("recovery_attempts")  // mo: live telemetry; approximate by design
       .Value(run.recovery_attempts.load(std::memory_order_relaxed))
       .EndObject();
   w.EndObject();

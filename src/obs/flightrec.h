@@ -61,8 +61,11 @@ class FlightRecorder {
   static FlightRecorder& Get();
 
   /// Hot-path gate, mirroring Tracer::enabled(). Default true.
+  // mo: on/off gate; stale reads tolerated
   static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+  // mo: on/off gate; stale reads tolerated
   static void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  // mo: on/off gate; stale reads tolerated
   static void Disable() { enabled_.store(false, std::memory_order_relaxed); }
 
   /// Record a completed span. `name` must be a string literal (or have
@@ -167,8 +170,10 @@ class TelemetryHub {
 
   /// True while an ObsServer is live; the engine uses this to keep the
   /// per-superstep arena/RSS gauges warm even when perf sampling is off.
+  // mo: on/off gate; stale reads tolerated
   static bool serving() { return serving_.load(std::memory_order_relaxed); }
   static void SetServing(bool on) {
+    // mo: on/off gate; stale reads tolerated
     serving_.store(on, std::memory_order_relaxed);
   }
 

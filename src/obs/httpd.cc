@@ -301,7 +301,7 @@ void ObsServer::Stop() {
 }
 
 HttpResponse ObsServer::Route(const HttpRequest& request) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_.fetch_add(1, std::memory_order_relaxed);  // mo: stat counter
   if (request.path == "/metrics") return Metrics();
   if (request.path == "/healthz") return Healthz();
   if (request.path == "/statusz") return Statusz();
@@ -318,7 +318,7 @@ HttpResponse ObsServer::Route(const HttpRequest& request) {
 HttpResponse ObsServer::Metrics() const {
   std::map<std::string, int64_t> extra;
   extra[SG_OBS_SERVED_METRIC("obs.http_requests")] =
-      requests_.load(std::memory_order_relaxed);
+      requests_.load(std::memory_order_relaxed);  // mo: stat counter
   extra[SG_OBS_SERVED_METRIC("obs.incidents")] =
       static_cast<int64_t>(IncidentManager::Get().List().size());
   HttpResponse response;
@@ -368,15 +368,15 @@ HttpResponse ObsServer::Statusz() const {
       .Raw(HealthState::Get().ToJson())
       .Key("run")
       .BeginObject()
-      .Key("running")
+      .Key("running")  // mo: live telemetry; approximate by design
       .Value(run.running.load(std::memory_order_relaxed))
-      .Key("superstep")
+      .Key("superstep")  // mo: live telemetry; approximate by design
       .Value(run.superstep.load(std::memory_order_relaxed))
-      .Key("workers")
+      .Key("workers")  // mo: live telemetry; approximate by design
       .Value(run.workers.load(std::memory_order_relaxed))
-      .Key("active_vertices")
+      .Key("active_vertices")  // mo: live telemetry; approximate by design
       .Value(run.active_vertices.load(std::memory_order_relaxed))
-      .Key("recovery_attempts")
+      .Key("recovery_attempts")  // mo: live telemetry; approximate by design
       .Value(run.recovery_attempts.load(std::memory_order_relaxed))
       .EndObject()
       .Key("rss_kb")

@@ -102,7 +102,7 @@ class ObsServer {
   void Stop();  ///< Idempotent; also flips TelemetryHub::serving() off.
   int port() const { return http_ != nullptr ? http_->port() : 0; }
   int64_t requests_served() const {
-    return requests_.load(std::memory_order_relaxed);
+    return requests_.load(std::memory_order_relaxed);  // mo: stat counter
   }
 
  private:

@@ -35,7 +35,9 @@ void Introspector::Configure(int num_workers, std::string resource_kind) {
     beacons_.push_back(std::make_unique<Beacon>());
     Beacon& b = *beacons_.back();
     for (int i = 0; i < kMaxWaitTargets; ++i) {
+      // mo: beacon cell; watchdog tolerates races
       b.wait_resource[i].store(-1, std::memory_order_relaxed);
+      // mo: beacon cell; watchdog tolerates races
       b.wait_owner[i].store(-1, std::memory_order_relaxed);
     }
     contention_.push_back(std::make_unique<ContentionShard>());
@@ -50,8 +52,11 @@ void Introspector::Configure(int num_workers, std::string resource_kind) {
 void Introspector::SetPhase(WorkerId w, WorkerPhase phase, int superstep) {
   if (w < 0 || w >= static_cast<WorkerId>(beacons_.size())) return;
   Beacon& b = *beacons_[w];
+  // mo: beacon cell; watchdog tolerates races
   b.phase.store(static_cast<uint8_t>(phase), std::memory_order_relaxed);
+  // mo: beacon cell; watchdog tolerates races
   b.superstep.store(superstep, std::memory_order_relaxed);
+  // mo: beacon cell; watchdog tolerates races
   b.phase_since_us.store(Tracer::NowMicros(), std::memory_order_relaxed);
 }
 
@@ -65,16 +70,22 @@ void Introspector::BeginAcquire(WorkerId w, int64_t resource,
   // the new count with release so a reader that sees it also sees the
   // entries. A racing reader may briefly observe count==0 — fine for a
   // sampler.
+  // mo: beacon cell; watchdog tolerates races
   b.wait_count.store(0, std::memory_order_relaxed);
   for (int i = 0; i < n; ++i) {
+    // mo: beacon cell; watchdog tolerates races
     b.wait_resource[i].store(targets[i].resource, std::memory_order_relaxed);
+    // mo: beacon cell; watchdog tolerates races
     b.wait_owner[i].store(targets[i].owner, std::memory_order_relaxed);
   }
+  // mo: beacon cell; watchdog tolerates races
   b.wait_total.store(total, std::memory_order_relaxed);
+  // mo: beacon cell; watchdog tolerates races
   b.acquiring.store(resource, std::memory_order_relaxed);
+  // mo: beacon cell; watchdog tolerates races
   b.phase_since_us.store(Tracer::NowMicros(), std::memory_order_relaxed);
   b.phase.store(static_cast<uint8_t>(WorkerPhase::kForkWait),
-                std::memory_order_relaxed);
+                std::memory_order_relaxed);  // mo: beacon cell; watchdog tolerates races
   b.wait_count.store(n, std::memory_order_release);
 }
 
@@ -89,16 +100,23 @@ void Introspector::EndAcquire(WorkerId w, int64_t resource, int64_t wait_us,
   const int n =
       std::min(b.wait_count.load(std::memory_order_acquire), kMaxWaitTargets);
   for (int i = 0; i < n; ++i) {
+    // mo: beacon cell; watchdog tolerates races
     targets[i].resource = b.wait_resource[i].load(std::memory_order_relaxed);
+    // mo: beacon cell; watchdog tolerates races
     targets[i].owner = b.wait_owner[i].load(std::memory_order_relaxed);
   }
+  // mo: beacon cell; watchdog tolerates races
   b.wait_count.store(0, std::memory_order_relaxed);
+  // mo: beacon cell; watchdog tolerates races
   b.wait_total.store(0, std::memory_order_relaxed);
+  // mo: beacon cell; watchdog tolerates races
   b.acquiring.store(-1, std::memory_order_relaxed);
   b.phase.store(static_cast<uint8_t>(WorkerPhase::kCompute),
-                std::memory_order_relaxed);
+                std::memory_order_relaxed);  // mo: beacon cell; watchdog tolerates races
+  // mo: beacon cell; watchdog tolerates races
   b.phase_since_us.store(Tracer::NowMicros(), std::memory_order_relaxed);
   if (acquired) {
+    // mo: beacon cell; watchdog tolerates races
     b.progress_epoch.fetch_add(1, std::memory_order_relaxed);
   }
   if (wait_us > 0) {
@@ -122,11 +140,13 @@ void Introspector::EndAcquire(WorkerId w, int64_t resource, int64_t wait_us,
 
 void Introspector::OnProgress(WorkerId w) {
   if (w < 0 || w >= static_cast<WorkerId>(beacons_.size())) return;
+  // mo: beacon cell; watchdog tolerates races
   beacons_[w]->progress_epoch.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Introspector::SetTokenHolder(WorkerId w, int64_t holder) {
   if (w < 0 || w >= static_cast<WorkerId>(beacons_.size())) return;
+  // mo: beacon cell; watchdog tolerates races
   beacons_[w]->token_holder.store(holder, std::memory_order_relaxed);
 }
 
@@ -145,18 +165,27 @@ BeaconSnapshot Introspector::ReadBeacon(WorkerId w) const {
   BeaconSnapshot snap;
   if (w < 0 || w >= static_cast<WorkerId>(beacons_.size())) return snap;
   const Beacon& b = *beacons_[w];
+  // mo: beacon cell; watchdog tolerates races
   snap.phase = static_cast<WorkerPhase>(b.phase.load(std::memory_order_relaxed));
+  // mo: beacon cell; watchdog tolerates races
   snap.superstep = b.superstep.load(std::memory_order_relaxed);
+  // mo: beacon cell; watchdog tolerates races
   snap.phase_since_us = b.phase_since_us.load(std::memory_order_relaxed);
+  // mo: beacon cell; watchdog tolerates races
   snap.progress_epoch = b.progress_epoch.load(std::memory_order_relaxed);
+  // mo: beacon cell; watchdog tolerates races
   snap.acquiring = b.acquiring.load(std::memory_order_relaxed);
+  // mo: beacon cell; watchdog tolerates races
   snap.token_holder = b.token_holder.load(std::memory_order_relaxed);
   const int n =
       std::min(b.wait_count.load(std::memory_order_acquire), kMaxWaitTargets);
   snap.wait_count = n;
+  // mo: beacon cell; watchdog tolerates races
   snap.wait_total = b.wait_total.load(std::memory_order_relaxed);
   for (int i = 0; i < n; ++i) {
+    // mo: beacon cell; watchdog tolerates races
     snap.wait_resource[i] = b.wait_resource[i].load(std::memory_order_relaxed);
+    // mo: beacon cell; watchdog tolerates races
     snap.wait_owner[i] = b.wait_owner[i].load(std::memory_order_relaxed);
   }
   ProbeQueues(w, &snap.inbox_depth, &snap.outbox_bytes);
@@ -169,19 +198,24 @@ WaitForGraph Introspector::BuildWaitForGraph() const {
   const int64_t now_us = Tracer::NowMicros();
   for (int w = 0; w < num_workers_; ++w) {
     const Beacon& b = *beacons_[w];
+    // mo: beacon cell; watchdog tolerates races
     if (static_cast<WorkerPhase>(b.phase.load(std::memory_order_relaxed)) !=
         WorkerPhase::kForkWait) {
       continue;
     }
     const int n =
         std::min(b.wait_count.load(std::memory_order_acquire), kMaxWaitTargets);
+    // mo: beacon cell; watchdog tolerates races
     const int64_t waiter = b.acquiring.load(std::memory_order_relaxed);
+    // mo: beacon cell; watchdog tolerates races
     const int64_t since = b.phase_since_us.load(std::memory_order_relaxed);
     for (int i = 0; i < n; ++i) {
       WaitForEdge e;
       e.from = w;
+      // mo: beacon cell; watchdog tolerates races
       e.to = b.wait_owner[i].load(std::memory_order_relaxed);
       e.waiter = waiter;
+      // mo: beacon cell; watchdog tolerates races
       e.resource = b.wait_resource[i].load(std::memory_order_relaxed);
       e.waited_us = std::max<int64_t>(0, now_us - since);
       graph.edges.push_back(e);
@@ -263,6 +297,7 @@ void Introspector::ProbeQueues(WorkerId w, int64_t* inbox_depth,
 void Introspector::RequestAbort(const std::string& reason) {
   {
     sy::MutexLock lock(&abort_mu_);
+    // mo: poll flag; acted on at the next check
     if (abort_requested_.load(std::memory_order_relaxed)) return;
     abort_reason_ = reason;
   }

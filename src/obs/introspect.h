@@ -107,6 +107,7 @@ class Introspector {
   static Introspector& Get();
 
   /// Fast global check, inlined into every hook call site.
+  // mo: on/off gate; stale reads tolerated
   static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
 
   /// Sizes the beacon array and clears beacons, contention, and the abort
@@ -114,7 +115,9 @@ class Introspector {
   /// ("partition" or "vertex"). Must not race with hooks or the watchdog.
   void Configure(int num_workers, std::string resource_kind);
 
+  // mo: on/off gate; stale reads tolerated
   void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  // mo: on/off gate; stale reads tolerated
   void Disable() { enabled_.store(false, std::memory_order_relaxed); }
 
   int num_workers() const { return num_workers_; }

@@ -306,6 +306,7 @@ bool PerfCounters::Enable(const PerfCounterConfig& config) {
     g_probe_hw_available = probe.hw_available();
     ProbeFallbackReason() = probe.fallback_reason();
   }
+  // mo: epoch tick; readers only compare
   epoch_.fetch_add(1, std::memory_order_relaxed);
   enabled_.store(true, std::memory_order_release);
   return hw_available();
@@ -313,6 +314,7 @@ bool PerfCounters::Enable(const PerfCounterConfig& config) {
 
 void PerfCounters::Disable() {
   enabled_.store(false, std::memory_order_release);
+  // mo: epoch tick; readers only compare
   epoch_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -329,6 +331,7 @@ std::string PerfCounters::fallback_reason() {
 PerfCounterGroup* PerfCounters::CurrentThreadGroup() {
   if (!enabled()) return nullptr;
   ThreadGroupSlot& slot = CurrentSlot();
+  // mo: epoch tick; readers only compare
   uint64_t epoch = epoch_.load(std::memory_order_relaxed);
   if (slot.group == nullptr || slot.epoch != epoch) {
     PerfCounterConfig config;

@@ -135,9 +135,11 @@ class PerfPhaseAccum {
     auto& row = rows_[static_cast<int>(phase)];
     for (int f = 0; f < kNumPerfFields; ++f) {
       if (delta.v[f] != 0) {
+        // mo: per-thread cell; drain tolerates skew
         row.v[f].fetch_add(delta.v[f], std::memory_order_relaxed);
       }
     }
+    // mo: per-thread cell; drain tolerates skew
     if (delta.hw_valid) row.hw_samples.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -146,8 +148,10 @@ class PerfPhaseAccum {
     auto& row = rows_[static_cast<int>(phase)];
     PerfDelta d;
     for (int f = 0; f < kNumPerfFields; ++f) {
+      // mo: per-thread cell; drain tolerates skew
       d.v[f] = row.v[f].exchange(0, std::memory_order_relaxed);
     }
+    // mo: per-thread cell; drain tolerates skew
     d.hw_valid = row.hw_samples.exchange(0, std::memory_order_relaxed) > 0;
     return d;
   }
@@ -167,6 +171,7 @@ class PerfPhaseAccum {
 /// Enable/Disable cycles between engine runs see fresh groups).
 class PerfCounters {
  public:
+  // mo: on/off gate; stale reads tolerated
   static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
 
   /// Enables collection. `config` applies to groups opened after the

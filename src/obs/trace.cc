@@ -92,19 +92,21 @@ void Tracer::RecordFlow(const char* name, char ph, uint64_t id) {
     sy::MutexLock lock(&buffer->mu);
     if (!buffer->chunks.empty()) {
       Chunk* last = buffer->chunks.back().get();
+      // mo: own-thread cursor; export is best-effort
       if (last->count.load(std::memory_order_relaxed) < kChunkCapacity) {
         chunk = last;
       }
     }
     if (chunk == nullptr) {
       if (buffer->chunks.size() >= kMaxChunksPerThread) {
-        dropped_.fetch_add(1, std::memory_order_relaxed);
+        dropped_.fetch_add(1, std::memory_order_relaxed);  // mo: stat counter
         return;
       }
       buffer->chunks.push_back(std::make_unique<Chunk>());
       chunk = buffer->chunks.back().get();
     }
   }
+  // mo: own-thread cursor; export is best-effort
   const size_t slot = chunk->count.load(std::memory_order_relaxed);
   chunk->events[slot].name = name;
   chunk->events[slot].ts_us = NowMicros();
@@ -121,19 +123,21 @@ void Tracer::RecordCounter(const char* name, int64_t value) {
     sy::MutexLock lock(&buffer->mu);
     if (!buffer->chunks.empty()) {
       Chunk* last = buffer->chunks.back().get();
+      // mo: own-thread cursor; export is best-effort
       if (last->count.load(std::memory_order_relaxed) < kChunkCapacity) {
         chunk = last;
       }
     }
     if (chunk == nullptr) {
       if (buffer->chunks.size() >= kMaxChunksPerThread) {
-        dropped_.fetch_add(1, std::memory_order_relaxed);
+        dropped_.fetch_add(1, std::memory_order_relaxed);  // mo: stat counter
         return;
       }
       buffer->chunks.push_back(std::make_unique<Chunk>());
       chunk = buffer->chunks.back().get();
     }
   }
+  // mo: own-thread cursor; export is best-effort
   const size_t slot = chunk->count.load(std::memory_order_relaxed);
   chunk->events[slot].name = name;
   chunk->events[slot].ts_us = NowMicros();
@@ -145,6 +149,7 @@ void Tracer::RecordCounter(const char* name, int64_t value) {
 
 uint64_t Tracer::NextFlowId() {
   static std::atomic<uint64_t> next{1};
+  // mo: id allocator; uniqueness only
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -158,19 +163,21 @@ void Tracer::RecordComplete(const char* name, int64_t ts_us, int64_t dur_us) {
     sy::MutexLock lock(&buffer->mu);
     if (!buffer->chunks.empty()) {
       Chunk* last = buffer->chunks.back().get();
+      // mo: own-thread cursor; export is best-effort
       if (last->count.load(std::memory_order_relaxed) < kChunkCapacity) {
         chunk = last;
       }
     }
     if (chunk == nullptr) {
       if (buffer->chunks.size() >= kMaxChunksPerThread) {
-        dropped_.fetch_add(1, std::memory_order_relaxed);
+        dropped_.fetch_add(1, std::memory_order_relaxed);  // mo: stat counter
         return;
       }
       buffer->chunks.push_back(std::make_unique<Chunk>());
       chunk = buffer->chunks.back().get();
     }
   }
+  // mo: own-thread cursor; export is best-effort
   const size_t slot = chunk->count.load(std::memory_order_relaxed);
   chunk->events[slot].name = name;
   chunk->events[slot].ts_us = ts_us;
@@ -289,7 +296,7 @@ void Tracer::Reset() {
   sy::MutexLock lock(&registry_mu_);
   buffers_.clear();
   next_tid_ = 1;
-  dropped_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);  // mo: stat counter
   // Invalidate every thread's cached buffer pointer.
   epoch_.fetch_add(1, std::memory_order_acq_rel);
 }

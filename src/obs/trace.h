@@ -55,10 +55,13 @@ class Tracer {
 
   /// Fast global check, inlined into every span constructor.
   static bool enabled() {
+    // mo: on/off gate; stale reads tolerated
     return enabled_.load(std::memory_order_relaxed);
   }
 
+  // mo: on/off gate; stale reads tolerated
   void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  // mo: on/off gate; stale reads tolerated
   void Disable() { enabled_.store(false, std::memory_order_relaxed); }
 
   /// Microseconds since the trace epoch (process start).
@@ -98,7 +101,7 @@ class Tracer {
   int64_t event_count() const;
   /// Events dropped because a thread exhausted its buffer budget.
   int64_t dropped_count() const {
-    return dropped_.load(std::memory_order_relaxed);
+    return dropped_.load(std::memory_order_relaxed);  // mo: stat counter
   }
 
   /// Discards all recorded events and thread names. Not thread-safe with

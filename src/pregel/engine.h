@@ -15,6 +15,8 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/mutex.h"
+#include "common/planted.h"
+#include "common/schedule_hooks.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/threading.h"
@@ -501,6 +503,7 @@ class Engine {
       typename SendStaging::Bucket& bucket = staging->per_dst[dst_worker];
       if (bucket.records.empty()) {
         staging->touched.push_back(dst_worker);
+        // mo: dirty hint; barrier orders the data
         worker.touched[dst_worker].store(1, std::memory_order_relaxed);
       }
       bucket.records.emplace_back(dst, message);
@@ -510,6 +513,7 @@ class Engine {
       }
       return;
     }
+    // mo: dirty hint; barrier orders the data
     worker.touched[dst_worker].store(1, std::memory_order_relaxed);
     OutBuffer& out = *worker.out[dst_worker];
     if constexpr (kHasCombiner) {
@@ -719,6 +723,7 @@ class Engine {
   // --- communication thread ------------------------------------------
 
   void CommLoop(WorkerState& worker) {
+    sy::ScheduledThread sched_reg("comm", worker.id);
     if (Tracer::enabled()) {
       Tracer::Get().SetCurrentThreadName("comm-" + std::to_string(worker.id));
     }
@@ -766,6 +771,7 @@ class Engine {
     std::vector<WorkerId> targets;
     for (WorkerId dst = 0; dst < options_.num_workers; ++dst) {
       if (dst == worker.id) continue;
+      // mo: dirty hint; barrier orders the data
       if (worker.touched[dst].exchange(0, std::memory_order_relaxed)) {
         targets.push_back(dst);
       }
@@ -775,8 +781,15 @@ class Engine {
       sy::MutexLock lock(&worker.ack_mu);
       worker.acks_pending = static_cast<int>(targets.size());
     }
+    // Negative control (serichk): drop the marker/ack round-trip so the
+    // worker crosses the superstep boundary without delivery
+    // confirmation — flushed data may still sit in a peer's inbox when
+    // its vertices execute, a C1 freshness violation. Planted *before*
+    // the marker sends so no late ack can drive acks_pending negative.
+    const bool skip_ack_wait = SG_PLANTED_BUG("engine.skip_ack_wait");
     for (WorkerId dst : targets) {
       FlushBuffer(worker, dst);
+      if (skip_ack_wait) continue;
       WireMessage marker;
       marker.src = worker.id;
       marker.dst = dst;
@@ -784,6 +797,7 @@ class Engine {
       marker.a = superstep;
       transport_->Send(std::move(marker));
     }
+    if (skip_ack_wait) return;
     ScopedBlocked blocked(supervisor_.get(), worker.id);
     sy::MutexLock lock(&worker.ack_mu);
     if (!fault_active_) {
@@ -803,6 +817,7 @@ class Engine {
   /// poll this at superstep boundaries and in sliced waits to unwind.
   bool AttemptAborted(const WorkerState& worker) const {
     return attempt_failed_.load(std::memory_order_acquire) ||
+           // mo: death flag; read is advisory
            worker_dead_[worker.id].load(std::memory_order_relaxed) != 0;
   }
 
@@ -825,6 +840,7 @@ class Engine {
     if (halted_[v] && messages.empty()) return false;
 
     executions_->Increment();
+    // mo: per-superstep stat
     worker.ss_executions.fetch_add(1, std::memory_order_relaxed);
     concurrency_->Add(1);
     uint64_t version = 0;
@@ -839,6 +855,7 @@ class Engine {
     const int64_t sent = ctx.sent_count();
     if (sent != 0) {
       messages_sent_->Add(sent);
+      // mo: per-superstep stat
       worker.ss_messages.fetch_add(sent, std::memory_order_relaxed);
     }
     const bool was_halted = halted_[v] != 0;
@@ -848,6 +865,7 @@ class Engine {
       // Per-vertex execution is exclusive, so the transition count is
       // exact; the atomic makes it safe to read lock-free from
       // PartitionEligible on other worker threads.
+      // mo: active count; barrier orders decisions
       ps.active.fetch_add(now_halted ? -1 : 1, std::memory_order_relaxed);
     }
     if (recorder_ != nullptr) {
@@ -862,6 +880,7 @@ class Engine {
   /// Lock-free: both counters are atomics.
   bool PartitionEligible(PartitionId p) {
     PartitionStore& ps = *stores_[p];
+    // mo: active count; barrier orders decisions
     return ps.active.load(std::memory_order_relaxed) > 0 ||
            ps.store.pending() > 0;
   }
@@ -1001,6 +1020,7 @@ class Engine {
       if (bsp) SwapStore(ps);
       // Count = not-halted vertices + halted vertices with messages
       // (which the swap just made visible / AP left pending).
+      // mo: active count; barrier orders decisions
       active += ps.active.load(std::memory_order_relaxed);
       const auto& vertices = partitioning_.VerticesOfPartition(p);
       ps.store.ForEachPendingVertex([&](int32_t li) {
@@ -1101,6 +1121,7 @@ class Engine {
         for (VertexId v : vertices) {
           if (!halted_[v]) ++active;
         }
+        // mo: active count; barrier orders decisions
         ps.active.store(active, std::memory_order_relaxed);
       }
     }
@@ -1392,6 +1413,7 @@ class Engine {
   /// Accumulates fork-acquire wait time (request -> all forks held) into
   /// the worker's superstep accumulator and the run-wide histogram.
   void RecordForkWait(WorkerState& worker, int64_t wait_us) {
+    // mo: per-superstep stat
     worker.ss_fork_wait_us.fetch_add(wait_us, std::memory_order_relaxed);
     fork_wait_hist_->Record(wait_us);
   }
@@ -1415,6 +1437,10 @@ class Engine {
   }
 
   void WorkerLoop(WorkerState& worker, const Program& program) {
+    // Under serichk this parks until all engine threads registered, then
+    // runs only when the virtual scheduler grants this thread the
+    // processor. No-op in production.
+    sy::ScheduledThread sched_reg("worker", worker.id);
     if (Tracer::enabled()) {
       Tracer::Get().SetCurrentThreadName("worker-" +
                                          std::to_string(worker.id));
@@ -1428,7 +1454,7 @@ class Engine {
         std::this_thread::sleep_for(
             std::chrono::microseconds(options_.superstep_overhead_us));
       }
-      if (fault_active_) {
+      if (probes_active_) {
         if (supervisor_ != nullptr) supervisor_->Beat(worker.id);
         // A fired crash/hang returns true: this worker "dies" here. The
         // crash handler has already told the supervisor, which breaks the
@@ -1454,7 +1480,7 @@ class Engine {
         }
         sample.compute_us = Tracer::NowMicros() - t0;
       }
-      if (fault_active_) {
+      if (probes_active_) {
         if (supervisor_ != nullptr) supervisor_->Beat(worker.id);
         if (SG_FAULT_POINT("engine.post_compute", worker.id)) break;
         if (AttemptAborted(worker)) break;
@@ -1471,7 +1497,7 @@ class Engine {
         technique_->OnSuperstepEnd(worker.id, superstep);
         sample.flush_wait_us = Tracer::NowMicros() - t0;
       }
-      if (fault_active_) {
+      if (probes_active_) {
         if (SG_FAULT_POINT("engine.pre_barrier", worker.id)) break;
         if (AttemptAborted(worker)) break;
       }
@@ -1498,7 +1524,9 @@ class Engine {
         converged_ = total == 0;
         {
           TelemetryHub::RunStatus& live = TelemetryHub::Get().run();
+          // mo: live telemetry; approximate by design
           live.superstep.store(superstep + 1, std::memory_order_relaxed);
+          // mo: active count; barrier orders decisions
           live.active_vertices.store(total, std::memory_order_relaxed);
         }
         if (live_report_.is_open()) WriteLiveReportLine(superstep, total);
@@ -1526,11 +1554,11 @@ class Engine {
       }
       sample.barrier_wait_us = barrier_us;
       barrier_wait_hist_->Record(barrier_us);
-      sample.fork_wait_us =
+      sample.fork_wait_us =  // mo: per-superstep stat
           worker.ss_fork_wait_us.exchange(0, std::memory_order_relaxed);
-      sample.vertices_executed =
+      sample.vertices_executed =  // mo: per-superstep stat
           worker.ss_executions.exchange(0, std::memory_order_relaxed);
-      sample.messages_sent =
+      sample.messages_sent =  // mo: per-superstep stat
           worker.ss_messages.exchange(0, std::memory_order_relaxed);
       if (perf_active_) {
         // Drain this worker's per-phase counter deltas: compute lands in
@@ -1616,6 +1644,7 @@ class Engine {
   /// dead and routes detection through the supervisor (immediate).
   void OnWorkerCrash(int worker, const char* point) {
     if (worker >= 0 && worker < static_cast<int>(worker_dead_.size())) {
+      // mo: death flag; read is advisory
       worker_dead_[worker].store(1, std::memory_order_relaxed);
     }
     if (supervisor_ != nullptr) {
@@ -1649,6 +1678,10 @@ class Engine {
   /// on). Plain bool fixed before workers start; guards the per-superstep
   /// abort polls so fault-free runs stay branch-predictable.
   bool fault_active_ = false;
+  /// Superset of fault_active_: also true under a serichk scheduler, so
+  /// the SG_FAULT_POINT probes in WorkerLoop fire as schedule points
+  /// without arming the fault machinery (no supervisor, no introspector).
+  bool probes_active_ = false;
   /// Poisons the current attempt; set by OnWorkerFailure.
   std::atomic<bool> attempt_failed_{false};
   /// Per-worker death marks (injected crashes), reset every attempt.
@@ -1723,6 +1756,7 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
   const VertexId n = graph_->num_vertices();
   const int num_workers = options_.num_workers;
   fault_active_ = options_.fault.Active();
+  probes_active_ = fault_active_ || sy::SchedulerArmed();
 
   // --- run-wide setup, shared by every attempt (excluded from
   // --- computation time) ----------------------------------------------
@@ -1811,6 +1845,7 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
     ~TelemetryGuard() {
       if (registry == nullptr) return;
       TelemetryHub::Get().run().running.store(false,
+                                              // mo: live telemetry; approximate by design
                                               std::memory_order_relaxed);
       TelemetryHub::Get().UnregisterMetrics(registry);
       TelemetryHub::Get().ClearFaultLogProvider();
@@ -1821,11 +1856,16 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
   telemetry_guard.registry = &metrics_;
   {
     TelemetryHub::RunStatus& live = TelemetryHub::Get().run();
+    // mo: live telemetry; approximate by design
     live.running.store(true, std::memory_order_relaxed);
+    // mo: live telemetry; approximate by design
     live.superstep.store(-1, std::memory_order_relaxed);
+    // mo: live telemetry; approximate by design
     live.workers.store(num_workers, std::memory_order_relaxed);
     live.active_vertices.store(static_cast<int64_t>(n),
+                               // mo: live telemetry; approximate by design
                                std::memory_order_relaxed);
+    // mo: live telemetry; approximate by design
     live.recovery_attempts.store(0, std::memory_order_relaxed);
   }
   HealthState::Get().SetReady(true);
@@ -1866,6 +1906,7 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
     worker_dead_ = std::vector<std::atomic<uint8_t>>(num_workers);
     stop_.store(false, std::memory_order_release);
     sub_stop_ = false;
+    // mo: reset pre-spawn; thread start orders it
     sub_executed_any_.store(false, std::memory_order_relaxed);
     converged_ = false;
     aborted_ = false;
@@ -1932,6 +1973,7 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
       ps->store.Init(static_cast<int32_t>(vertices.size()),
                      options_.model == ComputationModel::kBsp, combine);
       ps->active.store(static_cast<int64_t>(vertices.size()),
+                       // mo: live telemetry; approximate by design
                        std::memory_order_relaxed);
       stores_.push_back(std::move(ps));
     }
@@ -2092,6 +2134,7 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
     ++recovery_attempts_;
     recovery_attempts_counter_->Increment();
     TelemetryHub::Get().run().recovery_attempts.store(
+        // mo: live telemetry; approximate by design
         recovery_attempts_, std::memory_order_relaxed);
     FlightRecorder::RecordInstant("engine.recovery_attempt");
     AddRecoveryEvent("recovery attempt " +

@@ -111,6 +111,7 @@ class MessageStore {
       flat_.clear();
       flat_spare_.clear();
     }
+    // mo: pending gauge; barrier orders the data
     pending_.store(0, std::memory_order_relaxed);
   }
 
@@ -118,6 +119,7 @@ class MessageStore {
   int32_t num_slots() const { return num_slots_; }
 
   /// Number of vertices with visible (consumable) messages.
+  // mo: pending gauge; barrier orders the data
   int64_t pending() const { return pending_.load(std::memory_order_relaxed); }
 
   /// Appends one message for local vertex `li`.
@@ -196,6 +198,7 @@ class MessageStore {
     }
     flat_.swap(flat_spare_);
     slots_.swap(slots_spare_);
+    // mo: pending gauge; barrier orders the data
     pending_.store(pend, std::memory_order_relaxed);
   }
 
@@ -209,6 +212,7 @@ class MessageStore {
       if (slot.len == 0) return {};
       std::span<const M> out(flat_.data() + slot.off, slot.len);
       slot.len = 0;
+      // mo: pending gauge; barrier orders the data
       pending_.fetch_sub(1, std::memory_order_relaxed);
       return out;
     }
@@ -227,6 +231,7 @@ class MessageStore {
         node = next;
       }
       chain = Chain{};
+      // mo: pending gauge; barrier orders the data
       pending_.fetch_sub(1, std::memory_order_relaxed);
     }
     return std::span<const M>(scratch->data(), scratch->size());
@@ -374,6 +379,7 @@ class MessageStore {
     }
     chain.tail = idx;
     if (++chain.count == 1 && !double_buffered_) {
+      // mo: pending gauge; barrier orders the data
       pending_.fetch_add(1, std::memory_order_relaxed);
     }
   }

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "common/planted.h"
 #include "fault/fault.h"
 #include "obs/introspect.h"
 #include "obs/trace.h"
@@ -42,6 +43,12 @@ ChandyMisraTable::ChandyMisraTable(Config config)
       uint8_t bits = 0;
       if (p > q) {
         bits = kHasFork | kDirty;
+        // Negative control (serichk): hand the initial forks out *clean*.
+        // OnRequest never yields a clean fork, so the acyclic initial
+        // precedence graph freezes into a permanent one: two hungry
+        // neighbors each keep waiting for the other's clean fork —
+        // deadlock on the very first superstep.
+        if (SG_PLANTED_BUG("cm.clean_initial_forks")) bits = kHasFork;
       } else {
         bits = kHasToken;
         ++num_forks_;
@@ -232,7 +239,12 @@ void ChandyMisraTable::SendTransferLocked(WorkerShard& shard, PhilosopherId p,
     // turns this flush-then-send into delivery-before-handover.
     SG_TRACE_SPAN("cm.handover_flush");
     handover_flushes_->Increment();
-    shard.handle->FlushRemoteTo(dst);
+    // Negative control (serichk): skipping the flush lets the fork
+    // overtake the replica updates it guards — the new holder can read a
+    // stale replica (C1 violation in the recorded history).
+    if (!SG_PLANTED_BUG("cm.skip_handover_flush")) {
+      shard.handle->FlushRemoteTo(dst);
+    }
     cross_worker_transfers_->Increment();
   }
   shard.handle->SendControl(dst, config_.transfer_tag, p, q, 0);

@@ -1,6 +1,7 @@
 #include "sync/token_passing.h"
 
 #include "common/logging.h"
+#include "common/planted.h"
 #include "fault/fault.h"
 #include "obs/introspect.h"
 #include "obs/trace.h"
@@ -32,6 +33,10 @@ void SingleLayerTokenPassing::BindWorker(WorkerId w, WorkerHandle* handle) {
 
 bool SingleLayerTokenPassing::MayExecuteVertex(WorkerId w, int superstep,
                                                VertexId v) {
+  // Negative control (serichk): treat every vertex as token-protected-
+  // by-nobody — m-boundary vertices on two workers can then execute in
+  // the same superstep and read each other's in-flight replicas (C1/C2).
+  if (SG_PLANTED_BUG("token.ignore_boundary")) return true;
   // m-internal vertices are safe under the worker's single thread;
   // m-boundary vertices additionally need the global token.
   return boundaries_->IsMInternal(v) || HolderOf(superstep) == w;

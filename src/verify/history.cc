@@ -83,6 +83,7 @@ void HistoryRecorder::OnDeliver(VertexId src, VertexId dst,
                                 uint64_t version) {
   std::atomic<uint64_t>& slot = delivered_[InEdgeIndex(src, dst)];
   // Versions from one sender arrive in order, but be robust anyway.
+  // mo: racy first read; the CAS below synchronizes
   uint64_t prev = slot.load(std::memory_order_relaxed);
   while (version > prev && !slot.compare_exchange_weak(
                                prev, version, std::memory_order_acq_rel)) {

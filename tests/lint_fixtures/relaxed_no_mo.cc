@@ -1,0 +1,27 @@
+// Lint fixture: explicit relaxed memory order without a `// mo:`
+// justification. Expected diagnostic: [memory-order] at the bare
+// fetch_add line. The annotated uses above it must NOT be flagged.
+#include <atomic>
+
+namespace lint_fixture {
+
+class Stats {
+ public:
+  // mo: stat cell; no ordering role
+  void Hit() { hits_.fetch_add(1, std::memory_order_relaxed); }
+
+  void Miss() {
+    misses_.fetch_add(1, std::memory_order_relaxed);  // mo: stat cell
+  }
+
+  void Evict() {
+    evictions_.fetch_add(1, std::memory_order_relaxed);  // planted: bare
+  }
+
+ private:
+  std::atomic<long> hits_{0};
+  std::atomic<long> misses_{0};
+  std::atomic<long> evictions_{0};
+};
+
+}  // namespace lint_fixture

@@ -33,6 +33,7 @@ expect_fail() {
 expect_fail naked_mutex.cc naked-mutex 15
 expect_fail acquire_without_release.cc acquire-without-release 10
 expect_fail lock_order_inversion.cc lock-order 20
+expect_fail relaxed_no_mo.cc memory-order 18
 
 out="$(${LINT} "${FIXTURES}/clean.cc" 2>&1)"
 if [ $? -ne 0 ]; then

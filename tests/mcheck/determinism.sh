@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# determinism.sh <serichk> [flags...] — runs the same exploration twice
+# and fails unless the summaries (schedule count, pruned count, folded
+# trace hash) are byte-identical. Schedules must be a pure function of
+# (config, trail): object ids are assigned in first-use order rather
+# than by address exactly so that this holds across processes.
+set -u
+a="$("$@" 2>&1)" || { echo "first run failed" >&2; echo "$a" >&2; exit 1; }
+b="$("$@" 2>&1)" || { echo "second run failed" >&2; echo "$b" >&2; exit 1; }
+if [ -z "$a" ]; then
+  echo "determinism: empty output" >&2
+  exit 1
+fi
+if [ "$a" != "$b" ]; then
+  echo "determinism: runs differ" >&2
+  echo "--- run 1:" >&2
+  echo "$a" >&2
+  echo "--- run 2:" >&2
+  echo "$b" >&2
+  exit 1
+fi
+echo "$a"

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# expect_exit.sh <code> <cmd...> — succeeds iff the command exits <code>.
+# The mcheck negative controls use this to assert that serichk finds a
+# planted bug with the documented exit code (3 = property violation,
+# 4 = deadlock), rather than merely "fails somehow".
+want="$1"
+shift
+"$@"
+got=$?
+if [ "$got" -eq "$want" ]; then
+  exit 0
+fi
+echo "expect_exit: wanted exit $want, got $got from: $*" >&2
+exit 1
