@@ -21,7 +21,8 @@ int main() {
               "8 workers)");
 
   TablePrinter table({"gamma", "max degree", "partition-DL", "vertex-DL",
-                      "vertex ctrl msgs", "vertex/partition"});
+                      "vertex ctrl msgs", "vertex/partition",
+                      "density/superstep"});
   for (double gamma : {3.5, 2.6, 2.2, 2.0}) {
     auto graph_or =
         Graph::FromEdgeList(PowerLawChungLu(3000, 8.0, gamma, 77));
@@ -30,6 +31,7 @@ int main() {
 
     double times[2] = {0, 0};
     int64_t vertex_ctrl = 0;
+    std::string density_series;
     int i = 0;
     for (SyncMode sync :
          {SyncMode::kPartitionLocking, SyncMode::kVertexLocking}) {
@@ -43,6 +45,15 @@ int main() {
       times[i++] = stats.computation_seconds;
       if (sync == SyncMode::kVertexLocking) {
         vertex_ctrl = stats.Metric("net.control_messages");
+        // Frontier density per superstep (eligible vertices per 1000,
+        // one value per barrier — every worker row repeats it, so take
+        // worker 0's). Skew shows up here as a long sparse tail: hubs
+        // keep re-activating their neighborhoods.
+        for (const SuperstepSample& s : stats.timeline) {
+          if (s.worker != 0) continue;
+          if (!density_series.empty()) density_series += " ";
+          density_series += std::to_string(s.frontier_density_milli);
+        }
       }
     }
     char g[16];
@@ -51,7 +62,8 @@ int main() {
                   TablePrinter::Seconds(times[0]),
                   TablePrinter::Seconds(times[1]),
                   TablePrinter::Count(vertex_ctrl),
-                  TablePrinter::Ratio(times[1] / times[0])});
+                  TablePrinter::Ratio(times[1] / times[0]),
+                  density_series});
   }
   table.Print(std::cout);
   std::cout << "\nSmaller gamma = heavier tail = larger hubs. Measured: "

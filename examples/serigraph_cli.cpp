@@ -49,6 +49,7 @@ struct CliOptions {
   std::string edge_list;
   std::string sync = "partition-locking";
   std::string model = "ap";
+  std::string push_pull = "auto";
   VertexId vertices = 10000;
   double degree = 10.0;
   int workers = 8;
@@ -97,6 +98,7 @@ CliOptions Parse(int argc, char** argv) {
     if (ParseFlag(arg, "edge-list", &opts.edge_list)) continue;
     if (ParseFlag(arg, "sync", &opts.sync)) continue;
     if (ParseFlag(arg, "model", &opts.model)) continue;
+    if (ParseFlag(arg, "push-pull", &opts.push_pull)) continue;
     if (ParseFlag(arg, "vertices", &value)) {
       opts.vertices = std::atoll(value.c_str());
       continue;
@@ -201,6 +203,8 @@ void PrintHelp() {
       "  --vertices=N --degree=D --seed=S generator parameters\n"
       "  --edge-list=PATH                 load a SNAP-style text file\n"
       "  --model=ap|bsp                   computation model\n"
+      "  --push-pull=auto|push|pull       BSP transfer strategy "
+      "(docs/PERF.md)\n"
       "  --sync=none|single-token|dual-token|vertex-locking|\n"
       "         partition-locking|bsp-constrained-locking\n"
       "  --workers=N --threads=N          simulated cluster shape\n"
@@ -462,6 +466,17 @@ int main(int argc, char** argv) {
                                      : ComputationModel::kAsync;
   options.num_workers = cli.workers;
   options.compute_threads_per_worker = cli.threads;
+  if (cli.push_pull == "push") {
+    options.push_pull = PushPullMode::kForcePush;
+  } else if (cli.push_pull == "pull") {
+    options.push_pull = PushPullMode::kForcePull;
+  } else if (cli.push_pull == "auto") {
+    options.push_pull = PushPullMode::kAuto;
+  } else {
+    std::fprintf(stderr, "unknown --push-pull=%s (auto|push|pull)\n",
+                 cli.push_pull.c_str());
+    return 1;
+  }
   options.network.one_way_latency_us = cli.latency_us;
   options.introspect = cli.introspect || !cli.introspect_out.empty() ||
                        cli.watchdog_ms > 0 || cli.stall_abort_ms > 0 ||

@@ -330,7 +330,7 @@ if [[ "$PERF_GATE" == "1" ]]; then
   BUILD_DIR="${1:-build-perf-gate}"
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build "$BUILD_DIR" -j "$(nproc)" \
-    --target serigraph_cli micro_message_store
+    --target serigraph_cli micro_message_store fig6b_pagerank
   GATE_DIR="$(mktemp -d)"
   trap 'rm -rf "$GATE_DIR"' EXIT
 
@@ -372,16 +372,23 @@ print("perf gate: report + trace OK (%d counter events, %d mem samples)"
       % (len(counters), len(mem["samples"])))
 EOF
 
-  # Regression half: micro bench medians against the committed baseline.
-  # Threshold 5.0 = a cell must be 6x slower to fail — shared runners
-  # are noisy and their CPUs differ from the baseline machine, so this
-  # only catches order-of-magnitude regressions. Tighter comparisons are
-  # for a dedicated box (docs/PERF.md).
+  # Regression half: micro bench medians AND the end-to-end fig6b grid
+  # against the committed baseline (results/BENCH_pr9.json carries both
+  # cell families). Threshold 5.0 = a cell must be 6x slower to fail —
+  # shared runners are noisy and their CPUs differ from the baseline
+  # machine, so this only catches order-of-magnitude regressions.
+  # Tighter comparisons are for a dedicated box (docs/PERF.md). fig6b
+  # runs at --reps=1 here: the wide threshold absorbs single-rep noise
+  # and the full-median run stays a committed-snapshot-only concern.
   SERIGRAPH_NO_PERF_HW=1 "$BUILD_DIR/bench/micro_message_store" \
     --benchmark_min_time=0.02 --benchmark_repetitions=3 \
-    --json="$GATE_DIR/BENCH.json"
+    --json="$GATE_DIR/micro_store.json"
+  SERIGRAPH_NO_PERF_HW=1 "$BUILD_DIR/bench/fig6b_pagerank" \
+    --reps=1 --json="$GATE_DIR/fig6b.json"
+  python3 scripts/bench_compare.py --merge "$GATE_DIR/BENCH.json" \
+    "$GATE_DIR/micro_store.json" "$GATE_DIR/fig6b.json"
   python3 scripts/bench_compare.py --threshold=5.0 --allow-env-mismatch \
-    results/BENCH_pr6.json "$GATE_DIR/BENCH.json"
+    results/BENCH_pr9.json "$GATE_DIR/BENCH.json"
   cp "$GATE_DIR/BENCH.json" "$BUILD_DIR/BENCH.json"
   echo "check.sh: perf gate passed (fresh report at $BUILD_DIR/BENCH.json)"
   exit 0
@@ -409,6 +416,43 @@ if not d.get('environment', {}).get('compiler'):
 print('$bench: %d cells, json ok' % len(d['cells']))
 "
   done
+
+  # Push/pull switch smoke: the per-superstep transfer-strategy switch
+  # (docs/PERF.md) must actually fire, in both directions. PageRank
+  # under plain BSP keeps a dense frontier, so at least one superstep
+  # must run in pull mode; SSSP's wavefront goes dense then sparse, so
+  # its run must both pull (>= 1) and push (pulls < supersteps).
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target serigraph_cli
+  CLI="$BUILD_DIR/examples/serigraph_cli"
+  "$CLI" --algorithm=pagerank --generator=powerlaw --vertices=2000 \
+    --degree=8 --model=bsp --sync=none --workers=4 \
+    --metrics-json="$SMOKE_DIR/pushpull-pagerank.json"
+  "$CLI" --algorithm=sssp --generator=erdos --vertices=2000 --degree=8 \
+    --seed=3 --model=bsp --sync=none --workers=4 \
+    --metrics-json="$SMOKE_DIR/pushpull-sssp.json"
+  python3 - "$SMOKE_DIR/pushpull-pagerank.json" \
+    "$SMOKE_DIR/pushpull-sssp.json" <<'EOF'
+import json, sys
+
+pr = json.load(open(sys.argv[1]))
+pr_pulls = pr["metrics"].get("engine.pull_supersteps", 0)
+if pr_pulls < 1:
+    sys.exit("bench smoke: dense BSP PageRank never switched to pull "
+             f"(pull_supersteps={pr_pulls})")
+
+ss = json.load(open(sys.argv[2]))
+ss_pulls = ss["metrics"].get("engine.pull_supersteps", 0)
+ss_steps = ss["supersteps"]
+if ss_pulls < 1:
+    sys.exit("bench smoke: BSP SSSP never pulled on its dense supersteps "
+             f"(pull_supersteps={ss_pulls})")
+if ss_pulls >= ss_steps:
+    sys.exit("bench smoke: BSP SSSP never switched back to push "
+             f"(pull_supersteps={ss_pulls} of {ss_steps})")
+print(f"push/pull smoke: pagerank pulled {pr_pulls}x, "
+      f"sssp {ss_pulls}/{ss_steps} supersteps pulled")
+EOF
+
   echo "check.sh: bench smoke passed"
   exit 0
 fi

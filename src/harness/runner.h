@@ -29,6 +29,9 @@ struct RunConfig {
   /// Hardware perf counters + per-superstep memory sampling
   /// (docs/PROFILING.md); software fallback where perf is unavailable.
   bool perf_counters = false;
+  /// Push/pull strategy for combinable BSP programs (docs/PERF.md).
+  PushPullMode push_pull = PushPullMode::kAuto;
+  int64_t pull_density_threshold_milli = 400;
 };
 
 inline EngineOptions ToEngineOptions(const RunConfig& config) {
@@ -47,6 +50,8 @@ inline EngineOptions ToEngineOptions(const RunConfig& config) {
   opts.introspect = config.introspect;
   opts.watchdog = config.watchdog;
   opts.perf_counters = config.perf_counters;
+  opts.push_pull = config.push_pull;
+  opts.pull_density_threshold_milli = config.pull_density_threshold_milli;
   return opts;
 }
 

@@ -100,16 +100,34 @@ void PrintTimeline(std::ostream& os,
     agg.fork_wait_us += s.fork_wait_us;
     agg.vertices_executed += s.vertices_executed;
     agg.messages_sent += s.messages_sent;
+    // Global per-superstep values: every worker's row carries the same
+    // density and mode, so overwriting is a no-op past the first.
+    agg.frontier_density_milli = s.frontier_density_milli;
+    agg.pull_mode = s.pull_mode;
   }
   // Merge consecutive supersteps into ranges when the run is long.
   const int total = static_cast<int>(per_step.size());
   const int bucket = std::max(1, (total + max_rows - 1) / max_rows);
 
   TablePrinter table({"superstep", "compute", "barrier wait", "flush wait",
-                      "fork wait", "vertices", "messages"});
+                      "fork wait", "vertices", "messages", "density",
+                      "mode"});
+  auto mode_name = [](uint8_t mode) {
+    switch (mode) {
+      case 1:
+        return "pull";
+      case 2:
+        return "gather";
+      case 3:
+        return "pull+g";
+      default:
+        return "push";
+    }
+  };
   for (int i = 0; i < total; i += bucket) {
     SuperstepSample agg;
     const int end = std::min(total, i + bucket);
+    bool mixed_mode = false;
     for (int j = i; j < end; ++j) {
       agg.compute_us += per_step[j].compute_us;
       agg.barrier_wait_us += per_step[j].barrier_wait_us;
@@ -117,6 +135,11 @@ void PrintTimeline(std::ostream& os,
       agg.fork_wait_us += per_step[j].fork_wait_us;
       agg.vertices_executed += per_step[j].vertices_executed;
       agg.messages_sent += per_step[j].messages_sent;
+      // A merged range reports its last superstep's density (the trend
+      // endpoint) and "mixed" when the transfer mode changed inside it.
+      agg.frontier_density_milli = per_step[j].frontier_density_milli;
+      if (j > i && per_step[j].pull_mode != agg.pull_mode) mixed_mode = true;
+      agg.pull_mode = per_step[j].pull_mode;
     }
     char label[32];
     if (end - i == 1) {
@@ -125,10 +148,14 @@ void PrintTimeline(std::ostream& os,
       std::snprintf(label, sizeof(label), "%d-%d", per_step[i].superstep,
                     per_step[end - 1].superstep);
     }
+    char density[16];
+    std::snprintf(density, sizeof(density), "%lld/1000",
+                  (long long)agg.frontier_density_milli);
     table.AddRow({label, Micros(agg.compute_us), Micros(agg.barrier_wait_us),
                   Micros(agg.flush_wait_us), Micros(agg.fork_wait_us),
                   TablePrinter::Count(agg.vertices_executed),
-                  TablePrinter::Count(agg.messages_sent)});
+                  TablePrinter::Count(agg.messages_sent), density,
+                  mixed_mode ? "mixed" : mode_name(agg.pull_mode)});
   }
   table.Print(os);
 }

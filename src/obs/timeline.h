@@ -24,6 +24,15 @@ struct SuperstepSample {
   int64_t vertices_executed = 0;
   /// Messages this worker's vertices sent during the superstep.
   int64_t messages_sent = 0;
+  /// Global frontier density at the end of this superstep, in eligible
+  /// vertices per thousand (computed once in the barrier serial section;
+  /// every worker's row for a superstep carries the same value).
+  int64_t frontier_density_milli = 0;
+  /// Message-transfer mode this superstep ran in: 0 = push,
+  /// 1 = pull-capture (broadcasts captured, not materialized),
+  /// 2 = gather (pulling the previous superstep's captures),
+  /// 3 = capture and gather at once. See docs/PERF.md.
+  uint8_t pull_mode = 0;
 
   /// Hardware-counter deltas for the compute phase (perfcounters.h),
   /// populated only when EngineOptions::perf_counters is set AND

@@ -1,6 +1,7 @@
 #ifndef SERIGRAPH_PREGEL_ENGINE_H_
 #define SERIGRAPH_PREGEL_ENGINE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <fstream>
@@ -12,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/bitmap.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/mutex.h"
@@ -73,6 +75,15 @@ class Engine {
       requires(const Message& a, const Message& b) {
         { Program::Combine(a, b) } -> std::convertible_to<Message>;
       };
+
+  /// True if the program is structurally eligible for the per-superstep
+  /// push/pull switch (docs/PERF.md): broadcasts fold through the
+  /// combiner, and the payload can live in a flat per-vertex array.
+  /// Whether pull actually engages is a runtime decision (BSP, no sync
+  /// technique, no recorder, no checkpointing — see Run()).
+  static constexpr bool kPullCapable =
+      kHasCombiner && std::is_trivially_copyable_v<Message> &&
+      std::is_default_constructible_v<Message>;
 
   struct Result {
     RunStats stats;
@@ -192,15 +203,17 @@ class Engine {
   // Per-partition message state. The sharded MessageStore holds the
   // messages themselves: under BSP, arrivals are invisible until the
   // barrier Swap (the staleness the paper's Figure 2 shows); under AP
-  // arrivals are visible immediately. Eligibility reads (`active`,
-  // store.pending()) are plain atomics — no lock on the hot path.
+  // arrivals are visible immediately. Eligibility reads (`active_bits`,
+  // store.pending_bits()) are lock-free bitmap words — no lock on the
+  // hot path, and barrier accounting is a popcount.
   // ------------------------------------------------------------------
   struct PartitionStore {
     MessageStore<Message> store;
-    /// Vertices not halted. Transitions only when an executing vertex
-    /// flips its halted flag (that execution is exclusive per vertex) or
-    /// during single-threaded restore.
-    std::atomic<int64_t> active{0};
+    /// Bit li set <=> local vertex li has NOT voted to halt. A bit flips
+    /// only when the (exclusively) executing vertex changes its vote, or
+    /// during single-threaded restore; other threads read it lock-free
+    /// for eligibility (word-packed: see common/bitmap.h).
+    Bitmap active_bits;
     /// Deferred recorder notifications for BSP (delivery becomes visible
     /// only at the swap): (src, dst, version). History recording is a
     /// test/audit feature, so this sits outside the message hot path.
@@ -243,7 +256,25 @@ class Engine {
     };
     std::vector<Bucket> per_dst;       // indexed by destination worker
     std::vector<WorkerId> touched;     // destinations with staged records
+
+    /// GPOP-style partition bins (BSP path only): same-worker
+    /// cross-partition sends collect here, keyed by destination
+    /// partition, instead of random-accessing each destination store
+    /// per message. Bins stay cache-resident (bounded by the flush
+    /// threshold) and drain sequentially in partition order, one
+    /// AppendBatch per bin. AP keeps the eager per-message DeliverLocal
+    /// — Section 4.1 needs local replica updates visible immediately.
+    struct LocalBin {
+      std::vector<std::pair<int32_t, Message>> records;  // (li, payload)
+    };
+    std::vector<LocalBin> per_part;    // indexed by destination partition
+    std::vector<PartitionId> parts_touched;
   };
+
+  /// Records per local partition bin before it is force-flushed to the
+  /// destination store. Sized so a bin (records + the store shard it
+  /// lands in) stays within L1/L2 while amortizing the shard locks.
+  static constexpr size_t kLocalBinFlushRecords = 512;
 
   struct WorkerState final : public WorkerHandle {
     Engine* engine = nullptr;
@@ -346,6 +377,19 @@ class Engine {
     }
 
     void SendToAllOutNeighbors(const Message& message) {
+      if constexpr (kPullCapable) {
+        // Pull-capture superstep: the broadcast value is parked in the
+        // sender's slot of the double-buffered broadcast array; receivers
+        // pull it over the in-edge CSR next superstep instead of the
+        // engine materializing deg(v) message-store appends now.
+        if (engine_->capture_bcast_) {
+          engine_->CaptureBroadcast(vertex_, message);
+          // Counter parity with the push path: a broadcast still "sends"
+          // one message per out-edge as far as the stats are concerned.
+          sent_count_ += engine_->graph_->OutDegree(vertex_);
+          return;
+        }
+      }
       for (VertexId target : out_neighbors()) SendTo(target, message);
     }
 
@@ -485,13 +529,88 @@ class Engine {
     }
   }
 
+  // --- push/pull switch (docs/PERF.md) --------------------------------
+
+  /// Parks a pull-capture superstep's broadcast in the sender's slot.
+  /// `v` executes exclusively (Pregel semantics), so the value write is
+  /// owner-exclusive plain; only the presence bit needs an atomic RMW
+  /// (neighbors' bits share words). Readers gather after the barrier.
+  void CaptureBroadcast(VertexId v, const Message& message) {
+    if constexpr (kPullCapable) {
+      std::vector<Message>& vals = bcast_vals_[bcast_cur_];
+      Bitmap& bits = bcast_bits_[bcast_cur_];
+      if (bits.Test(static_cast<size_t>(v))) {
+        // Second broadcast in the same superstep: fold, exactly like the
+        // two messages would have combined in the store.
+        vals[v] = Program::Combine(vals[v], message);
+      } else {
+        vals[v] = message;
+        bits.Set(static_cast<size_t>(v));
+      }
+    }
+  }
+
+  bool DecidePull(int64_t density_milli) const {
+    if (options_.push_pull == PushPullMode::kForcePull) return true;
+    return density_milli >= options_.pull_density_threshold_milli;
+  }
+
+  /// Barrier serial section: record this superstep's frontier density,
+  /// publish its captured broadcasts for next superstep's gather (flip
+  /// the double buffer), and decide whether the NEXT superstep captures.
+  /// `total` is the barrier's eligible-vertex count (broadcasters
+  /// included when this superstep captured).
+  void AdvancePullEpoch(int superstep, int64_t total, bool stop) {
+    last_density_milli_ = std::min<int64_t>(
+        1000, Frontier::DensityMilli(static_cast<size_t>(total),
+                                     static_cast<size_t>(
+                                         graph_->num_vertices())));
+    frontier_density_gauge_->Observe(last_density_milli_);
+    if (!pull_enabled_) return;
+    const bool captured = capture_bcast_;
+    if (captured) {
+      bcast_cur_ ^= 1;
+      bcast_bits_[bcast_cur_].ClearAll();
+    }
+    gather_bcast_ = captured;
+    capture_bcast_ = !stop && DecidePull(last_density_milli_);
+    if (capture_bcast_) pull_supersteps_->Increment();
+    if (capture_bcast_ != captured) {
+      SG_LOG(kDebug) << "push/pull switch: superstep " << superstep + 1
+                     << " mode=" << (capture_bcast_ ? "pull" : "push")
+                     << " (density " << last_density_milli_ << "/1000,"
+                     << " threshold "
+                     << options_.pull_density_threshold_milli << ")";
+    } else {
+      SG_LOG(kDebug) << "push/pull: superstep " << superstep + 1
+                     << " stays " << (capture_bcast_ ? "pull" : "push")
+                     << " (density " << last_density_milli_ << "/1000)";
+    }
+  }
+
   void SendMessage(WorkerState& worker, SendStaging* staging, VertexId src,
                    VertexId dst, const Message& message, uint64_t version) {
     const WorkerId dst_worker = partitioning_.WorkerOf(dst);
     if (dst_worker == worker.id) {
+      local_sends_->Increment();
+      if (staging != nullptr && bsp_local_bins_) {
+        // BSP only: the message is invisible until the next superstep
+        // anyway, so it can sit in a cache-resident per-destination-
+        // partition bin and land in the store as one AppendBatch per
+        // partition, in partition order, instead of a random-access
+        // append per message (GPOP-style scatter). AP never takes this
+        // path — Section 4.1 freshness needs the eager DeliverLocal.
+        const PartitionId p = partitioning_.PartitionOf(dst);
+        typename SendStaging::LocalBin& bin = staging->per_part[p];
+        if (bin.records.empty()) staging->parts_touched.push_back(p);
+        bin.records.emplace_back(local_index_[dst], message);
+        if (bin.records.size() >= kLocalBinFlushRecords) {
+          FlushLocalBin(p, bin);
+        }
+        return;
+      }
       // Local replica update: eager under AP (Section 4.1), hidden until
       // the next superstep under BSP (handled inside DeliverLocal).
-      local_sends_->Increment();
       DeliverLocal(src, dst, message, version);
       return;
     }
@@ -640,7 +759,24 @@ class Engine {
     }
   }
 
+  /// Empties one partition bin into its destination store (one batched
+  /// append under that store's shard locks).
+  void FlushLocalBin(PartitionId p, typename SendStaging::LocalBin& bin) {
+    stores_[p]->store.AppendBatch(std::span(bin.records));
+    bin.records.clear();
+    bin_flushes_->Increment();
+  }
+
   void DrainStaging(WorkerState& worker, SendStaging& staging) {
+    if (!staging.parts_touched.empty()) {
+      // Sequential gather: visit destination partitions in order so the
+      // stores' slot arrays are walked front-to-back, not in send order.
+      std::sort(staging.parts_touched.begin(), staging.parts_touched.end());
+      for (PartitionId p : staging.parts_touched) {
+        FlushLocalBin(p, staging.per_part[p]);
+      }
+      staging.parts_touched.clear();
+    }
     for (WorkerId dst : staging.touched) DrainStagingTo(worker, staging, dst);
     staging.touched.clear();
   }
@@ -650,6 +786,10 @@ class Engine {
     if (worker.staging_pool.empty()) {
       auto fresh = std::make_unique<SendStaging>();
       fresh->per_dst.resize(static_cast<size_t>(options_.num_workers));
+      if (bsp_local_bins_) {
+        fresh->per_part.resize(
+            static_cast<size_t>(partitioning_.num_partitions()));
+      }
       worker.staging_pool.push_back(std::move(fresh));
     }
     SendStaging* staging = worker.staging_pool.back().release();
@@ -835,9 +975,36 @@ class Engine {
     // BSP consumes a zero-copy span of the partition's flat buffer (no
     // lock); AP detaches the arrival chain into this per-thread scratch.
     thread_local std::vector<Message> scratch;
-    const std::span<const Message> messages =
-        ps.store.Consume(local_index_[v], &scratch);
-    if (halted_[v] && messages.empty()) return false;
+    const int32_t li = local_index_[v];
+    std::span<const Message> messages = ps.store.Consume(li, &scratch);
+    if constexpr (kPullCapable) {
+      if (gather_bcast_) {
+        // Gather superstep: fold the previous superstep's captured
+        // broadcasts over the in-edge CSR — a sequential sweep of this
+        // vertex's in-neighbors against the flat broadcast array —
+        // and merge any store-delivered point sends (SendTo still
+        // pushes). The fold is the same Combine the push path would
+        // have applied append-by-append.
+        const Bitmap& gbits = bcast_bits_[1 - bcast_cur_];
+        const std::vector<Message>& gvals = bcast_vals_[1 - bcast_cur_];
+        thread_local std::vector<Message> gather_scratch;
+        bool have = false;
+        Message folded{};
+        for (VertexId u : graph_->InNeighbors(v)) {
+          if (!gbits.Test(static_cast<size_t>(u))) continue;
+          folded = have ? Program::Combine(folded, gvals[u]) : gvals[u];
+          have = true;
+        }
+        if (have) {
+          for (const Message& m : messages) {
+            folded = Program::Combine(folded, m);
+          }
+          gather_scratch.assign(1, folded);
+          messages = std::span<const Message>(gather_scratch.data(), 1);
+        }
+      }
+    }
+    if (messages.empty() && !ps.active_bits.Test(li)) return false;
 
     executions_->Increment();
     // mo: per-superstep stat
@@ -858,15 +1025,17 @@ class Engine {
       // mo: per-superstep stat
       worker.ss_messages.fetch_add(sent, std::memory_order_relaxed);
     }
-    const bool was_halted = halted_[v] != 0;
-    const bool now_halted = ctx.voted_halt();
-    halted_[v] = now_halted ? 1 : 0;
-    if (was_halted != now_halted) {
-      // Per-vertex execution is exclusive, so the transition count is
-      // exact; the atomic makes it safe to read lock-free from
-      // PartitionEligible on other worker threads.
-      // mo: active count; barrier orders decisions
-      ps.active.fetch_add(now_halted ? -1 : 1, std::memory_order_relaxed);
+    // Per-vertex execution is exclusive, so only this thread flips this
+    // bit right now; the atomic word RMW keeps neighbors' concurrent
+    // flips of sibling bits intact, and the barrier publishes the word
+    // before the serial section popcounts it.
+    const bool now_active = !ctx.voted_halt();
+    if (now_active != ps.active_bits.Test(li)) {
+      if (now_active) {
+        ps.active_bits.Set(li);
+      } else {
+        ps.active_bits.Clear(li);
+      }
     }
     if (recorder_ != nullptr) {
       recorder_->OnTxnEnd(worker.id, v, ctx.sent_any());
@@ -877,18 +1046,16 @@ class Engine {
 
   /// True if any vertex of `p` is active or has pending messages; used
   /// for the Section 5.4 optimization of skipping halted partitions.
-  /// Lock-free: both counters are atomics.
+  /// Lock-free: bitmap word loads plus the store's pending counter.
   bool PartitionEligible(PartitionId p) {
     PartitionStore& ps = *stores_[p];
-    // mo: active count; barrier orders decisions
-    return ps.active.load(std::memory_order_relaxed) > 0 ||
-           ps.store.pending() > 0;
+    return ps.active_bits.AnySet() || ps.store.pending() > 0;
   }
 
   /// Non-consuming eligibility check (lock-free under BSP).
   bool VertexEligible(PartitionStore& ps, VertexId v) {
-    if (!halted_[v]) return true;
-    return ps.store.HasMessages(local_index_[v]);
+    const int32_t li = local_index_[v];
+    return ps.active_bits.Test(li) || ps.store.HasMessages(li);
   }
 
   void ProcessPartition(WorkerState& worker, const Program& program,
@@ -925,12 +1092,31 @@ class Engine {
                                 const std::vector<VertexId>& vertices,
                                 LocalAggregates& aggregates,
                                 SendStaging* staging) {
+    // Sparse supersteps iterate the set bits of active|pending instead of
+    // probing every vertex (tentpole: bitmap frontiers). The probe a set
+    // bit triggers is the same probe the full scan would have made, so
+    // mid-superstep AP arrivals race identically in both forms. Fault
+    // injection keeps the legacy full scan: the supervisor expects a
+    // Beat per probe and the abort checks want per-vertex granularity.
     switch (granularity_) {
       case SyncTechnique::Granularity::kNone:
-        for (VertexId v : vertices) {
-          if (fault_active_ && AttemptAborted(worker)) return;
-          ExecuteVertexIfEligible(worker, ps, program, v, superstep,
-                                  aggregates, staging);
+        if (fault_active_ || gather_bcast_) {
+          // Gather supersteps must probe every vertex: a halted vertex
+          // with a broadcasting in-neighbor is eligible, but the
+          // broadcast was captured, not stored, so no pending bit marks
+          // it. (Gathering only happens after a dense superstep, where
+          // a full scan is the right shape anyway.)
+          for (VertexId v : vertices) {
+            if (fault_active_ && AttemptAborted(worker)) return;
+            ExecuteVertexIfEligible(worker, ps, program, v, superstep,
+                                    aggregates, staging);
+          }
+        } else {
+          ps.active_bits.ForEachSetBitUnion(
+              ps.store.pending_bits(), [&](size_t li) {
+                ExecuteVertexIfEligible(worker, ps, program, vertices[li],
+                                        superstep, aggregates, staging);
+              });
         }
         break;
       case SyncTechnique::Granularity::kVertexGate:
@@ -960,9 +1146,17 @@ class Engine {
           RecordForkWait(worker, Tracer::NowMicros() - t0);
           if (!acquired) return;  // watchdog abort: lock NOT held
         }
-        for (VertexId v : vertices) {
-          ExecuteVertexIfEligible(worker, ps, program, v, superstep,
-                                  aggregates, staging);
+        if (fault_active_) {
+          for (VertexId v : vertices) {
+            ExecuteVertexIfEligible(worker, ps, program, v, superstep,
+                                    aggregates, staging);
+          }
+        } else {
+          ps.active_bits.ForEachSetBitUnion(
+              ps.store.pending_bits(), [&](size_t li) {
+                ExecuteVertexIfEligible(worker, ps, program, vertices[li],
+                                        superstep, aggregates, staging);
+              });
         }
         // C1: staged sends must be in the out-buffer before the forks
         // can move — the handover flush only covers the shared buffers.
@@ -970,10 +1164,18 @@ class Engine {
         technique_->ReleasePartition(worker.id, p);
         break;
       }
-      case SyncTechnique::Granularity::kVertexLock:
-        for (VertexId v : vertices) {
-          if (!VertexEligible(ps, v)) continue;
-          if (fault_active_ && AttemptAborted(worker)) return;
+      case SyncTechnique::Granularity::kVertexLock: {
+        // Per-vertex body shared by the sparse and full-scan forms. The
+        // `aborted` flag replaces the mid-loop `return`: ForEachSetBit
+        // has no break, so remaining bits become cheap no-ops.
+        bool aborted = false;
+        auto run_one = [&](VertexId v) {
+          if (aborted) return;
+          if (!VertexEligible(ps, v)) return;
+          if (fault_active_ && AttemptAborted(worker)) {
+            aborted = true;
+            return;
+          }
           {
             SG_TRACE_SPAN("sync.fork_acquire");
             SY_PERF_SCOPE(&worker.ss_perf, PerfPhase::kForkWait);
@@ -981,15 +1183,29 @@ class Engine {
             ScopedBlocked blocked(supervisor_.get(), worker.id);
             const bool acquired = technique_->AcquireVertex(worker.id, v);
             RecordForkWait(worker, Tracer::NowMicros() - t0);
-            if (!acquired) return;  // watchdog abort: lock NOT held
+            if (!acquired) {  // watchdog abort: lock NOT held
+              aborted = true;
+              return;
+            }
           }
           ExecuteVertexIfEligible(worker, ps, program, v, superstep,
                                   aggregates, staging);
           // C1, per vertex: drain before this vertex's forks release.
           if (staging != nullptr) DrainStaging(worker, *staging);
           technique_->ReleaseVertex(worker.id, v);
+        };
+        if (fault_active_) {
+          for (VertexId v : vertices) {
+            run_one(v);
+            if (aborted) return;
+          }
+        } else {
+          ps.active_bits.ForEachSetBitUnion(
+              ps.store.pending_bits(),
+              [&](size_t li) { run_one(vertices[li]); });
         }
         break;
+      }
     }
   }
 
@@ -1018,14 +1234,11 @@ class Engine {
     for (PartitionId p : partitioning_.PartitionsOfWorker(worker.id)) {
       PartitionStore& ps = *stores_[p];
       if (bsp) SwapStore(ps);
-      // Count = not-halted vertices + halted vertices with messages
-      // (which the swap just made visible / AP left pending).
-      // mo: active count; barrier orders decisions
-      active += ps.active.load(std::memory_order_relaxed);
-      const auto& vertices = partitioning_.VerticesOfPartition(p);
-      ps.store.ForEachPendingVertex([&](int32_t li) {
-        if (halted_[vertices[li]]) ++active;
-      });
+      // Count = |active OR pending| in one word-parallel popcount sweep
+      // (satellite: this used to re-read halted_[] per pending vertex,
+      // an O(V) rescan every barrier).
+      active +=
+          static_cast<int64_t>(ps.active_bits.PopcountUnion(ps.store.pending_bits()));
     }
     return active;
   }
@@ -1058,7 +1271,18 @@ class Engine {
       const VertexId n = graph_->num_vertices();
       writer.WriteVarint(static_cast<uint64_t>(n));
       writer.AppendRaw(values_.data(), sizeof(VertexValue) * n);
-      writer.AppendRaw(halted_.data(), n);
+      // The on-disk format keeps the one-byte-per-vertex halted array so
+      // pre-bitmap checkpoints stay readable; reconstruct it from the
+      // per-partition bitmaps.
+      std::vector<uint8_t> halted(static_cast<size_t>(n), 1);
+      for (int p = 0; p < partitioning_.num_partitions(); ++p) {
+        const auto& vertices = partitioning_.VerticesOfPartition(p);
+        const Bitmap& bits = stores_[p]->active_bits;
+        for (size_t i = 0; i < vertices.size(); ++i) {
+          if (bits.Test(i)) halted[vertices[i]] = 0;
+        }
+      }
+      writer.AppendRaw(halted.data(), n);
       writer.WriteVarint(stores_.size());
       for (int p = 0; p < partitioning_.num_partitions(); ++p) {
         PartitionStore& ps = *stores_[p];
@@ -1085,8 +1309,9 @@ class Engine {
           n != static_cast<uint64_t>(graph_->num_vertices())) {
         return Status::IoError("checkpoint vertex count mismatch");
       }
+      std::vector<uint8_t> halted(static_cast<size_t>(n));
       if (!reader.ReadRaw(values_.data(), sizeof(VertexValue) * n) ||
-          !reader.ReadRaw(halted_.data(), n) ||
+          !reader.ReadRaw(halted.data(), n) ||
           !reader.ReadVarint(&num_stores) ||
           num_stores != stores_.size()) {
         return Status::IoError("corrupt checkpoint state");
@@ -1116,13 +1341,13 @@ class Engine {
           }
         }
         if (options_.model == ComputationModel::kBsp) ps.store.Swap();
-        // Recompute the active count from the restored halted flags.
-        int64_t active = 0;
-        for (VertexId v : vertices) {
-          if (!halted_[v]) ++active;
+        // Rebuild the frontier bitmap from the restored halted bytes
+        // (satellite: no per-vertex active recount afterwards — the
+        // count IS the popcount).
+        ps.active_bits.ClearAll();
+        for (size_t i = 0; i < vertices.size(); ++i) {
+          if (!halted[vertices[i]]) ps.active_bits.SetSerial(i);
         }
-        // mo: active count; barrier orders decisions
-        ps.active.store(active, std::memory_order_relaxed);
       }
     }
     return Status::OK();
@@ -1450,6 +1675,10 @@ class Engine {
       SuperstepSample sample;
       sample.superstep = superstep;
       sample.worker = worker.id;
+      // Mode flags were last written in the previous barrier's serial
+      // section (or before workers started); B3 ordered them.
+      sample.pull_mode = static_cast<uint8_t>((capture_bcast_ ? 1 : 0) |
+                                              (gather_bcast_ ? 2 : 0));
       if (options_.superstep_overhead_us > 0) {
         std::this_thread::sleep_for(
             std::chrono::microseconds(options_.superstep_overhead_us));
@@ -1520,6 +1749,14 @@ class Engine {
         }
         int64_t total = 0;
         for (int64_t count : active_counts_) total += count;
+        if (capture_bcast_) {
+          // Captured broadcasts never reached the stores, so receivers
+          // have no pending bits yet; count the broadcasters so the run
+          // cannot declare convergence with undelivered pulls. (The
+          // count is approximate — broadcasters stand in for their
+          // receivers — but only zero/nonzero drives termination.)
+          total += static_cast<int64_t>(bcast_bits_[bcast_cur_].Popcount());
+        }
         supersteps_done_ = superstep + 1;
         converged_ = total == 0;
         {
@@ -1544,6 +1781,7 @@ class Engine {
             !SG_FAULT_POINT("engine.pre_checkpoint", worker.id)) {
           MaybeCheckpoint(superstep + 1);
         }
+        AdvancePullEpoch(superstep, total, stop);
         stop_.store(stop, std::memory_order_release);
       }
       TimedAwait(worker, &barrier_us);  // B3: decision visible
@@ -1560,6 +1798,9 @@ class Engine {
           worker.ss_executions.exchange(0, std::memory_order_relaxed);
       sample.messages_sent =  // mo: per-superstep stat
           worker.ss_messages.exchange(0, std::memory_order_relaxed);
+      // Written in this barrier's serial section, ordered by B3; every
+      // worker's row carries the same global value.
+      sample.frontier_density_milli = last_density_milli_;
       if (perf_active_) {
         // Drain this worker's per-phase counter deltas: compute lands in
         // the timeline row (and on the worker's trace counter track),
@@ -1602,6 +1843,35 @@ class Engine {
   /// records encode with (src, version) = 0, same as combined records.
   /// Fixed before workers start.
   bool send_staging_ = false;
+  /// Same-worker BSP sends go through per-destination-partition bins
+  /// (GPOP-style scatter) instead of eager appends. Fixed before
+  /// workers start; requires send_staging_.
+  bool bsp_local_bins_ = false;
+
+  // --- push/pull switch state (docs/PERF.md) --------------------------
+  /// Structural + runtime gate for the per-superstep switch: kPullCapable
+  /// program, BSP, no sync technique, no recorder, no checkpointing, no
+  /// fault injection, and not forced to push. Fixed before workers start.
+  bool pull_enabled_ = false;
+  /// Current superstep parks broadcasts in bcast_vals_[bcast_cur_]
+  /// instead of materializing them ("pull mode"). Flipped only in the
+  /// barrier serial section; workers read it data-race-free because the
+  /// barrier orders the write against every read.
+  bool capture_bcast_ = false;
+  /// Current superstep must fold the PREVIOUS superstep's captures over
+  /// the in-edge CSR (true iff the previous superstep captured —
+  /// independent of what the current one does, so a switch-back still
+  /// drains the buffer).
+  bool gather_bcast_ = false;
+  /// Double buffer: [bcast_cur_] is this superstep's capture side,
+  /// [1 - bcast_cur_] is the gather side holding last superstep's
+  /// broadcasts. Flipped in the serial section after a capture.
+  int bcast_cur_ = 0;
+  std::vector<Message> bcast_vals_[2];
+  Bitmap bcast_bits_[2];
+  /// Global frontier density (eligible vertices per 1000) recorded each
+  /// barrier; drives the next superstep's mode and the timeline column.
+  int64_t last_density_milli_ = 0;
 
   std::unique_ptr<BoundaryInfo> boundaries_;
   std::unique_ptr<SyncTechnique> technique_;
@@ -1611,7 +1881,6 @@ class Engine {
   std::shared_ptr<HistoryRecorder> recorder_;
 
   std::vector<VertexValue> values_;
-  std::vector<uint8_t> halted_;
   std::vector<int32_t> local_index_;
   std::vector<std::unique_ptr<PartitionStore>> stores_;
   std::vector<std::unique_ptr<WorkerState>> workers_;
@@ -1718,6 +1987,9 @@ class Engine {
   Counter* skipped_partitions_ = nullptr;
   Counter* sub_supersteps_ = nullptr;
   MaxGauge* concurrency_ = nullptr;
+  Counter* pull_supersteps_ = nullptr;
+  MaxGauge* frontier_density_gauge_ = nullptr;
+  Counter* bin_flushes_ = nullptr;
   Histogram* barrier_wait_hist_ = nullptr;
   Histogram* fork_wait_hist_ = nullptr;
   Histogram* store_append_hist_ = nullptr;
@@ -1769,6 +2041,9 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
   skipped_partitions_ = metrics_.GetCounter("pregel.skipped_partitions");
   sub_supersteps_ = metrics_.GetCounter("pregel.sub_supersteps");
   concurrency_ = metrics_.GetGauge("pregel.max_concurrent_executions");
+  pull_supersteps_ = metrics_.GetCounter("engine.pull_supersteps");
+  frontier_density_gauge_ = metrics_.GetGauge("engine.frontier_density_milli");
+  bin_flushes_ = metrics_.GetCounter("store.bin_flushes");
   // Latency histograms (Section 7.3's time breakdown). All three are
   // registered up front so every run's metrics snapshot carries the
   // name.p50/.p95/... keys, even when a technique never records into one.
@@ -1798,6 +2073,28 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
       kHasCombiner && options_.sender_combining && recorder_ == nullptr;
   send_staging_ = std::is_trivially_copyable_v<Message> &&
                   recorder_ == nullptr && num_workers > 1;
+  bsp_local_bins_ =
+      send_staging_ && options_.model == ComputationModel::kBsp;
+  // Push/pull switch (docs/PERF.md): BSP only (a captured broadcast is
+  // invisible until the next superstep, which is exactly BSP's contract
+  // and exactly what AP must NOT do — Section 4.1 freshness), plain runs
+  // only (sync techniques keep their fork-handover read protocol; the
+  // recorder needs per-message provenance; checkpoints and fault
+  // recovery would lose in-flight captured broadcasts).
+  pull_enabled_ = kPullCapable &&
+                  options_.model == ComputationModel::kBsp &&
+                  options_.sync_mode == SyncMode::kNone &&
+                  recorder_ == nullptr && !fault_active_ &&
+                  options_.checkpoint_every == 0 &&
+                  options_.push_pull != PushPullMode::kForcePush;
+  if constexpr (kPullCapable) {
+    if (pull_enabled_) {
+      for (int side = 0; side < 2; ++side) {
+        bcast_vals_[side].assign(static_cast<size_t>(n), Message{});
+        bcast_bits_[side].Reset(static_cast<size_t>(n));
+      }
+    }
+  }
 
   local_index_.assign(n, -1);
   for (int p = 0; p < partitioning_.num_partitions(); ++p) {
@@ -1956,7 +2253,6 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
     }
 
     values_.resize(n);
-    halted_.assign(n, 0);
     for (VertexId v = 0; v < n; ++v) {
       values_[v] = program.InitialValue(v, *graph_);
     }
@@ -1972,9 +2268,9 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
       }
       ps->store.Init(static_cast<int32_t>(vertices.size()),
                      options_.model == ComputationModel::kBsp, combine);
-      ps->active.store(static_cast<int64_t>(vertices.size()),
-                       // mo: live telemetry; approximate by design
-                       std::memory_order_relaxed);
+      // Every vertex starts active (Pregel semantics).
+      ps->active_bits.Reset(vertices.size());
+      ps->active_bits.SetAll();
       stores_.push_back(std::move(ps));
     }
 
@@ -2000,6 +2296,29 @@ StatusOr<typename Engine<Program>::Result> Engine<Program>::Run(
       }
     } else {
       SERIGRAPH_RETURN_IF_ERROR(RestoreForRecovery());
+    }
+
+    // First-superstep push/pull decision, from the post-restore frontier
+    // (every later decision happens in the barrier serial section).
+    capture_bcast_ = false;
+    gather_bcast_ = false;
+    if (pull_enabled_) {
+      size_t eligible = 0;
+      for (const auto& ps : stores_) {
+        eligible += ps->active_bits.PopcountUnion(ps->store.pending_bits());
+      }
+      last_density_milli_ = std::min<int64_t>(
+          1000,
+          Frontier::DensityMilli(eligible, static_cast<size_t>(n)));
+      frontier_density_gauge_->Observe(last_density_milli_);
+      capture_bcast_ = DecidePull(last_density_milli_);
+      if (capture_bcast_) {
+        pull_supersteps_->Increment();
+        bcast_bits_[bcast_cur_].ClearAll();
+      }
+      SG_LOG(kDebug) << "push/pull: superstep " << start_superstep_
+                     << " mode=" << (capture_bcast_ ? "pull" : "push")
+                     << " (density " << last_density_milli_ << "/1000)";
     }
 
     barrier_ = std::make_unique<CyclicBarrier>(num_workers);

@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/bitmap.h"
 #include "common/logging.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
@@ -68,8 +70,20 @@ int PickMessageStoreShards(int64_t num_slots);
 ///    chain under its shard lock and copies into a caller-provided
 ///    scratch vector.
 ///
+/// When the store has a combiner AND the message is trivially copyable,
+/// the store runs in *dense accumulator* mode instead (PR 9): each slot
+/// is a single in-place accumulator in a flat per-partition array, with
+/// presence tracked in a word-packed bitmap. Appends fold straight into
+/// the array (no arena nodes, no chains, no pointer chasing), Consume
+/// returns a one-element span over the accumulator, and Swap is a
+/// vector/bitmap swap plus a leftover merge — the cache-friendly layout
+/// GPOP calls partition bins. The external semantics are identical to
+/// the chain modes (a combiner already folds every chain to one node).
+///
 /// `pending()` (vertices with visible messages) is an atomic so
-/// eligibility checks never touch a lock.
+/// eligibility checks never touch a lock, and `pending_bits()` exposes
+/// the same information as a bitmap so the engine's barrier accounting
+/// is a popcount, not a rescan.
 template <typename M>
 class MessageStore {
  public:
@@ -88,6 +102,7 @@ class MessageStore {
     num_slots_ = num_slots;
     double_buffered_ = double_buffered;
     combine_ = combine;
+    dense_ = kDenseCapable && combine != nullptr;
     int want = shard_hint > 0 ? shard_hint : PickMessageStoreShards(num_slots);
     shard_bits_ = 0;
     while ((1 << shard_bits_) < want) ++shard_bits_;
@@ -105,12 +120,20 @@ class MessageStore {
       }
       shards_.push_back(std::move(shard));
     }
-    if (double_buffered_) {
+    if (double_buffered_ && !dense_) {
       slots_.assign(num_slots, Slot{});
       slots_spare_.assign(num_slots, Slot{});
       flat_.clear();
       flat_spare_.clear();
     }
+    if (dense_) {
+      acc_.assign(num_slots, M{});
+      if (double_buffered_) {
+        acc_in_.assign(num_slots, M{});
+        in_bits_.Reset(num_slots);
+      }
+    }
+    pending_bits_.Reset(num_slots);
     // mo: pending gauge; barrier orders the data
     pending_.store(0, std::memory_order_relaxed);
   }
@@ -122,11 +145,24 @@ class MessageStore {
   // mo: pending gauge; barrier orders the data
   int64_t pending() const { return pending_.load(std::memory_order_relaxed); }
 
+  /// Bitmap view of the visible-message slots. Lock-free reads; the
+  /// engine unions this with its active bitmap to popcount eligibility
+  /// at barriers and to iterate only eligible vertices in sparse
+  /// supersteps. Dense/AP modes keep it exact (bit cleared on consume);
+  /// the flat BSP side leaves it as the superstep-start snapshot —
+  /// `Swap()` rebuilds it and nothing reads it mid-superstep, so the
+  /// consume fast path stays free of an extra atomic RMW.
+  const Bitmap& pending_bits() const { return pending_bits_; }
+
+  /// True when this store runs in dense accumulator mode (combiner +
+  /// trivially copyable message): no arena, one accumulator per slot.
+  bool dense() const { return dense_; }
+
   /// Appends one message for local vertex `li`.
   void Append(int32_t li, const M& msg) {
     Shard& shard = *shards_[li & shard_mask_];
     sy::MutexLock lock(&shard.mu);
-    AppendLocked(shard, li >> shard_bits_, msg);
+    AppendLocked(shard, li, msg);
   }
 
   /// Applies a decoded remote batch: pre-grouped by shard so each shard
@@ -143,13 +179,17 @@ class MessageStore {
       sy::MutexLock lock(&shard.mu);
       for (auto& rec : records) {
         if ((rec.first & shard_mask_) != s) continue;
-        AppendLocked(shard, rec.first >> shard_bits_, std::move(rec.second));
+        AppendLocked(shard, rec.first, std::move(rec.second));
       }
     }
   }
 
-  /// True if `li` has visible messages. Lock-free when double-buffered.
+  /// True if `li` has visible messages. Lock-free when double-buffered
+  /// or dense.
   bool HasMessages(int32_t li) {
+    if (dense_) return pending_bits_.Test(li);
+    // Flat BSP: the slot length is the live truth (len drops to 0 on
+    // consume; the pending bitmap is a superstep-start snapshot).
     if (double_buffered_) return slots_[li].len != 0;
     Shard& shard = *shards_[li & shard_mask_];
     sy::MutexLock lock(&shard.mu);
@@ -162,8 +202,35 @@ class MessageStore {
   /// buffer. Arena chunks and flat capacity are retained for reuse.
   void Swap() {
     SG_DCHECK(double_buffered_);
+    if (dense_) {
+      // The shard locks pair with the appenders' releases so the
+      // lock-free reads below are ordered (the engine's barrier already
+      // guarantees no appender is live here).
+      for (int s = 0; s <= shard_mask_; ++s) {
+        sy::MutexLock lock(&shards_[s]->mu);
+      }
+      // Merge unconsumed leftovers into the arriving side (leftover
+      // first, matching the chain-mode fold order), then publish by
+      // swapping the accumulator array and presence bitmap wholesale.
+      pending_bits_.ForEachSetBit([&](size_t li) {
+        if (in_bits_.Test(li)) {
+          acc_in_[li] = combine_(acc_[li], acc_in_[li]);
+        } else {
+          acc_in_[li] = acc_[li];
+          in_bits_.SetSerial(li);
+        }
+      });
+      acc_.swap(acc_in_);
+      std::swap(pending_bits_, in_bits_);
+      in_bits_.ClearAll();
+      pending_.store(static_cast<int64_t>(pending_bits_.Popcount()),
+                     // mo: pending gauge; barrier orders the data
+                     std::memory_order_relaxed);
+      return;
+    }
     flat_spare_.clear();
     slots_spare_.assign(slots_.size(), Slot{});
+    pending_bits_.ClearAll();
     int64_t pend = 0;
     for (int s = 0; s <= shard_mask_; ++s) {
       Shard& shard = *shards_[s];
@@ -189,6 +256,7 @@ class MessageStore {
         }
         slots_spare_[li] =
             Slot{off, static_cast<uint32_t>(flat_spare_.size()) - off};
+        pending_bits_.SetSerial(li);
         ++pend;
         chain = Chain{};
       }
@@ -207,11 +275,33 @@ class MessageStore {
   /// Direct mode: detaches the chain under the shard lock, moves the
   /// messages into `*scratch`, and returns a span over it.
   std::span<const M> Consume(int32_t li, std::vector<M>* scratch) {
+    if (dense_) {
+      if (double_buffered_) {
+        // Lock-free like the flat path: the visible side is written only
+        // in Swap() and each slot has one consumer.
+        if (!pending_bits_.Test(li)) return {};
+        pending_bits_.Clear(li);
+        // mo: pending gauge; barrier orders the data
+        pending_.fetch_sub(1, std::memory_order_relaxed);
+        return std::span<const M>(&acc_[li], 1);
+      }
+      Shard& shard = *shards_[li & shard_mask_];
+      sy::MutexLock lock(&shard.mu);
+      if (!pending_bits_.Test(li)) return {};
+      pending_bits_.Clear(li);
+      // mo: pending gauge; barrier orders the data
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      scratch->assign(1, acc_[li]);
+      return std::span<const M>(scratch->data(), 1);
+    }
     if (double_buffered_) {
       Slot& slot = slots_[li];
       if (slot.len == 0) return {};
       std::span<const M> out(flat_.data() + slot.off, slot.len);
       slot.len = 0;
+      // The pending bit stays set until the next Swap() rebuild (see
+      // pending_bits()); clearing it here would put an atomic RMW on
+      // every consume for a bit nobody reads mid-superstep.
       // mo: pending gauge; barrier orders the data
       pending_.fetch_sub(1, std::memory_order_relaxed);
       return out;
@@ -231,6 +321,7 @@ class MessageStore {
         node = next;
       }
       chain = Chain{};
+      pending_bits_.Clear(li);
       // mo: pending gauge; barrier orders the data
       pending_.fetch_sub(1, std::memory_order_relaxed);
     }
@@ -241,10 +332,9 @@ class MessageStore {
   /// mode `fn` runs under a shard lock and must not block or lock.
   template <typename Fn>
   void ForEachPendingVertex(Fn&& fn) {
-    if (double_buffered_) {
-      for (size_t li = 0; li < slots_.size(); ++li) {
-        if (slots_[li].len != 0) fn(static_cast<int32_t>(li));
-      }
+    if (dense_ || double_buffered_) {
+      pending_bits_.ForEachSetBit(
+          [&](size_t li) { fn(static_cast<int32_t>(li)); });
       return;
     }
     for (int s = 0; s <= shard_mask_; ++s) {
@@ -260,6 +350,7 @@ class MessageStore {
   /// Checkpoint support (cold path): visible message count for `li` and
   /// in-order visitation. In direct mode the walk holds the shard lock.
   int64_t VisibleCount(int32_t li) {
+    if (dense_) return pending_bits_.Test(li) ? 1 : 0;
     if (double_buffered_) return slots_[li].len;
     Shard& shard = *shards_[li & shard_mask_];
     sy::MutexLock lock(&shard.mu);
@@ -268,6 +359,10 @@ class MessageStore {
 
   template <typename Fn>
   void ForEachVisible(int32_t li, Fn&& fn) {
+    if (dense_) {
+      if (pending_bits_.Test(li)) fn(acc_[li]);
+      return;
+    }
     if (double_buffered_) {
       const Slot slot = slots_[li];
       for (uint32_t k = 0; k < slot.len; ++k) fn(flat_[slot.off + k]);
@@ -285,6 +380,7 @@ class MessageStore {
 
   /// Total arena chunks across shards (tests assert reuse: the count
   /// must plateau across supersteps of comparable message volume).
+  /// Always 0 in dense mode — there is no arena.
   int64_t arena_chunks() {
     int64_t total = 0;
     for (int s = 0; s <= shard_mask_; ++s) {
@@ -301,6 +397,13 @@ class MessageStore {
   /// with appends; the snapshot is per-shard consistent.
   MessageStoreArenaStats Stats() {
     MessageStoreArenaStats stats;
+    if (dense_) {
+      // No arena: report the live accumulator count so the occupancy
+      // gauges stay meaningful, with chain length capped at 1 by mode.
+      stats.nodes_in_use = pending_bits_.Popcount();
+      stats.max_chain_len = stats.nodes_in_use > 0 ? 1 : 0;
+      return stats;
+    }
     for (int s = 0; s <= shard_mask_; ++s) {
       Shard& shard = *shards_[s];
       sy::MutexLock lock(&shard.mu);
@@ -361,8 +464,25 @@ class MessageStore {
     }
   };
 
-  void AppendLocked(Shard& shard, int32_t dense, M msg) SY_REQUIRES(shard.mu) {
-    Chain& chain = shard.chains[dense];
+  void AppendLocked(Shard& shard, int32_t li, M msg) SY_REQUIRES(shard.mu) {
+    if (dense_) {
+      // The shard lock serializes per-slot fold vs. claim; the atomic
+      // bitmap ops handle cross-shard word sharing.
+      std::vector<M>& acc = double_buffered_ ? acc_in_ : acc_;
+      Bitmap& bits = double_buffered_ ? in_bits_ : pending_bits_;
+      if (bits.Test(li)) {
+        acc[li] = combine_(acc[li], msg);
+      } else {
+        acc[li] = std::move(msg);
+        bits.Set(li);
+        if (!double_buffered_) {
+          // mo: pending gauge; barrier orders the data
+          pending_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      return;
+    }
+    Chain& chain = shard.chains[li >> shard_bits_];
     if (combine_ != nullptr && chain.count > 0) {
       M& head = shard.NodeAt(chain.head).msg;
       head = combine_(head, msg);
@@ -379,17 +499,34 @@ class MessageStore {
     }
     chain.tail = idx;
     if (++chain.count == 1 && !double_buffered_) {
+      pending_bits_.Set(li);
       // mo: pending gauge; barrier orders the data
       pending_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
+  /// Dense accumulator mode needs memcpy-able payloads (the accumulator
+  /// arrays swap wholesale at the barrier).
+  static constexpr bool kDenseCapable = std::is_trivially_copyable_v<M>;
+
   int32_t num_slots_ = 0;
   bool double_buffered_ = false;
+  bool dense_ = false;
   CombineFn combine_ = nullptr;
   int shard_bits_ = 0;
   int shard_mask_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Dense accumulator sides (dense mode only). `acc_` is the visible
+  // side (direct mode: the live side); `acc_in_`/`in_bits_` collect BSP
+  // arrivals until Swap(). Same phase-ownership argument as flat_.
+  std::vector<M> acc_;
+  std::vector<M> acc_in_;
+  Bitmap in_bits_;
+
+  /// Visible-slot presence, mirrored with pending_ (bit li <=> li has
+  /// consumable messages). Atomic word ops; see common/bitmap.h.
+  Bitmap pending_bits_;
 
   // Flat (visible) side, double-buffered mode only. Unguarded by design:
   // written solely by Swap() in the barrier phase, read/consumed by the

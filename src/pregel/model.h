@@ -66,6 +66,17 @@ struct FaultToleranceOptions {
 };
 
 /// Configuration for one engine run.
+/// Per-superstep message transfer strategy for combinable BSP programs
+/// (see docs/PERF.md, "Push vs. pull"). kAuto switches on frontier
+/// density; the force modes pin one strategy for A/B tests. Ignored
+/// (always push) for AP runs, sync techniques, and programs without a
+/// combiner or with non-trivially-copyable messages.
+enum class PushPullMode {
+  kAuto,
+  kForcePush,
+  kForcePull,
+};
+
 struct EngineOptions {
   ComputationModel model = ComputationModel::kAsync;
   /// Synchronization technique; any mode other than kNone requires
@@ -97,6 +108,17 @@ struct EngineOptions {
   /// of per message. Automatically disabled when record_history is set
   /// (combined records carry no per-message provenance).
   bool sender_combining = true;
+
+  /// Push/pull strategy for broadcast-style sends (BSP + combiner only).
+  /// Under kAuto the engine pulls a superstep when the broadcast frontier
+  /// density (set bits per 1000 vertices) reaches
+  /// `pull_density_threshold_milli`; sparse supersteps keep pushing.
+  PushPullMode push_pull = PushPullMode::kAuto;
+  /// kAuto density switch point, in vertices-per-thousand. 400 means
+  /// "pull once ≥40% of vertices broadcast" — dense enough that one
+  /// sequential sweep over the in-edge CSR beats materializing the
+  /// per-vertex message store.
+  int64_t pull_density_threshold_milli = 400;
 
   /// Fixed extra cost charged to every worker every superstep, used by
   /// the Giraphx emulation bench to model algorithm-level technique

@@ -188,6 +188,112 @@ TEST_P(ModelEquivalenceTest, SenderCombiningPageRankAgreesWithinTolerance) {
   }
 }
 
+// The per-superstep push/pull switch (docs/PERF.md) is a pure transfer
+// strategy: forced push, forced pull, and the density-driven auto mode
+// must agree. SSSP and WCC fold through min (order-insensitive and
+// exact), so all three modes must be bit-identical.
+TEST_P(ModelEquivalenceTest, PushPullSsspAndWccIdentical) {
+  const uint64_t seed = GetParam().seed;
+  Graph g = RandomGraph(seed);
+  auto sssp_reference = ReferenceSssp(g, 0);
+  Graph gu = g.Undirected();
+  auto wcc_reference = ReferenceWcc(gu);
+  Rng rng(seed * 41 + 9);
+
+  EngineOptions opts;
+  opts.model = ComputationModel::kBsp;
+  opts.sync_mode = SyncMode::kNone;
+  opts.num_workers = 2 + static_cast<int>(rng.Uniform(3));
+  opts.partitions_per_worker = 1 + static_cast<int>(rng.Uniform(3));
+  opts.compute_threads_per_worker = 1 + static_cast<int>(rng.Uniform(3));
+  opts.partition_seed = rng.Next();
+  for (PushPullMode mode : {PushPullMode::kForcePush,
+                            PushPullMode::kForcePull, PushPullMode::kAuto}) {
+    opts.push_pull = mode;
+    Engine<Sssp> sssp(&g, opts);
+    auto sssp_result = sssp.Run(Sssp(0));
+    ASSERT_TRUE(sssp_result.ok()) << sssp_result.status();
+    EXPECT_TRUE(sssp_result->stats.converged);
+    EXPECT_EQ(sssp_result->values, sssp_reference)
+        << "seed=" << seed << " mode=" << static_cast<int>(mode);
+    Engine<Wcc> wcc(&gu, opts);
+    auto wcc_result = wcc.Run(Wcc());
+    ASSERT_TRUE(wcc_result.ok()) << wcc_result.status();
+    EXPECT_EQ(wcc_result->values, wcc_reference)
+        << "seed=" << seed << " mode=" << static_cast<int>(mode);
+    const int64_t pulls =
+        wcc_result->stats.metrics.at("engine.pull_supersteps");
+    if (mode == PushPullMode::kForcePush) {
+      EXPECT_EQ(pulls, 0) << "forced push must never capture";
+    } else if (mode == PushPullMode::kForcePull) {
+      EXPECT_GE(pulls, 1) << "forced pull must capture";
+    }
+  }
+}
+
+// PageRank's sum combiner folds in a different order under pull (CSR
+// in-neighbor order vs. arrival order), so push and pull agree to a
+// numeric tolerance, not bit-exactly. The auto mode must actually
+// engage pull here: every vertex broadcasts every superstep, so the
+// frontier density sits at 1000/1000.
+TEST_P(ModelEquivalenceTest, PushPullPageRankAgreesWithinTolerance) {
+  const uint64_t seed = GetParam().seed;
+  Graph g = RandomGraph(seed);
+  EngineOptions opts;
+  opts.model = ComputationModel::kBsp;
+  opts.num_workers = 3;
+  opts.partitions_per_worker = 2;
+  opts.partition_seed = seed;
+
+  std::vector<double> results[3];
+  const PushPullMode modes[] = {PushPullMode::kForcePush,
+                                PushPullMode::kForcePull,
+                                PushPullMode::kAuto};
+  for (int i = 0; i < 3; ++i) {
+    opts.push_pull = modes[i];
+    Engine<PageRank> engine(&g, opts);
+    auto result = engine.Run(PageRank(1e-9));
+    ASSERT_TRUE(result.ok()) << result.status();
+    results[i] = result->values;
+    const int64_t pulls =
+        result->stats.metrics.at("engine.pull_supersteps");
+    if (modes[i] == PushPullMode::kForcePush) {
+      EXPECT_EQ(pulls, 0);
+    } else {
+      EXPECT_GE(pulls, 1)
+          << "dense PageRank must pull under " << static_cast<int>(modes[i]);
+    }
+  }
+  for (size_t v = 0; v < results[0].size(); ++v) {
+    EXPECT_NEAR(results[0][v], results[1][v], 1e-6) << "vertex " << v;
+    EXPECT_NEAR(results[0][v], results[2][v], 1e-6) << "vertex " << v;
+  }
+}
+
+// Outside plain BSP the switch must be structurally inert: an AP run
+// under a sync technique keeps its fork-handover reads and never pulls,
+// even when forced.
+TEST_P(ModelEquivalenceTest, PushPullIgnoredOutsideBsp) {
+  const uint64_t seed = GetParam().seed;
+  Graph g = RandomGraph(seed);
+  auto reference = ReferenceSssp(g, 0);
+
+  for (SyncMode sync : {SyncMode::kNone, SyncMode::kVertexLocking}) {
+    EngineOptions opts;
+    opts.model = ComputationModel::kAsync;
+    opts.sync_mode = sync;
+    opts.num_workers = 3;
+    opts.partition_seed = seed;
+    opts.push_pull = PushPullMode::kForcePull;
+    Engine<Sssp> engine(&g, opts);
+    auto result = engine.Run(Sssp(0));
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->values, reference) << "sync=" << SyncModeName(sync);
+    EXPECT_EQ(result->stats.metrics.at("engine.pull_supersteps"), 0)
+        << "AP must never capture, sync=" << SyncModeName(sync);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Seeds, ModelEquivalenceTest,
     testing::Values(Scenario{1}, Scenario{2}, Scenario{3}, Scenario{4},
